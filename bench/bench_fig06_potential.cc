@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 6: resource utilization and improvement potential.
+ *
+ * Chip utilization under three scenarios per workload: the typical
+ * controller (VAS), resource conflicts addressed (PAS), and both
+ * challenges removed -- parallelism dependency relaxed plus high
+ * transactional locality (SPK3 serves as the realized potential).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+
+int
+main()
+{
+    using namespace spk;
+    bench::printHeader("Figure 6",
+                       "flash-level utilization: VAS vs PAS vs potential");
+
+    std::printf("%-8s %10s %10s %12s\n", "trace", "VAS %", "PAS %",
+                "potential %");
+
+    double vas_sum = 0.0;
+    double pas_sum = 0.0;
+    double pot_sum = 0.0;
+    const auto &traces = paperTraces();
+    for (const auto &info : traces) {
+        double util[3] = {};
+        int idx = 0;
+        for (const auto kind : {SchedulerKind::VAS, SchedulerKind::PAS,
+                                SchedulerKind::SPK3}) {
+            SsdConfig cfg = bench::evalConfig(kind);
+            const Trace trace = generatePaperTrace(
+                info.name, 1200, bench::spanFor(cfg), 29);
+            util[idx++] =
+                bench::runOnce(cfg, trace).flashLevelUtilizationPct;
+        }
+        vas_sum += util[0];
+        pas_sum += util[1];
+        pot_sum += util[2];
+        std::printf("%-8s %10.1f %10.1f %12.1f\n", info.name, util[0],
+                    util[1], util[2]);
+    }
+
+    const double n = static_cast<double>(traces.size());
+    std::printf("%-8s %10.1f %10.1f %12.1f\n", "mean", vas_sum / n,
+                pas_sum / n, pot_sum / n);
+    bench::printShapeNote(
+        "paper: 17% (VAS), 24% (PAS), >40% potential; our means should "
+        "preserve VAS < PAS << potential with ~2-3x headroom");
+    return 0;
+}

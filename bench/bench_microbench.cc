@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Simulator micro-benchmarks on google-benchmark: hot paths of the
+ * event kernel, address arithmetic, scheduler decision loops and a
+ * full small-device run. These track the cost of simulating, not the
+ * simulated performance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "ssd/ssd.hh"
+#include "workload/synthetic.hh"
+
+namespace
+{
+
+using namespace spk;
+
+void
+BM_EventQueueScheduleDispatch(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue q;
+        for (int i = 0; i < 1000; ++i)
+            q.schedule(static_cast<Tick>(i), [] {});
+        q.run();
+        benchmark::DoNotOptimize(q.dispatched());
+    }
+}
+BENCHMARK(BM_EventQueueScheduleDispatch);
+
+void
+BM_GeometryDecompose(benchmark::State &state)
+{
+    FlashGeometry geo;
+    geo.numChannels = 16;
+    geo.chipsPerChannel = 16;
+    Rng rng(1);
+    std::vector<Ppn> ppns;
+    for (int i = 0; i < 1024; ++i)
+        ppns.push_back(rng.nextBelow(geo.totalPages()));
+    for (auto _ : state) {
+        for (const auto ppn : ppns)
+            benchmark::DoNotOptimize(geo.decompose(ppn));
+    }
+}
+BENCHMARK(BM_GeometryDecompose);
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_FullDeviceRun(benchmark::State &state)
+{
+    const auto kind = static_cast<SchedulerKind>(state.range(0));
+    SyntheticConfig wl;
+    wl.numIos = 200;
+    wl.spanBytes = 8ull << 20;
+    wl.seed = 3;
+    const Trace trace = generateSynthetic(wl);
+    for (auto _ : state) {
+        SsdConfig cfg;
+        cfg.geometry.numChannels = 4;
+        cfg.geometry.chipsPerChannel = 4;
+        cfg.geometry.blocksPerPlane = 16;
+        cfg.geometry.pagesPerBlock = 32;
+        cfg.scheduler = kind;
+        Ssd ssd(cfg);
+        ssd.replay(trace);
+        ssd.run();
+        benchmark::DoNotOptimize(ssd.results().size());
+    }
+}
+BENCHMARK(BM_FullDeviceRun)
+    ->Arg(static_cast<int>(SchedulerKind::VAS))
+    ->Arg(static_cast<int>(SchedulerKind::PAS))
+    ->Arg(static_cast<int>(SchedulerKind::SPK3))
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SyntheticGeneration(benchmark::State &state)
+{
+    SyntheticConfig wl;
+    wl.numIos = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(generateSynthetic(wl));
+    }
+}
+BENCHMARK(BM_SyntheticGeneration)->Arg(1000)->Arg(10000);
+
+} // namespace
+
+BENCHMARK_MAIN();

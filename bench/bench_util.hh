@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harness: run one workload on one
+ * scheduler configuration and print table rows in a uniform format.
+ *
+ * Every bench binary regenerates one exhibit (table or figure) of the
+ * paper; see DESIGN.md section 4 for the mapping.
+ */
+
+#ifndef SPK_BENCH_BENCH_UTIL_HH
+#define SPK_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ssd/ssd.hh"
+#include "workload/paper_traces.hh"
+#include "workload/synthetic.hh"
+
+namespace spk
+{
+namespace bench
+{
+
+/** The five schedulers of the evaluation, in paper order. */
+inline const std::vector<SchedulerKind> &
+allSchedulers()
+{
+    static const std::vector<SchedulerKind> kinds = {
+        SchedulerKind::VAS, SchedulerKind::PAS, SchedulerKind::SPK1,
+        SchedulerKind::SPK2, SchedulerKind::SPK3};
+    return kinds;
+}
+
+/** Paper evaluation geometry scaled for offline runtime. */
+inline SsdConfig
+evalConfig(SchedulerKind kind, std::uint32_t num_chips = 64)
+{
+    SsdConfig cfg = SsdConfig::withChips(num_chips);
+    // Keep mapping tables small while preserving chip/die/plane
+    // parallelism: the experiments exercise scheduling, not capacity.
+    cfg.geometry.blocksPerPlane = 24;
+    cfg.geometry.pagesPerBlock = 32;
+    cfg.scheduler = kind;
+    return cfg;
+}
+
+/** Span that fits comfortably inside the logical capacity. */
+inline std::uint64_t
+spanFor(const SsdConfig &cfg, double fraction = 0.5)
+{
+    const double logical =
+        static_cast<double>(cfg.geometry.totalPages()) *
+        (1.0 - cfg.ftl.overprovision) *
+        static_cast<double>(cfg.geometry.pageSizeBytes);
+    return static_cast<std::uint64_t>(logical * fraction);
+}
+
+/** Run one trace through one configuration. */
+inline MetricsSnapshot
+runOnce(const SsdConfig &cfg, const Trace &trace,
+        bool precondition_gc = false)
+{
+    Ssd ssd(cfg);
+    if (precondition_gc)
+        ssd.preconditionForGc();
+    ssd.replay(trace);
+    ssd.run();
+    return ssd.metrics();
+}
+
+/** Print a header line for an exhibit. */
+inline void
+printHeader(const std::string &exhibit, const std::string &what)
+{
+    std::printf("\n=== %s: %s ===\n", exhibit.c_str(), what.c_str());
+}
+
+/** Print the paper-vs-measured shape note. */
+inline void
+printShapeNote(const std::string &note)
+{
+    std::printf("--- paper-shape check: %s\n", note.c_str());
+}
+
+} // namespace bench
+} // namespace spk
+
+#endif // SPK_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Scheduler shoot-out: replay one Table 1 workload (default cfs3, a
+ * high-transactional-locality mail server trace) under all five
+ * schedulers and print a comparison table.
+ *
+ *   $ ./sched_compare [trace-name] [num-ios]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "ssd/ssd.hh"
+#include "workload/paper_traces.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace spk;
+    const std::string name = argc > 1 ? argv[1] : "cfs3";
+    const std::uint64_t n_ios =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1500;
+
+    std::printf("workload %s, %llu I/Os, 64-chip device\n\n",
+                name.c_str(),
+                static_cast<unsigned long long>(n_ios));
+    std::printf("%-6s %12s %10s %12s %10s %8s\n", "sched", "BW KB/s",
+                "IOPS", "latency us", "util %", "txns");
+
+    for (const auto kind :
+         {SchedulerKind::VAS, SchedulerKind::PAS, SchedulerKind::SPK1,
+          SchedulerKind::SPK2, SchedulerKind::SPK3}) {
+        SsdConfig cfg = SsdConfig::withChips(64);
+        cfg.geometry.blocksPerPlane = 24;
+        cfg.geometry.pagesPerBlock = 32;
+        cfg.scheduler = kind;
+
+        const std::uint64_t span =
+            cfg.geometry.totalPages() * cfg.geometry.pageSizeBytes / 2;
+        Ssd ssd(cfg);
+        ssd.replay(generatePaperTrace(name, n_ios, span, 99));
+        ssd.run();
+        const auto m = ssd.metrics();
+        std::printf("%-6s %12.0f %10.0f %12.0f %10.1f %8llu\n",
+                    schedulerKindName(kind), m.bandwidthKBps, m.iops,
+                    m.avgLatencyNs / 1000.0, m.chipUtilizationPct,
+                    static_cast<unsigned long long>(m.transactions));
+    }
+    return 0;
+}

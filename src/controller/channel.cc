@@ -1,0 +1,19 @@
+#include "controller/channel.hh"
+
+#include <algorithm>
+
+namespace spk
+{
+
+Tick
+Channel::acquire(Tick earliest, Tick duration)
+{
+    const Tick grant = std::max(earliest, busyUntil_);
+    stats_.contentionTime += grant - earliest;
+    stats_.busHeldTime += duration;
+    stats_.grants += 1;
+    busyUntil_ = grant + duration;
+    return grant;
+}
+
+} // namespace spk

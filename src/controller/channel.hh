@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared channel bus with eager reservation and contention accounting.
+ *
+ * Multiple flash chips share one channel (Section 2.1). A transaction
+ * holds the bus for its command/data-in phase, releases it during cell
+ * activity (channel pipelining), and for reads re-acquires it to
+ * stream data out.
+ */
+
+#ifndef SPK_CONTROLLER_CHANNEL_HH
+#define SPK_CONTROLLER_CHANNEL_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace spk
+{
+
+/** Aggregate channel statistics for the execution-time breakdown. */
+struct ChannelStats
+{
+    Tick busHeldTime = 0;    //!< total time the bus carried traffic
+    Tick contentionTime = 0; //!< total time requesters waited
+    std::uint64_t grants = 0;
+};
+
+/**
+ * One channel bus. Grants are reserved eagerly in event order, which
+ * keeps the simulation deterministic without a separate arbiter
+ * process.
+ */
+class Channel
+{
+  public:
+    explicit Channel(std::uint32_t index) : index_(index) {}
+
+    std::uint32_t index() const { return index_; }
+
+    /**
+     * Reserve the bus for @p duration ticks, no earlier than
+     * @p earliest.
+     * @return the absolute grant (start) tick.
+     */
+    Tick acquire(Tick earliest, Tick duration);
+
+    /** Tick at which the last reservation releases the bus. */
+    Tick busyUntil() const { return busyUntil_; }
+
+    const ChannelStats &stats() const { return stats_; }
+
+  private:
+    std::uint32_t index_;
+    Tick busyUntil_ = 0;
+    ChannelStats stats_;
+};
+
+} // namespace spk
+
+#endif // SPK_CONTROLLER_CHANNEL_HH

@@ -1,0 +1,208 @@
+#include "controller/flash_controller.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace spk
+{
+
+FlashController::FlashController(EventQueue &events, Channel &channel,
+                                 std::vector<FlashChip *> chips,
+                                 const FlashTiming &timing,
+                                 std::uint32_t page_bytes,
+                                 Tick decision_window,
+                                 CompletionFn on_complete)
+    : events_(events),
+      channel_(channel),
+      chips_(std::move(chips)),
+      timing_(timing),
+      pageBytes_(page_bytes),
+      decisionWindow_(decision_window),
+      onComplete_(std::move(on_complete)),
+      state_(chips_.size())
+{
+    if (chips_.empty())
+        fatal("FlashController: needs at least one chip");
+}
+
+void
+FlashController::commit(MemoryRequest *req, bool front)
+{
+    if (!req->translated)
+        panic("FlashController::commit untranslated request");
+    const std::uint32_t offset = req->addr.chipInChannel;
+    if (offset >= state_.size())
+        panic("FlashController::commit chip offset out of range");
+
+    req->committedAt = events_.now();
+    auto &chip_state = state_[offset];
+    chip_state.perTag[req->tag]++;
+    if (front)
+        chip_state.pending.push_front(req);
+    else
+        chip_state.pending.push_back(req);
+    armLaunch(offset);
+}
+
+std::uint32_t
+FlashController::outstanding(std::uint32_t chip_offset) const
+{
+    const auto &cs = state_.at(chip_offset);
+    return static_cast<std::uint32_t>(cs.pending.size()) + cs.inFlight;
+}
+
+std::uint32_t
+FlashController::pendingCount(std::uint32_t chip_offset) const
+{
+    return static_cast<std::uint32_t>(state_.at(chip_offset).pending.size());
+}
+
+std::uint32_t
+FlashController::outstandingOthers(std::uint32_t chip_offset,
+                                   TagId tag) const
+{
+    const auto &cs = state_.at(chip_offset);
+    std::uint32_t total = 0;
+    for (const auto &[owner, count] : cs.perTag) {
+        if (owner != tag)
+            total += count;
+    }
+    return total;
+}
+
+bool
+FlashController::drained() const
+{
+    for (const auto &cs : state_) {
+        if (!cs.pending.empty() || cs.inFlight != 0)
+            return false;
+    }
+    return true;
+}
+
+std::array<std::uint64_t, 4>
+FlashController::txnPerClass() const
+{
+    std::array<std::uint64_t, 4> sum{};
+    for (const auto *chip : chips_) {
+        for (int i = 0; i < 4; ++i)
+            sum[i] += chip->stats().txnPerClass[i];
+    }
+    return sum;
+}
+
+void
+FlashController::armLaunch(std::uint32_t chip_offset)
+{
+    auto &cs = state_[chip_offset];
+    if (cs.launchScheduled || cs.pending.empty())
+        return;
+    // Only arm when the chip can actually accept a transaction: the
+    // end-of-transaction event re-arms otherwise.
+    if (!chips_[chip_offset]->readyAt(events_.now()) || cs.inFlight > 0)
+        return;
+    cs.launchScheduled = true;
+    events_.scheduleAfter(decisionWindow_, [this, chip_offset] {
+        state_[chip_offset].launchScheduled = false;
+        tryLaunch(chip_offset);
+    });
+}
+
+void
+FlashController::tryLaunch(std::uint32_t chip_offset)
+{
+    auto &cs = state_[chip_offset];
+    FlashChip *chip = chips_[chip_offset];
+    const Tick now = events_.now();
+
+    if (cs.pending.empty() || cs.inFlight > 0 || !chip->readyAt(now))
+        return;
+
+    // Seed with the oldest pending request, then greedily coalesce
+    // every compatible one (same op; distinct die/plane; identical
+    // page offset within a multi-plane die). Erases never coalesce.
+    MemoryRequest *seed = cs.pending.front();
+    FlashTransaction txn(seed->op, seed->chip);
+    txn.add(seed);
+
+    if (seed->op != FlashOp::Erase) {
+        const std::size_t max_size =
+            chip->planesPerChip(); // one request per (die, plane)
+        for (auto it = cs.pending.begin() + 1;
+             it != cs.pending.end() && txn.size() < max_size; ++it) {
+            if (canCoalesce(txn, **it))
+                txn.add(*it);
+        }
+    }
+
+    // Remove the selected requests from the pending queue.
+    for (const auto *req : txn.requests()) {
+        auto it = std::find(cs.pending.begin(), cs.pending.end(), req);
+        cs.pending.erase(it);
+    }
+
+    const TransactionPlan plan = txn.plan(timing_, pageBytes_);
+
+    // Phase 1: command/address (+ data-in for programs).
+    const Tick start = channel_.acquire(now, plan.cmdPhase);
+    const Tick cell_end_abs = start + plan.cellEnd;
+
+    const FlpClass flp = txn.classify();
+    const Tick provisional_end = std::max(start + plan.cmdPhase,
+                                          cell_end_abs);
+    chip->beginTransaction(start, provisional_end, plan, flp,
+                           txn.size());
+
+    cs.inFlight += static_cast<std::uint32_t>(txn.size());
+    stats_.transactions += 1;
+    stats_.requestsServed += txn.size();
+    if (txn.size() > 1)
+        stats_.coalescedRequests += txn.size();
+
+    std::vector<MemoryRequest *> reqs = txn.requests();
+    for (auto *req : reqs)
+        req->startedAt = start;
+
+    const auto finish = [this, chip_offset, reqs](Tick end) {
+        auto &chip_state = state_[chip_offset];
+        chip_state.inFlight -=
+            static_cast<std::uint32_t>(reqs.size());
+        for (auto *req : reqs) {
+            auto tag_it = chip_state.perTag.find(req->tag);
+            if (tag_it != chip_state.perTag.end() &&
+                --tag_it->second == 0) {
+                chip_state.perTag.erase(tag_it);
+            }
+            req->finishedAt = end;
+            onComplete_(req);
+        }
+        // More pending work? Start the next decision window.
+        armLaunch(chip_offset);
+    };
+
+    if (plan.dataOutPhase > 0) {
+        // Phase 2 (reads): arbitrate for the bus when the cells are
+        // done -- not earlier, so other chips can use the channel
+        // during our tR (channel pipelining).
+        const Tick data_out = plan.dataOutPhase;
+        FlashChip *chip_ptr = chip;
+        events_.schedule(cell_end_abs,
+                         [this, chip_ptr, data_out, finish] {
+                             const Tick out_start = channel_.acquire(
+                                 events_.now(), data_out);
+                             const Tick end = out_start + data_out;
+                             chip_ptr->extendBusy(end);
+                             events_.schedule(end,
+                                              [finish, end] {
+                                                  finish(end);
+                                              });
+                         });
+    } else {
+        events_.schedule(provisional_end, [finish, provisional_end] {
+            finish(provisional_end);
+        });
+    }
+}
+
+} // namespace spk

@@ -1,0 +1,57 @@
+#include "flash/chip.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace spk
+{
+
+void
+FlashChip::beginTransaction(Tick start, Tick end,
+                            const TransactionPlan &plan, FlpClass flp,
+                            std::size_t n_reqs)
+{
+    if (start < busyUntil_)
+        panic("FlashChip: transaction submitted while R/B busy");
+    if (end < start)
+        panic("FlashChip: transaction ends before it starts");
+
+    lastNow_ = start;
+    busyUntil_ = end;
+
+    stats_.busyTime += end - start;
+    for (const auto &cell : plan.cells) {
+        stats_.cellTime += cell.duration;
+        stats_.planeActiveTime +=
+            cell.duration *
+            static_cast<Tick>(std::popcount(cell.planeMask));
+    }
+    stats_.busTime += plan.cmdPhase + plan.dataOutPhase;
+    stats_.transactions += 1;
+    stats_.requestsServed += n_reqs;
+    stats_.txnPerClass[static_cast<int>(flp)] += 1;
+    stats_.reqPerClass[static_cast<int>(flp)] += n_reqs;
+}
+
+void
+FlashChip::extendBusy(Tick new_end)
+{
+    if (new_end <= busyUntil_)
+        return;
+    stats_.busyTime += new_end - busyUntil_;
+    busyUntil_ = new_end;
+}
+
+double
+FlashChip::intraChipIdleness() const
+{
+    if (stats_.busyTime == 0)
+        return 0.0;
+    const double capacity = static_cast<double>(stats_.busyTime) *
+                            static_cast<double>(planesPerChip_);
+    const double active = static_cast<double>(stats_.planeActiveTime);
+    return 1.0 - active / capacity;
+}
+
+} // namespace spk

@@ -1,0 +1,9 @@
+#include "flash/mem_request.hh"
+
+namespace spk
+{
+
+// flashOpName is defined in transaction.cc next to flpClassName so the
+// two enum printers live together; this TU exists to anchor the header.
+
+} // namespace spk

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Flash memory request: the atomic unit of flash I/O.
+ *
+ * The NVMHC splits each host I/O request into page-sized memory
+ * requests (Section 2.1 of the paper). A memory request carries both
+ * its logical page and, once the FTL has translated it, its physical
+ * placement.
+ */
+
+#ifndef SPK_FLASH_MEM_REQUEST_HH
+#define SPK_FLASH_MEM_REQUEST_HH
+
+#include <cstdint>
+
+#include "flash/geometry.hh"
+#include "sim/types.hh"
+
+namespace spk
+{
+
+/** Flash operation kinds a transaction can execute. */
+enum class FlashOp : std::uint8_t { Read, Program, Erase };
+
+/** Printable name of a flash operation. */
+const char *flashOpName(FlashOp op);
+
+/**
+ * One page-sized flash memory request.
+ *
+ * Life cycle ticks are recorded for latency and idleness accounting:
+ * composed (NVMHC built it and initiated host data movement),
+ * committed (handed to a flash controller), started (entered an
+ * executing transaction), finished (transaction completed).
+ */
+struct MemoryRequest
+{
+    std::uint64_t id = 0;       //!< globally unique, assigned by NVMHC
+    TagId tag = kInvalidTag;    //!< owning host I/O; kInvalidTag for GC
+    std::uint32_t idxInIo = 0;  //!< page index within the owning I/O
+    FlashOp op = FlashOp::Read;
+    Lpn lpn = kInvalidPage;
+    Ppn ppn = kInvalidPage;
+    PhysAddr addr;              //!< valid once translated
+    std::uint32_t chip = 0;     //!< global chip index (from addr)
+    bool translated = false;    //!< addr/ppn fields are valid
+    bool composing = false;     //!< composition in flight this instant
+    bool composed = false;      //!< NVMHC initiated data movement
+    bool stale = false;         //!< target migrated; re-execute after
+    bool isGc = false;          //!< internal request issued by the FTL
+
+    Tick composedAt = 0;
+    Tick committedAt = 0;
+    Tick startedAt = 0;
+    Tick finishedAt = 0;
+};
+
+} // namespace spk
+
+#endif // SPK_FLASH_MEM_REQUEST_HH

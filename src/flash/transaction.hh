@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Flash transactions and their timing plans.
+ *
+ * A flash transaction is the series of bus activities and cell
+ * operations a flash controller executes on one chip for a set of
+ * coalesced memory requests (Section 2.2). The amount of flash-level
+ * parallelism (FLP) a transaction achieves is classified as:
+ *
+ *  - NonPal: one request, no flash-level parallelism
+ *  - Pal1:   plane sharing only (multiplane, single die)
+ *  - Pal2:   die interleaving only (one plane per die)
+ *  - Pal3:   die interleaving + plane sharing combined
+ */
+
+#ifndef SPK_FLASH_TRANSACTION_HH
+#define SPK_FLASH_TRANSACTION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/mem_request.hh"
+#include "flash/timing.hh"
+#include "sim/types.hh"
+
+namespace spk
+{
+
+/** Flash-level parallelism classes (Figure 14 of the paper). */
+enum class FlpClass : std::uint8_t { NonPal, Pal1, Pal2, Pal3 };
+
+/** Printable name of an FLP class. */
+const char *flpClassName(FlpClass c);
+
+/** One cell (array) activity inside a transaction's timeline. */
+struct CellPhase
+{
+    std::uint32_t die = 0;
+    std::uint32_t planeMask = 0; //!< bit i set => plane i active
+    Tick start = 0;              //!< relative to transaction start
+    Tick duration = 0;
+};
+
+/**
+ * Precomputed timeline of a transaction.
+ *
+ * The channel is held for cmdPhase ticks at the start (commands,
+ * addresses and -- for programs -- data-in), released during cell
+ * activity, and for reads re-acquired for dataOutPhase ticks once all
+ * cell phases are complete.
+ */
+struct TransactionPlan
+{
+    Tick cmdPhase = 0;
+    std::vector<CellPhase> cells;
+    Tick cellEnd = 0;      //!< relative end of the latest cell phase
+    Tick dataOutPhase = 0; //!< 0 for programs and erases
+    std::uint32_t planesTouched = 0;
+
+    /** Duration assuming the data-out channel grant is immediate. */
+    Tick minDuration() const;
+};
+
+/**
+ * A set of memory requests coalesced for one chip.
+ *
+ * The transaction does not own its requests; the flash controller
+ * does. All requests must target the same chip and carry the same
+ * operation. Within a die, requests must address distinct planes and
+ * (for plane sharing) the same page offset -- checked by valid().
+ */
+class FlashTransaction
+{
+  public:
+    FlashTransaction(FlashOp op, std::uint32_t chip)
+        : op_(op), chip_(chip)
+    {}
+
+    FlashOp op() const { return op_; }
+    std::uint32_t chip() const { return chip_; }
+
+    /** Append a request. Caller guarantees compatibility. */
+    void add(MemoryRequest *req) { requests_.push_back(req); }
+
+    const std::vector<MemoryRequest *> &requests() const
+    {
+        return requests_;
+    }
+
+    std::size_t size() const { return requests_.size(); }
+    bool empty() const { return requests_.empty(); }
+
+    /** Number of distinct dies addressed. */
+    std::uint32_t dieCount() const;
+
+    /** FLP classification of the current request set. */
+    FlpClass classify() const;
+
+    /**
+     * Check structural validity: same op/chip everywhere, at most one
+     * request per (die, plane), and same page offset within any die
+     * that uses more than one plane (the ONFI multiplane constraint).
+     */
+    bool valid() const;
+
+    /**
+     * Compute the timing plan under @p timing for @p page_bytes pages.
+     * @pre valid()
+     */
+    TransactionPlan plan(const FlashTiming &timing,
+                         std::uint32_t page_bytes) const;
+
+  private:
+    FlashOp op_;
+    std::uint32_t chip_;
+    std::vector<MemoryRequest *> requests_;
+};
+
+/**
+ * Check whether @p req can join @p txn without breaking the ONFI
+ * multiplane / die-interleave constraints. Used by the transaction
+ * builder in the flash controller.
+ */
+bool canCoalesce(const FlashTransaction &txn, const MemoryRequest &req);
+
+} // namespace spk
+
+#endif // SPK_FLASH_TRANSACTION_HH

@@ -1,0 +1,266 @@
+#include "ftl/block_manager.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace spk
+{
+
+const char *
+allocationPolicyName(AllocationPolicy policy)
+{
+    switch (policy) {
+      case AllocationPolicy::ChannelStripe:
+        return "channel-stripe";
+      case AllocationPolicy::PlaneFirst:
+        return "plane-first";
+    }
+    return "?";
+}
+
+BlockManager::BlockManager(const FlashGeometry &geo,
+                           std::uint32_t endurance,
+                           AllocationPolicy policy)
+    : geo_(geo), endurance_(endurance), policy_(policy)
+{
+    const std::uint64_t n_planes = std::uint64_t{geo.numChips()} *
+                                   geo.diesPerChip * geo.planesPerDie;
+    planes_.resize(n_planes);
+    for (auto &plane : planes_) {
+        plane.blocks.resize(geo.blocksPerPlane);
+        for (std::uint32_t b = 0; b < geo.blocksPerPlane; ++b)
+            plane.freeList.push_back(b);
+    }
+}
+
+std::uint64_t
+BlockManager::planeIndexOf(const PhysAddr &addr) const
+{
+    const std::uint64_t chip = geo_.chipIndex(addr.channel,
+                                              addr.chipInChannel);
+    const std::uint64_t die_plane =
+        std::uint64_t{addr.die} * geo_.planesPerDie + addr.plane;
+    const std::uint64_t planes_per_chip =
+        std::uint64_t{geo_.diesPerChip} * geo_.planesPerDie;
+    switch (policy_) {
+      case AllocationPolicy::ChannelStripe:
+        return die_plane * geo_.numChips() + chip;
+      case AllocationPolicy::PlaneFirst:
+        return chip * planes_per_chip + die_plane;
+    }
+    return 0;
+}
+
+PhysAddr
+BlockManager::planeAddr(std::uint64_t plane_idx) const
+{
+    const std::uint64_t planes_per_chip =
+        std::uint64_t{geo_.diesPerChip} * geo_.planesPerDie;
+    std::uint64_t chip = 0;
+    std::uint64_t die_plane = 0;
+    switch (policy_) {
+      case AllocationPolicy::ChannelStripe:
+        chip = plane_idx % geo_.numChips();
+        die_plane = plane_idx / geo_.numChips();
+        break;
+      case AllocationPolicy::PlaneFirst:
+        chip = plane_idx / planes_per_chip;
+        die_plane = plane_idx % planes_per_chip;
+        break;
+    }
+    PhysAddr addr;
+    addr.channel = geo_.channelOfChip(static_cast<std::uint32_t>(chip));
+    addr.chipInChannel =
+        geo_.chipOffsetOfChip(static_cast<std::uint32_t>(chip));
+    addr.die = static_cast<std::uint32_t>(die_plane / geo_.planesPerDie);
+    addr.plane = static_cast<std::uint32_t>(die_plane % geo_.planesPerDie);
+    return addr;
+}
+
+bool
+BlockManager::ensureActive(Plane &plane, bool gc_reserve)
+{
+    if (plane.activeBlock >= 0) {
+        const auto &info =
+            plane.blocks[static_cast<std::uint32_t>(plane.activeBlock)];
+        if (info.writtenPages < geo_.pagesPerBlock)
+            return true;
+        // Block is full: demote it.
+        plane.blocks[static_cast<std::uint32_t>(plane.activeBlock)].state =
+            BlockState::Full;
+        plane.activeBlock = -1;
+    }
+    while (!plane.freeList.empty()) {
+        // Host writes must not consume the last free block: garbage
+        // collection needs a migration destination (GC reserve).
+        if (!gc_reserve && plane.freeList.size() <= 1)
+            return false;
+        const std::uint32_t b = plane.freeList.front();
+        plane.freeList.pop_front();
+        if (plane.blocks[b].state != BlockState::Free)
+            continue;
+        plane.blocks[b].state = BlockState::Active;
+        plane.blocks[b].writtenPages = 0;
+        plane.activeBlock = static_cast<std::int32_t>(b);
+        return true;
+    }
+    return false;
+}
+
+std::optional<Ppn>
+BlockManager::allocatePage(std::uint64_t plane_idx, bool gc_reserve)
+{
+    if (plane_idx >= planes_.size())
+        panic("BlockManager::allocatePage bad plane index");
+    Plane &plane = planes_[plane_idx];
+    if (!ensureActive(plane, gc_reserve))
+        return std::nullopt;
+
+    auto &info = plane.blocks[static_cast<std::uint32_t>(plane.activeBlock)];
+    PhysAddr addr = planeAddr(plane_idx);
+    addr.block = static_cast<std::uint32_t>(plane.activeBlock);
+    addr.page = info.writtenPages;
+    ++info.writtenPages;
+    return geo_.compose(addr);
+}
+
+std::uint32_t
+BlockManager::freeBlocks(std::uint64_t plane_idx) const
+{
+    const Plane &plane = planes_.at(plane_idx);
+    std::uint32_t n = 0;
+    for (const auto b : plane.freeList) {
+        if (plane.blocks[b].state == BlockState::Free)
+            ++n;
+    }
+    return n;
+}
+
+const BlockInfo &
+BlockManager::block(std::uint64_t plane_idx, std::uint32_t blk) const
+{
+    return planes_.at(plane_idx).blocks.at(blk);
+}
+
+void
+BlockManager::addValid(std::uint64_t plane_idx, std::uint32_t blk,
+                       int delta)
+{
+    auto &info = planes_.at(plane_idx).blocks.at(blk);
+    if (delta < 0 &&
+        info.validPages < static_cast<std::uint32_t>(-delta)) {
+        panic("BlockManager::addValid underflow");
+    }
+    info.validPages =
+        static_cast<std::uint32_t>(static_cast<int>(info.validPages) +
+                                   delta);
+}
+
+bool
+BlockManager::eraseBlock(std::uint64_t plane_idx, std::uint32_t blk)
+{
+    Plane &plane = planes_.at(plane_idx);
+    auto &info = plane.blocks.at(blk);
+    if (info.state == BlockState::Bad)
+        panic("BlockManager::eraseBlock on a bad block");
+    if (info.validPages != 0)
+        panic("BlockManager::eraseBlock with live pages");
+
+    ++info.eraseCount;
+    maxErase_ = std::max(maxErase_, info.eraseCount);
+    info.writtenPages = 0;
+
+    if (static_cast<std::int32_t>(blk) == plane.activeBlock)
+        plane.activeBlock = -1;
+
+    if (info.eraseCount >= endurance_) {
+        // Bad block replacement: retire; capacity shrinks.
+        info.state = BlockState::Bad;
+        ++badBlocks_;
+        return false;
+    }
+    info.state = BlockState::Free;
+    plane.freeList.push_back(blk);
+    return true;
+}
+
+std::optional<std::uint32_t>
+BlockManager::pickGcVictim(std::uint64_t plane_idx) const
+{
+    const Plane &plane = planes_.at(plane_idx);
+    std::optional<std::uint32_t> best;
+    std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
+    for (std::uint32_t b = 0; b < plane.blocks.size(); ++b) {
+        const auto &info = plane.blocks[b];
+        if (info.state != BlockState::Full)
+            continue;
+        if (info.validPages < best_valid) {
+            best_valid = info.validPages;
+            best = b;
+        }
+    }
+    return best;
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+BlockManager::eraseSpread() const
+{
+    std::uint32_t lo = std::numeric_limits<std::uint32_t>::max();
+    std::uint32_t hi = 0;
+    for (const auto &plane : planes_) {
+        for (const auto &info : plane.blocks) {
+            if (info.state == BlockState::Bad)
+                continue;
+            lo = std::min(lo, info.eraseCount);
+            hi = std::max(hi, info.eraseCount);
+        }
+    }
+    if (lo > hi)
+        lo = hi;
+    return {lo, hi};
+}
+
+std::optional<std::pair<std::uint64_t, std::uint32_t>>
+BlockManager::pickColdestFull() const
+{
+    std::optional<std::pair<std::uint64_t, std::uint32_t>> best;
+    std::uint32_t best_erase = std::numeric_limits<std::uint32_t>::max();
+    std::uint32_t best_valid = 0;
+    for (std::uint64_t p = 0; p < planes_.size(); ++p) {
+        const auto &plane = planes_[p];
+        for (std::uint32_t b = 0; b < plane.blocks.size(); ++b) {
+            const auto &info = plane.blocks[b];
+            if (info.state != BlockState::Full)
+                continue;
+            if (info.eraseCount < best_erase ||
+                (info.eraseCount == best_erase &&
+                 info.validPages > best_valid)) {
+                best_erase = info.eraseCount;
+                best_valid = info.validPages;
+                best = {p, b};
+            }
+        }
+    }
+    return best;
+}
+
+std::uint64_t
+BlockManager::freePages(std::uint64_t plane_idx) const
+{
+    const Plane &plane = planes_.at(plane_idx);
+    std::uint64_t pages = 0;
+    for (const auto &info : plane.blocks) {
+        if (info.state == BlockState::Free)
+            pages += geo_.pagesPerBlock;
+    }
+    if (plane.activeBlock >= 0) {
+        const auto &info =
+            plane.blocks[static_cast<std::uint32_t>(plane.activeBlock)];
+        pages += geo_.pagesPerBlock - info.writtenPages;
+    }
+    return pages;
+}
+
+} // namespace spk

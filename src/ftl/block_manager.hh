@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Block allocation, write frontiers, wear tracking and bad blocks.
+ *
+ * Each plane owns its blocks. Writes are allocated from a per-plane
+ * active block; the device-level allocator (in Ftl) rotates planes in
+ * channel-stripe order so consecutive logical writes scatter across
+ * chips first (system-level parallelism) and land on matching page
+ * offsets across planes (enabling multiplane transactions later).
+ */
+
+#ifndef SPK_FTL_BLOCK_MANAGER_HH
+#define SPK_FTL_BLOCK_MANAGER_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "flash/geometry.hh"
+#include "sim/types.hh"
+
+namespace spk
+{
+
+/** State of one erase block. */
+enum class BlockState : std::uint8_t { Free, Active, Full, Bad };
+
+/**
+ * Page allocation (data placement) policy: the order in which the
+ * write frontier rotates over planes. The paper notes that such
+ * schemes are fixed at SSD design time [16, 36, 13]; both classic
+ * orders are provided so their interaction with each scheduler can be
+ * measured (see bench_ablation_allocation).
+ */
+enum class AllocationPolicy : std::uint8_t
+{
+    /**
+     * Consecutive writes scatter across chips first (channel
+     * striping + pipelining), then across dies/planes: maximizes
+     * system-level parallelism for sequential streams.
+     */
+    ChannelStripe,
+
+    /**
+     * Consecutive writes fill one chip's planes/dies first: groups
+     * consecutive data in one chip (higher per-chip FLP potential,
+     * lower system-level parallelism).
+     */
+    PlaneFirst,
+};
+
+/** Printable name of an allocation policy. */
+const char *allocationPolicyName(AllocationPolicy policy);
+
+/** Book-keeping for one erase block. */
+struct BlockInfo
+{
+    BlockState state = BlockState::Free;
+    std::uint32_t writtenPages = 0; //!< frontier within the block
+    std::uint32_t validPages = 0;   //!< live pages (maintained by Ftl)
+    std::uint32_t eraseCount = 0;
+};
+
+/**
+ * Per-device block manager.
+ *
+ * Planes are identified by a dense global plane index:
+ * ((die * planesPerDie + plane) * numChips + chip). That ordering is
+ * what makes consecutive allocations stripe across chips first.
+ */
+class BlockManager
+{
+  public:
+    /**
+     * @param geo device geometry
+     * @param endurance erase cycles before a block is retired as bad
+     * @param policy plane rotation order for the dense plane index
+     */
+    BlockManager(const FlashGeometry &geo, std::uint32_t endurance,
+                 AllocationPolicy policy = AllocationPolicy::ChannelStripe);
+
+    AllocationPolicy policy() const { return policy_; }
+
+    std::uint64_t numPlanes() const { return planes_.size(); }
+
+    /** Dense global plane index for a physical address. */
+    std::uint64_t planeIndexOf(const PhysAddr &addr) const;
+
+    /** Global plane index -> (chip, die, plane) prefix of PhysAddr. */
+    PhysAddr planeAddr(std::uint64_t plane_idx) const;
+
+    /**
+     * Allocate the next free page in @p plane_idx.
+     *
+     * Host allocations leave one free block per plane as a GC reserve
+     * (otherwise garbage collection can deadlock with no destination
+     * for live-page migration); pass @p gc_reserve = true from the GC
+     * migration path to use the reserve.
+     *
+     * @return the Ppn, or std::nullopt if the plane has no free page.
+     */
+    std::optional<Ppn> allocatePage(std::uint64_t plane_idx,
+                                    bool gc_reserve = false);
+
+    /** Free blocks remaining in a plane (not counting the active one). */
+    std::uint32_t freeBlocks(std::uint64_t plane_idx) const;
+
+    /** Block metadata (block addressed by plane + block-in-plane). */
+    const BlockInfo &block(std::uint64_t plane_idx,
+                           std::uint32_t block) const;
+
+    /** Adjust the valid-page count of a block (called by Ftl). */
+    void addValid(std::uint64_t plane_idx, std::uint32_t block, int delta);
+
+    /**
+     * Erase a block: returns it to the free list (or retires it when
+     * endurance is exhausted).
+     * @return false when the block was retired as bad.
+     */
+    bool eraseBlock(std::uint64_t plane_idx, std::uint32_t block);
+
+    /**
+     * Victim with the fewest valid pages among Full blocks of a plane
+     * (greedy GC policy). Excludes the active block.
+     */
+    std::optional<std::uint32_t> pickGcVictim(std::uint64_t plane_idx) const;
+
+    /** Total pages a plane can still accept before needing GC. */
+    std::uint64_t freePages(std::uint64_t plane_idx) const;
+
+    /** Highest erase count across all blocks (wear indicator). */
+    std::uint32_t maxEraseCount() const { return maxErase_; }
+
+    /** (min, max) erase counts over non-bad blocks. */
+    std::pair<std::uint32_t, std::uint32_t> eraseSpread() const;
+
+    /**
+     * Coldest Full block in the device: lowest erase count, most
+     * valid pages as tie-break (static wear-leveling victim).
+     * @return (plane index, block) or std::nullopt.
+     */
+    std::optional<std::pair<std::uint64_t, std::uint32_t>>
+    pickColdestFull() const;
+
+    /** Number of blocks retired as bad so far. */
+    std::uint64_t badBlocks() const { return badBlocks_; }
+
+  private:
+    struct Plane
+    {
+        std::vector<BlockInfo> blocks;
+        /**
+         * FIFO free list: erased blocks go to the back and new active
+         * blocks come from the front, so every block cycles through
+         * the rotation (LIFO would re-erase the same few blocks and
+         * defeat wear leveling).
+         */
+        std::deque<std::uint32_t> freeList;
+        std::int32_t activeBlock = -1; //!< -1: none
+    };
+
+    /** Make sure a plane has an active block; may pop the free list. */
+    bool ensureActive(Plane &plane, bool gc_reserve);
+
+    FlashGeometry geo_;
+    std::uint32_t endurance_;
+    AllocationPolicy policy_;
+    std::vector<Plane> planes_;
+    std::uint32_t maxErase_ = 0;
+    std::uint64_t badBlocks_ = 0;
+};
+
+} // namespace spk
+
+#endif // SPK_FTL_BLOCK_MANAGER_HH

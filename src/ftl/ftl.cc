@@ -1,0 +1,217 @@
+#include "ftl/ftl.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace spk
+{
+
+namespace
+{
+
+std::uint64_t
+logicalCapacity(const FlashGeometry &geo, double overprovision)
+{
+    const double frac = std::clamp(1.0 - overprovision, 0.01, 1.0);
+    const auto pages = static_cast<std::uint64_t>(
+        static_cast<double>(geo.totalPages()) * frac);
+    return std::max<std::uint64_t>(pages, 1);
+}
+
+} // namespace
+
+Ftl::Ftl(const FlashGeometry &geo, const FtlConfig &cfg)
+    : geo_(geo),
+      cfg_(cfg),
+      mapping_(geo, logicalCapacity(geo, cfg.overprovision)),
+      blocks_(geo, cfg.endurance, cfg.allocation)
+{
+    geo_.validate();
+}
+
+void
+Ftl::noteInvalidated(Ppn ppn)
+{
+    const PhysAddr addr = geo_.decompose(ppn);
+    blocks_.addValid(blocks_.planeIndexOf(addr), addr.block, -1);
+}
+
+void
+Ftl::noteValidated(Ppn ppn)
+{
+    const PhysAddr addr = geo_.decompose(ppn);
+    blocks_.addValid(blocks_.planeIndexOf(addr), addr.block, +1);
+}
+
+std::optional<Ppn>
+Ftl::allocateRotating(bool gc_reserve)
+{
+    const std::uint64_t n_planes = blocks_.numPlanes();
+    for (std::uint64_t attempt = 0; attempt < n_planes; ++attempt) {
+        const std::uint64_t plane = allocCursor_ % n_planes;
+        ++allocCursor_;
+        if (auto ppn = blocks_.allocatePage(plane, gc_reserve))
+            return ppn;
+    }
+    return std::nullopt;
+}
+
+Ppn
+Ftl::allocateWrite(Lpn lpn)
+{
+    const auto ppn = allocateRotating(/*gc_reserve=*/false);
+    if (!ppn)
+        return kInvalidPage;
+
+    const Ppn old = mapping_.bind(lpn, *ppn);
+    if (old != kInvalidPage)
+        noteInvalidated(old);
+    noteValidated(*ppn);
+    ++stats_.hostWrites;
+    return *ppn;
+}
+
+bool
+Ftl::gcNeeded() const
+{
+    const std::uint64_t n_planes = blocks_.numPlanes();
+    for (std::uint64_t p = 0; p < n_planes; ++p) {
+        if (blocks_.freeBlocks(p) < cfg_.gcFreeBlockThreshold)
+            return true;
+    }
+    return false;
+}
+
+std::optional<GcBatch>
+Ftl::migrateAndErase(std::uint64_t plane, std::uint32_t block)
+{
+    GcBatch batch;
+    batch.planeIdx = plane;
+    batch.victimBlock = block;
+
+    PhysAddr base = blocks_.planeAddr(plane);
+    base.block = block;
+    base.page = 0;
+    batch.victimBasePpn = geo_.compose(base);
+
+    // Migrate every live page out of the victim.
+    for (std::uint32_t page = 0; page < geo_.pagesPerBlock; ++page) {
+        PhysAddr addr = base;
+        addr.page = page;
+        const Ppn from = geo_.compose(addr);
+        if (!mapping_.isValid(from))
+            continue;
+        const Lpn lpn = mapping_.reverseLookup(from);
+
+        const auto to = allocateRotating(/*gc_reserve=*/true);
+        if (!to) {
+            warn("Ftl::collectGc: no space to migrate; aborting GC");
+            break;
+        }
+        // bind() invalidates `from` internally.
+        mapping_.bind(lpn, *to);
+        noteInvalidated(from);
+        noteValidated(*to);
+
+        batch.migrations.push_back(GcMigration{lpn, from, *to});
+        ++stats_.pagesMigrated;
+        if (readdress_)
+            readdress_(lpn, from, *to);
+    }
+
+    // The victim holds no live data unless migration aborted.
+    if (blocks_.block(plane, block).validPages != 0)
+        return std::nullopt;
+    blocks_.eraseBlock(plane, block);
+    ++stats_.blocksErased;
+    return batch;
+}
+
+std::vector<GcBatch>
+Ftl::collectGc()
+{
+    std::vector<GcBatch> batches;
+    const std::uint64_t n_planes = blocks_.numPlanes();
+
+    for (std::uint64_t plane = 0; plane < n_planes; ++plane) {
+        if (blocks_.freeBlocks(plane) >= cfg_.gcFreeBlockThreshold)
+            continue;
+        const auto victim = blocks_.pickGcVictim(plane);
+        if (!victim)
+            continue;
+        if (auto batch = migrateAndErase(plane, *victim)) {
+            ++stats_.gcInvocations;
+            batches.push_back(std::move(*batch));
+        }
+    }
+    return batches;
+}
+
+bool
+Ftl::wearLevelNeeded() const
+{
+    if (cfg_.wearLevelThreshold == 0)
+        return false;
+    const auto spread = blocks_.eraseSpread();
+    return spread.second - spread.first > cfg_.wearLevelThreshold;
+}
+
+std::vector<GcBatch>
+Ftl::collectWearLevel()
+{
+    std::vector<GcBatch> batches;
+    if (!wearLevelNeeded())
+        return batches;
+    // The coldest full block pins cold data on a low-wear block:
+    // moving it lets the block re-enter the hot allocation rotation.
+    const auto victim = blocks_.pickColdestFull();
+    if (!victim)
+        return batches;
+    if (auto batch = migrateAndErase(victim->first, victim->second)) {
+        ++stats_.wearLevelMoves;
+        batches.push_back(std::move(*batch));
+    }
+    return batches;
+}
+
+void
+Ftl::precondition(double fill_fraction, double churn_fraction, Rng &rng)
+{
+    fill_fraction = std::clamp(fill_fraction, 0.0, 1.0);
+    churn_fraction = std::clamp(churn_fraction, 0.0, 4.0);
+
+    const auto n_fill = static_cast<std::uint64_t>(
+        static_cast<double>(mapping_.logicalPages()) * fill_fraction);
+
+    for (Lpn lpn = 0; lpn < n_fill; ++lpn) {
+        if (allocateWrite(lpn) == kInvalidPage)
+            fatal("Ftl::precondition: device full during sequential fill");
+    }
+
+    // Random overwrites fragment the blocks: every overwrite leaves an
+    // invalid page behind in some earlier block.
+    const auto n_churn = static_cast<std::uint64_t>(
+        static_cast<double>(n_fill) * churn_fraction);
+    for (std::uint64_t i = 0; i < n_churn; ++i) {
+        if (n_fill == 0)
+            break;
+        const Lpn lpn = rng.nextBelow(n_fill);
+        if (allocateWrite(lpn) == kInvalidPage) {
+            // Out of space: reclaim synchronously (mapping-only GC);
+            // preconditioning is not timed.
+            collectGc();
+            if (allocateWrite(lpn) == kInvalidPage)
+                break;
+        }
+    }
+
+    // Leave the device at the GC threshold, not beyond it: the timed
+    // run should start from a fragmented-but-operable state.
+    for (int rounds = 0; rounds < 1024 && gcNeeded(); ++rounds) {
+        if (collectGc().empty())
+            break;
+    }
+}
+
+} // namespace spk

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Flash Translation Layer facade.
+ *
+ * Combines the page-level mapping and the block manager, implements
+ * greedy garbage collection with live-data migration, and exposes the
+ * readdressing callback Sprinkler uses to track migrations
+ * (Section 4.3 of the paper).
+ */
+
+#ifndef SPK_FTL_FTL_HH
+#define SPK_FTL_FTL_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "flash/geometry.hh"
+#include "ftl/block_manager.hh"
+#include "ftl/mapping.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace spk
+{
+
+/** FTL tuning knobs. */
+struct FtlConfig
+{
+    /** Fraction of physical capacity reserved (not host-visible). */
+    double overprovision = 0.10;
+
+    /** GC triggers when a plane's free blocks fall below this. */
+    std::uint32_t gcFreeBlockThreshold = 2;
+
+    /** Erase cycles before a block is retired (bad-block handling). */
+    std::uint32_t endurance = 100000;
+
+    /** Write-frontier rotation order (data placement scheme). */
+    AllocationPolicy allocation = AllocationPolicy::ChannelStripe;
+
+    /**
+     * Static wear leveling: when the erase-count spread (max - min
+     * over blocks) exceeds this, the coldest full block is migrated
+     * so its cold data stops pinning a low-wear block. 0 disables.
+     * Wear-leveling migrations are the paper's second live-data
+     * migration source (Section 4.3).
+     */
+    std::uint32_t wearLevelThreshold = 0;
+};
+
+/** One live-page move performed by garbage collection. */
+struct GcMigration
+{
+    Lpn lpn = kInvalidPage;
+    Ppn from = kInvalidPage;
+    Ppn to = kInvalidPage;
+};
+
+/**
+ * One garbage-collection unit of work: migrate the victim's live
+ * pages, then erase the victim. The mapping changes are applied
+ * eagerly by collectGc(); the caller charges the flash time by
+ * issuing the corresponding read/program/erase memory requests.
+ */
+struct GcBatch
+{
+    std::uint64_t planeIdx = 0;
+    std::uint32_t victimBlock = 0;
+    Ppn victimBasePpn = kInvalidPage; //!< any page in the victim block
+    std::vector<GcMigration> migrations;
+};
+
+/** Counters exported by the FTL. */
+struct FtlStats
+{
+    std::uint64_t hostWrites = 0;
+    std::uint64_t gcInvocations = 0;
+    std::uint64_t pagesMigrated = 0;
+    std::uint64_t blocksErased = 0;
+    std::uint64_t wearLevelMoves = 0;
+};
+
+/**
+ * Pure page-level FTL with greedy GC.
+ *
+ * Write allocation rotates over planes in channel-stripe order so
+ * consecutive writes scatter across chips first; see BlockManager.
+ */
+class Ftl
+{
+  public:
+    /** Called for every migrated live page (readdressing callback). */
+    using ReaddressCallback =
+        std::function<void(Lpn lpn, Ppn from, Ppn to)>;
+
+    Ftl(const FlashGeometry &geo, const FtlConfig &cfg);
+
+    /** Host-visible capacity in pages. */
+    std::uint64_t logicalPages() const { return mapping_.logicalPages(); }
+
+    /** Physical location of @p lpn; kInvalidPage when never written. */
+    Ppn translateRead(Lpn lpn) const { return mapping_.lookup(lpn); }
+
+    /**
+     * Allocate a physical page for writing @p lpn and update the
+     * mapping. The previous copy (if any) becomes invalid.
+     * @return the new Ppn; kInvalidPage if the device is truly full.
+     */
+    Ppn allocateWrite(Lpn lpn);
+
+    /** True when at least one plane is below the GC threshold. */
+    bool gcNeeded() const;
+
+    /**
+     * Run victim selection + mapping migration for every plane below
+     * threshold. Mapping state changes immediately; the returned
+     * batches let the device charge flash-time for the work. Fires
+     * the readdressing callback per migrated page.
+     */
+    std::vector<GcBatch> collectGc();
+
+    /** True when the erase-count spread exceeds the threshold. */
+    bool wearLevelNeeded() const;
+
+    /**
+     * Migrate the coldest full block (static wear leveling). Same
+     * batch semantics as collectGc(); empty when nothing qualifies.
+     */
+    std::vector<GcBatch> collectWearLevel();
+
+    /** Register the scheduler's readdressing callback. */
+    void setReaddressCallback(ReaddressCallback cb)
+    {
+        readdress_ = std::move(cb);
+    }
+
+    /**
+     * Fill the device to @p fill_fraction of logical capacity with
+     * valid data, then re-write @p churn_fraction of those pages in
+     * random order to fragment blocks (pre-GC conditioning,
+     * Section 5.9).
+     */
+    void precondition(double fill_fraction, double churn_fraction,
+                      Rng &rng);
+
+    const FtlStats &stats() const { return stats_; }
+    const BlockManager &blocks() const { return blocks_; }
+    const PageMapping &mapping() const { return mapping_; }
+    const FlashGeometry &geometry() const { return geo_; }
+
+  private:
+    /** Pick the next plane for allocation (channel-stripe rotation). */
+    std::optional<Ppn> allocateRotating(bool gc_reserve);
+
+    /**
+     * Migrate every live page out of (plane, block) and erase it.
+     * @return the batch, or std::nullopt if migration could not
+     *         complete (no destination space).
+     */
+    std::optional<GcBatch> migrateAndErase(std::uint64_t plane,
+                                           std::uint32_t block);
+
+    /** Decrement valid count for the block owning @p ppn. */
+    void noteInvalidated(Ppn ppn);
+
+    /** Increment valid count for the block owning @p ppn. */
+    void noteValidated(Ppn ppn);
+
+    FlashGeometry geo_;
+    FtlConfig cfg_;
+    PageMapping mapping_;
+    BlockManager blocks_;
+    std::uint64_t allocCursor_ = 0;
+    FtlStats stats_;
+    ReaddressCallback readdress_;
+};
+
+} // namespace spk
+
+#endif // SPK_FTL_FTL_HH

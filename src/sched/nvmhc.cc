@@ -1,0 +1,330 @@
+#include "sched/nvmhc.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace spk
+{
+
+Nvmhc::Nvmhc(EventQueue &events, const FlashGeometry &geo, Ftl &ftl,
+             std::vector<FlashController *> controllers,
+             std::unique_ptr<IoScheduler> sched, const NvmhcConfig &cfg,
+             IoCompleteFn on_io_complete)
+    : events_(events),
+      geo_(geo),
+      ftl_(ftl),
+      controllers_(std::move(controllers)),
+      sched_(std::move(sched)),
+      cfg_(cfg),
+      onIoComplete_(std::move(on_io_complete))
+{
+    if (controllers_.size() != geo_.numChannels)
+        fatal("Nvmhc: need one flash controller per channel");
+    if (cfg_.queueDepth == 0)
+        fatal("Nvmhc: queue depth must be non-zero");
+
+    ctx_.geo = &geo_;
+    ctx_.queue = &queue_;
+    ctx_.outstanding = [this](std::uint32_t chip) {
+        return controllers_[geo_.channelOfChip(chip)]->outstanding(
+            geo_.chipOffsetOfChip(chip));
+    };
+    ctx_.outstandingOthers = [this](std::uint32_t chip, TagId tag) {
+        return controllers_[geo_.channelOfChip(chip)]->outstandingOthers(
+            geo_.chipOffsetOfChip(chip), tag);
+    };
+    ctx_.schedulable = [this](const MemoryRequest &req) {
+        return hazardFree(req);
+    };
+}
+
+FlashController &
+Nvmhc::controllerFor(std::uint32_t chip)
+{
+    return *controllers_[geo_.channelOfChip(chip)];
+}
+
+void
+Nvmhc::translate(MemoryRequest &req)
+{
+    const auto allocate_with_reclaim = [this](Lpn lpn) {
+        Ppn ppn = ftl_.allocateWrite(lpn);
+        for (int round = 0; round < 256 && ppn == kInvalidPage;
+             ++round) {
+            const bool progress =
+                reclaim_ ? reclaim_() : !ftl_.collectGc().empty();
+            if (!progress)
+                break;
+            ppn = ftl_.allocateWrite(lpn);
+        }
+        return ppn;
+    };
+
+    if (req.op == FlashOp::Program) {
+        req.ppn = allocate_with_reclaim(req.lpn);
+        if (req.ppn == kInvalidPage)
+            fatal("Nvmhc: device out of space");
+    } else {
+        req.ppn = ftl_.translateRead(req.lpn);
+        if (req.ppn == kInvalidPage) {
+            // Reading a never-written page: backfill a mapping, as if
+            // the data existed before the trace started.
+            req.ppn = allocate_with_reclaim(req.lpn);
+            if (req.ppn == kInvalidPage)
+                fatal("Nvmhc: cannot backfill read mapping");
+        }
+    }
+    req.addr = geo_.decompose(req.ppn);
+    req.chip = geo_.chipOf(req.ppn);
+    req.translated = true;
+}
+
+void
+Nvmhc::submit(bool is_write, Lpn first_lpn, std::uint32_t page_count,
+              bool fua, Tick arrival)
+{
+    if (page_count == 0)
+        fatal("Nvmhc::submit zero-page I/O");
+    ++stats_.iosSubmitted;
+    if (outstandingIos() == 0)
+        active_.claim(events_.now());
+
+    PendingSubmission sub{is_write, first_lpn, page_count, fua, arrival};
+    if (queue_.size() >= cfg_.queueDepth) {
+        waiting_.push_back(sub);
+        return;
+    }
+    enqueue(sub);
+}
+
+void
+Nvmhc::enqueue(const PendingSubmission &sub)
+{
+    const Tick now = events_.now();
+    auto io = std::make_unique<IoRequest>();
+    io->tag = nextTag_++;
+    io->isWrite = sub.isWrite;
+    io->fua = sub.fua;
+    io->firstLpn = sub.firstLpn;
+    io->pageCount = sub.pageCount;
+    io->arrival = sub.arrival;
+    io->enqueued = now;
+    stats_.queueStallTime += now - sub.arrival;
+    io->initBitmap();
+
+    const std::uint64_t logical = ftl_.logicalPages();
+    io->pages.reserve(sub.pageCount);
+    for (std::uint32_t i = 0; i < sub.pageCount; ++i) {
+        auto req = std::make_unique<MemoryRequest>();
+        req->id = nextReqId_++;
+        req->tag = io->tag;
+        req->idxInIo = i;
+        req->op = sub.isWrite ? FlashOp::Program : FlashOp::Read;
+        req->lpn = (sub.firstLpn + i) % logical;
+        translate(*req);
+        lpnChain_[req->lpn].push_back(req.get());
+        io->pages.push_back(std::move(req));
+    }
+
+    IoRequest *raw = io.get();
+    slots_.emplace(raw->tag, std::move(io));
+    queue_.push_back(raw);
+    sched_->onEnqueue(*raw);
+    if (afterEnqueue_)
+        afterEnqueue_();
+    pump();
+}
+
+void
+Nvmhc::admitWaiting()
+{
+    while (!waiting_.empty() && queue_.size() < cfg_.queueDepth) {
+        const PendingSubmission sub = waiting_.front();
+        waiting_.pop_front();
+        enqueue(sub);
+    }
+}
+
+bool
+Nvmhc::hazardFree(const MemoryRequest &req) const
+{
+    // Per-LPN ordering: only the oldest pending request on a logical
+    // page may proceed (covers RAW/WAW/WAR across queued I/Os).
+    const auto it = lpnChain_.find(req.lpn);
+    if (it == lpnChain_.end() || it->second.empty()) {
+        panic("Nvmhc::hazardFree request missing from LPN chain: lpn=" +
+              std::to_string(req.lpn) + " tag=" +
+              std::to_string(req.tag) + " composed=" +
+              std::to_string(req.composed) + " isGc=" +
+              std::to_string(req.isGc) + " id=" +
+              std::to_string(req.id));
+    }
+    if (it->second.front() != &req)
+        return false;
+
+    // FUA barrier: an FUA I/O is served strictly in order -- nothing
+    // younger starts before it finishes, and it waits for everything
+    // older (Section 4.4, hazard control).
+    for (const IoRequest *io : queue_) {
+        if (io->tag == req.tag)
+            return !io->fua || io == queue_.front();
+        if (io->fua)
+            return false; // older FUA I/O still incomplete
+    }
+    // GC requests never enter the queue; they bypass the barrier.
+    return true;
+}
+
+void
+Nvmhc::pump()
+{
+    if (engineBusy_)
+        return;
+    MemoryRequest *req = sched_->next(ctx_);
+    if (req == nullptr)
+        return;
+    if (req->composed || req->composing)
+        panic("Nvmhc::pump scheduler returned a composed request");
+
+    req->composing = true;
+    engineBusy_ = true;
+    Tick cost = cfg_.composeOverhead;
+    if (req->op == FlashOp::Program) {
+        // Host -> device data movement for the page contents.
+        cost += (std::uint64_t{geo_.pageSizeBytes} * kSecond +
+                 cfg_.hostBwBytesPerSec - 1) /
+                cfg_.hostBwBytesPerSec;
+    }
+    events_.scheduleAfter(cost, [this, req] { composeDone(req); });
+}
+
+void
+Nvmhc::composeDone(MemoryRequest *req)
+{
+    req->composing = false;
+    req->composed = true;
+    req->composedAt = events_.now();
+    ++stats_.requestsComposed;
+
+    auto it = slots_.find(req->tag);
+    if (it == slots_.end())
+        panic("Nvmhc::composeDone orphan request");
+    it->second->composedCount++;
+    sched_->onComposed(*req);
+
+    controllerFor(req->chip).commit(req);
+    engineBusy_ = false;
+    pump();
+}
+
+void
+Nvmhc::onRequestFinished(MemoryRequest *req)
+{
+    const Tick now = events_.now();
+    auto slot = slots_.find(req->tag);
+    if (slot == slots_.end())
+        panic("Nvmhc::onRequestFinished orphan request");
+    IoRequest *io = slot->second.get();
+
+    // Stale read: live-data migration moved the page while the request
+    // was in flight (or, without a readdressing callback, while it sat
+    // committed). Re-translate and re-execute.
+    if (req->stale) {
+        req->stale = false;
+        ++stats_.staleRetries;
+        const Ppn fresh = ftl_.translateRead(req->lpn);
+        if (fresh == kInvalidPage)
+            panic("Nvmhc: mapping lost for pending read");
+        req->ppn = fresh;
+        req->addr = geo_.decompose(fresh);
+        req->chip = geo_.chipOf(fresh);
+        controllerFor(req->chip).commit(req);
+        return;
+    }
+
+    // Retire the request from the hazard chain.
+    auto chain = lpnChain_.find(req->lpn);
+    if (chain == lpnChain_.end() || chain->second.empty() ||
+        chain->second.front() != req) {
+        panic("Nvmhc: LPN chain corrupted at completion");
+    }
+    chain->second.pop_front();
+    if (chain->second.empty())
+        lpnChain_.erase(chain);
+
+    if (!io->clearBit(req->idxInIo))
+        panic("Nvmhc: completion bitmap bit already clear");
+    io->finishedCount++;
+    sched_->onFinish(*req);
+
+    if (io->done()) {
+        io->completed = now;
+        ++stats_.iosCompleted;
+        const std::uint64_t bytes =
+            std::uint64_t{io->pageCount} * geo_.pageSizeBytes;
+        if (io->isWrite)
+            stats_.bytesWritten += bytes;
+        else
+            stats_.bytesRead += bytes;
+        onIoComplete_(*io);
+
+        auto qit = std::find(queue_.begin(), queue_.end(), io);
+        if (qit == queue_.end())
+            panic("Nvmhc: completed I/O missing from queue");
+        queue_.erase(qit);
+        slots_.erase(slot); // frees the IoRequest and its pages
+
+        admitWaiting();
+        if (outstandingIos() == 0)
+            active_.release(now);
+    }
+    pump();
+}
+
+void
+Nvmhc::readdress(Lpn lpn, Ppn from, Ppn to)
+{
+    const auto it = lpnChain_.find(lpn);
+    if (it == lpnChain_.end())
+        return;
+    for (MemoryRequest *req : it->second) {
+        if (req->op != FlashOp::Read || req->ppn != from)
+            continue;
+        const bool in_flight = req->composed || req->composing;
+        if (!in_flight && sched_->wantsReaddressing()) {
+            // Sprinkler's readdressing callback: retarget before the
+            // request is composed, at no extra flash cost.
+            const std::uint32_t old_chip = req->chip;
+            req->ppn = to;
+            req->addr = geo_.decompose(to);
+            req->chip = geo_.chipOf(to);
+            sched_->onRetarget(*req, old_chip);
+        } else {
+            // Either already executing, or the scheduler has no
+            // readdressing support (VAS/PAS): the request runs against
+            // the old location and is re-executed at completion.
+            req->stale = true;
+        }
+    }
+}
+
+void
+Nvmhc::kick()
+{
+    pump();
+}
+
+bool
+Nvmhc::idle() const
+{
+    return queue_.empty() && waiting_.empty() && !engineBusy_;
+}
+
+std::uint32_t
+Nvmhc::outstandingIos() const
+{
+    return static_cast<std::uint32_t>(queue_.size() + waiting_.size());
+}
+
+} // namespace spk

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Non-Volatile Memory Host Controller (NVMHC).
+ *
+ * Owns the device-level queue (NCQ-style tags), the memory-request
+ * composition engine (tag parsing + host data movement initiation),
+ * hazard control (per-LPN ordering, FUA barriers) and the pluggable
+ * I/O scheduler. Mirrors the I/O service routine of Figure 3:
+ * queuing -> memory request composition -> commitment.
+ */
+
+#ifndef SPK_SCHED_NVMHC_HH
+#define SPK_SCHED_NVMHC_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "controller/flash_controller.hh"
+#include "controller/io_request.hh"
+#include "ftl/ftl.hh"
+#include "sched/scheduler.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace spk
+{
+
+/** NVMHC tuning knobs. */
+struct NvmhcConfig
+{
+    /** Device-level queue depth (tags). */
+    std::uint32_t queueDepth = 32;
+
+    /**
+     * Per-memory-request composition cost: aggregate NVMHC/FTL
+     * processing throughput (the platform has multiple cores; this is
+     * the effective per-request cost).
+     */
+    Tick composeOverhead = 100 * kNanosecond;
+
+    /** Host fabric bandwidth (PCI Express, Section 1: 16 GB/s). */
+    std::uint64_t hostBwBytesPerSec = 16'000'000'000ull;
+};
+
+/** Aggregate NVMHC statistics. */
+struct NvmhcStats
+{
+    std::uint64_t iosSubmitted = 0;
+    std::uint64_t iosCompleted = 0;
+    std::uint64_t requestsComposed = 0;
+    std::uint64_t staleRetries = 0; //!< re-executed after migration
+    Tick queueStallTime = 0;        //!< host waits for a free tag
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+};
+
+/**
+ * The device-level host controller.
+ *
+ * The composition engine serializes memory-request composition; which
+ * request it composes next is the scheduler's decision (this is where
+ * VAS / PAS / Sprinkler differ).
+ */
+class Nvmhc
+{
+  public:
+    using IoCompleteFn = std::function<void(const IoRequest &)>;
+
+    /**
+     * @param events shared event queue
+     * @param geo device geometry
+     * @param ftl translation layer (translation happens at enqueue --
+     *        the paper's core.preprocess step)
+     * @param controllers one per channel, indexed by channel
+     * @param sched scheduling strategy
+     * @param cfg tuning knobs
+     * @param on_io_complete invoked once per completed host I/O
+     */
+    Nvmhc(EventQueue &events, const FlashGeometry &geo, Ftl &ftl,
+          std::vector<FlashController *> controllers,
+          std::unique_ptr<IoScheduler> sched, const NvmhcConfig &cfg,
+          IoCompleteFn on_io_complete);
+
+    /**
+     * Host submits an I/O. If the queue is full the request waits for
+     * a tag; the wait is accounted as queue stall time.
+     */
+    void submit(bool is_write, Lpn first_lpn, std::uint32_t page_count,
+                bool fua, Tick arrival);
+
+    /** Flash-level completion upcall for host memory requests. */
+    void onRequestFinished(MemoryRequest *req);
+
+    /** Readdressing callback entry (wired to the FTL by the device). */
+    void readdress(Lpn lpn, Ppn from, Ppn to);
+
+    /** Re-poll the scheduler (e.g. after GC frees a chip). */
+    void kick();
+
+    /** True when no host I/O is queued, waiting or composing. */
+    bool idle() const;
+
+    /** Queued + waiting I/O count. */
+    std::uint32_t outstandingIos() const;
+
+    /** Time the device had at least one outstanding host I/O. */
+    Tick deviceActiveTime(Tick now) const
+    {
+        return active_.busyTime(now);
+    }
+
+    const NvmhcStats &stats() const { return stats_; }
+    IoScheduler &scheduler() { return *sched_; }
+    const std::deque<IoRequest *> &queue() const { return queue_; }
+
+    /** Hook run after every enqueue (the device's GC trigger check). */
+    void setAfterEnqueueHook(std::function<void()> hook)
+    {
+        afterEnqueue_ = std::move(hook);
+    }
+
+    /**
+     * Emergency space reclaim used when write allocation fails. The
+     * hook must run one GC round (and charge its flash time) and
+     * return whether any block was reclaimed. Without a hook the FTL
+     * is invoked directly (mapping-only).
+     */
+    void setReclaimHook(std::function<bool()> hook)
+    {
+        reclaim_ = std::move(hook);
+    }
+
+  private:
+    struct PendingSubmission
+    {
+        bool isWrite = false;
+        Lpn firstLpn = 0;
+        std::uint32_t pageCount = 0;
+        bool fua = false;
+        Tick arrival = 0;
+    };
+
+    /** Secure a tag and preprocess (translate + bucket) an I/O. */
+    void enqueue(const PendingSubmission &sub);
+
+    /** Admit waiting submissions into freed tags. */
+    void admitWaiting();
+
+    /** Run the composition engine if idle and work is eligible. */
+    void pump();
+
+    /** Composition of @p req finished: commit it to its controller. */
+    void composeDone(MemoryRequest *req);
+
+    /** Per-LPN ordering + FUA barrier check. */
+    bool hazardFree(const MemoryRequest &req) const;
+
+    FlashController &controllerFor(std::uint32_t chip);
+
+    /** Translate @p req at enqueue time; backfills unwritten reads. */
+    void translate(MemoryRequest &req);
+
+    EventQueue &events_;
+    FlashGeometry geo_;
+    Ftl &ftl_;
+    std::vector<FlashController *> controllers_;
+    std::unique_ptr<IoScheduler> sched_;
+    NvmhcConfig cfg_;
+    IoCompleteFn onIoComplete_;
+    std::function<void()> afterEnqueue_;
+    std::function<bool()> reclaim_;
+
+    std::unordered_map<TagId, std::unique_ptr<IoRequest>> slots_;
+    std::deque<IoRequest *> queue_; //!< arrival order, live entries
+    std::deque<PendingSubmission> waiting_;
+    TagId nextTag_ = 0;
+    std::uint64_t nextReqId_ = 0;
+
+    /** Per-LPN pending requests, oldest first (hazard ordering). */
+    std::unordered_map<Lpn, std::deque<MemoryRequest *>> lpnChain_;
+
+    bool engineBusy_ = false;
+    BusyTracker active_;
+    NvmhcStats stats_;
+    SchedulerContext ctx_;
+};
+
+} // namespace spk
+
+#endif // SPK_SCHED_NVMHC_HH

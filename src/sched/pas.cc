@@ -1,0 +1,36 @@
+#include "sched/pas.hh"
+
+namespace spk
+{
+
+/*
+ * PAS processes the queue in arrival order but, knowing physical
+ * addresses, skips the busy flash chips and commits the other memory
+ * requests to idle chips (coarse-grain out-of-order execution with
+ * per-chip flash queues, Section 5.1). A chip counts as busy when it
+ * holds outstanding requests of a *different* I/O: a chip queueing
+ * only one's own I/O is no conflict, which is what lets PAS build
+ * same-I/O multiplane/interleave transactions (Figure 14a) while
+ * still being unable to coalesce across I/O boundaries.
+ */
+MemoryRequest *
+PasScheduler::next(SchedulerContext &ctx)
+{
+    for (IoRequest *io : *ctx.queue) {
+        if (io->allComposed())
+            continue;
+        for (auto &page : io->pages) {
+            MemoryRequest *req = page.get();
+            if (req->composed)
+                continue;
+            if (!ctx.schedulable(*req))
+                continue; // hazard: try the next request
+            if (ctx.outstandingOthers(req->chip, req->tag) > 0)
+                continue; // busy chip: skip, commit elsewhere
+            return req;
+        }
+    }
+    return nullptr;
+}
+
+} // namespace spk

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Physical Address Scheduler (PAS) -- the out-of-order baseline.
+ *
+ * PAS knows the physical addresses of queued I/Os (via a preprocessor,
+ * as in Ozone/PAQ) and executes coarse-grain out-of-order: it skips
+ * busy flash chips and commits the other memory requests to idle
+ * chips through per-chip flash queues (Sections 3 and 5.1). It still
+ * composes memory requests in I/O arrival order and never coalesces
+ * across I/O boundaries, so parallelism dependency and low
+ * transactional locality remain (Figure 5).
+ */
+
+#ifndef SPK_SCHED_PAS_HH
+#define SPK_SCHED_PAS_HH
+
+#include "sched/scheduler.hh"
+
+namespace spk
+{
+
+/** Physical-address scheduler with coarse out-of-order commitment. */
+class PasScheduler : public IoScheduler
+{
+  public:
+    const char *name() const override { return "PAS"; }
+
+    MemoryRequest *next(SchedulerContext &ctx) override;
+};
+
+} // namespace spk
+
+#endif // SPK_SCHED_PAS_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Device-level I/O scheduler interface.
+ *
+ * Schedulers live in the NVMHC and decide which memory request is
+ * composed (data movement initiated) and committed next. The five
+ * strategies evaluated by the paper -- VAS, PAS, SPK1 (FARO), SPK2
+ * (RIOS), SPK3 (RIOS+FARO) -- differ only in this decision; memory
+ * request composition cost and flash-level transaction coalescing are
+ * common machinery.
+ */
+
+#ifndef SPK_SCHED_SCHEDULER_HH
+#define SPK_SCHED_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "controller/io_request.hh"
+#include "flash/geometry.hh"
+#include "flash/mem_request.hh"
+
+namespace spk
+{
+
+/**
+ * The view the NVMHC exposes to a scheduler when asking for the next
+ * memory request to compose.
+ */
+struct SchedulerContext
+{
+    const FlashGeometry *geo = nullptr;
+
+    /** Queue entries in arrival order (oldest first). */
+    const std::deque<IoRequest *> *queue = nullptr;
+
+    /** Committed-but-unfinished request count on a global chip. */
+    std::function<std::uint32_t(std::uint32_t chip)> outstanding;
+
+    /**
+     * Same, excluding requests that belong to I/O @p tag (a chip whose
+     * per-chip queue only holds one's own I/O is not a conflict for a
+     * PAS-style scheduler).
+     */
+    std::function<std::uint32_t(std::uint32_t chip, TagId tag)>
+        outstandingOthers;
+
+    /**
+     * Hazard gate: false while an older request on the same logical
+     * page is still pending, or while an FUA barrier holds the
+     * request back (Section 4.4, hazard control).
+     */
+    std::function<bool(const MemoryRequest &)> schedulable;
+};
+
+/**
+ * Abstract device-level I/O scheduler.
+ *
+ * next() returns the memory request the NVMHC should compose now, or
+ * nullptr when the strategy has nothing eligible (e.g. VAS blocked on
+ * a chip conflict). The NVMHC re-polls after every completion and
+ * enqueue.
+ */
+class IoScheduler
+{
+  public:
+    virtual ~IoScheduler() = default;
+
+    /** Short name used in reports ("VAS", "SPK3", ...). */
+    virtual const char *name() const = 0;
+
+    /** Pick the next memory request to compose, or nullptr. */
+    virtual MemoryRequest *next(SchedulerContext &ctx) = 0;
+
+    /** A new I/O entered the device-level queue (tags secured). */
+    virtual void onEnqueue(IoRequest &io) { (void)io; }
+
+    /**
+     * An uncomposed read was retargeted by live-data migration
+     * (readdressing callback, Section 4.3). Only called when
+     * wantsReaddressing() is true.
+     */
+    virtual void
+    onRetarget(MemoryRequest &req, std::uint32_t old_chip)
+    {
+        (void)req;
+        (void)old_chip;
+    }
+
+    /**
+     * A memory request was composed by the NVMHC engine. Schedulers
+     * holding per-chip indexes must drop the entry here -- the request
+     * may retire (and be freed) any time after this point.
+     */
+    virtual void onComposed(const MemoryRequest &req) { (void)req; }
+
+    /** A memory request finished at the flash level. */
+    virtual void onFinish(const MemoryRequest &req) { (void)req; }
+
+    /** Whether the FTL should deliver readdressing callbacks. */
+    virtual bool wantsReaddressing() const { return false; }
+};
+
+/** Scheduler strategy selector used by configs and factories. */
+enum class SchedulerKind : std::uint8_t { VAS, PAS, SPK1, SPK2, SPK3 };
+
+/** Printable name of a scheduler kind. */
+const char *schedulerKindName(SchedulerKind kind);
+
+/** Parse a scheduler name ("VAS", "spk3", ...); fatal() on unknown. */
+SchedulerKind parseSchedulerKind(const std::string &name);
+
+/**
+ * Factory: build a scheduler strategy.
+ * @param faro_window over-commitment window per chip for SPK1/SPK3.
+ */
+std::unique_ptr<IoScheduler> makeScheduler(SchedulerKind kind,
+                                           std::uint32_t faro_window);
+
+} // namespace spk
+
+#endif // SPK_SCHED_SCHEDULER_HH

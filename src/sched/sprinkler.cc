@@ -1,0 +1,258 @@
+#include "sched/sprinkler.hh"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "flash/transaction.hh"
+#include "sim/logging.hh"
+
+namespace spk
+{
+
+SprinklerScheduler::SprinklerScheduler(bool rios, bool faro,
+                                       std::uint32_t window)
+    : rios_(rios), faro_(faro), window_(window == 0 ? 1 : window)
+{
+    if (!rios && !faro)
+        fatal("SprinklerScheduler: enable at least one of RIOS/FARO");
+}
+
+const char *
+SprinklerScheduler::name() const
+{
+    if (rios_ && faro_)
+        return "SPK3";
+    return rios_ ? "SPK2" : "SPK1";
+}
+
+void
+SprinklerScheduler::ensureBuckets(std::uint32_t chip)
+{
+    if (chip >= buckets_.size())
+        buckets_.resize(chip + 1);
+}
+
+void
+SprinklerScheduler::onEnqueue(IoRequest &io)
+{
+    // Securing tags: identify physical layout and bucket per chip
+    // without any memory request composition (RIOS step i).
+    for (auto &page : io.pages) {
+        ensureBuckets(page->chip);
+        buckets_[page->chip].push_back(page.get());
+    }
+}
+
+void
+SprinklerScheduler::onRetarget(MemoryRequest &req, std::uint32_t old_chip)
+{
+    if (old_chip < buckets_.size()) {
+        auto &bucket = buckets_[old_chip];
+        auto it = std::find(bucket.begin(), bucket.end(), &req);
+        if (it != bucket.end())
+            bucket.erase(it);
+    }
+    ensureBuckets(req.chip);
+    buckets_[req.chip].push_back(&req);
+}
+
+void
+SprinklerScheduler::onComposed(const MemoryRequest &req)
+{
+    // Drop the entry eagerly: once composed, the request may retire
+    // and be freed at any time, so the bucket must not keep a pointer.
+    if (req.chip >= buckets_.size())
+        return;
+    auto &bucket = buckets_[req.chip];
+    auto it = std::find(bucket.begin(), bucket.end(), &req);
+    if (it != bucket.end())
+        bucket.erase(it);
+}
+
+void
+SprinklerScheduler::compactBucket(std::uint32_t chip)
+{
+    auto &bucket = buckets_[chip];
+    while (!bucket.empty() && bucket.front()->composed)
+        bucket.pop_front();
+}
+
+MemoryRequest *
+SprinklerScheduler::oldest(SchedulerContext &ctx,
+                           std::uint32_t chip) const
+{
+    for (MemoryRequest *req : buckets_[chip]) {
+        if (!req->composed && ctx.schedulable(*req))
+            return req;
+    }
+    return nullptr;
+}
+
+std::vector<MemoryRequest *>
+SprinklerScheduler::bestSet(SchedulerContext &ctx,
+                            std::uint32_t chip) const
+{
+    std::vector<MemoryRequest *> candidates;
+    for (MemoryRequest *req : buckets_[chip]) {
+        if (!req->composed && ctx.schedulable(*req))
+            candidates.push_back(req);
+    }
+    return bestSetFrom(candidates, chip);
+}
+
+std::vector<MemoryRequest *>
+SprinklerScheduler::bestSetFrom(
+    const std::vector<MemoryRequest *> &candidates,
+    std::uint32_t chip) const
+{
+    if (candidates.empty())
+        return {};
+
+    // Connectivity: requests per owning I/O among the candidates.
+    std::unordered_map<TagId, std::uint32_t> per_tag;
+    for (const auto *req : candidates)
+        per_tag[req->tag]++;
+
+    // Greedy coalescable set seeded at the oldest candidate of each
+    // operation type; the larger set has the higher overlap depth.
+    auto greedy = [&](FlashOp op) {
+        std::vector<MemoryRequest *> set;
+        FlashTransaction txn(op, chip);
+        for (MemoryRequest *req : candidates) {
+            if (req->op != op || set.size() >= window_)
+                continue;
+            if (canCoalesce(txn, *req)) {
+                txn.add(req);
+                set.push_back(req);
+            }
+        }
+        return set;
+    };
+
+    auto reads = greedy(FlashOp::Read);
+    auto writes = greedy(FlashOp::Program);
+
+    auto connectivity = [&](const std::vector<MemoryRequest *> &set) {
+        std::uint32_t best = 0;
+        for (const auto *req : set)
+            best = std::max(best, per_tag[req->tag]);
+        return best;
+    };
+
+    if (reads.size() != writes.size())
+        return reads.size() > writes.size() ? reads : writes;
+    if (reads.empty())
+        return writes; // both empty
+    // Same overlap depth: prefer the higher-connectivity set; final
+    // tie goes to the set whose seed arrived first.
+    const auto conn_r = connectivity(reads);
+    const auto conn_w = connectivity(writes);
+    if (conn_r != conn_w)
+        return conn_r > conn_w ? reads : writes;
+    return reads.front()->id <= writes.front()->id ? reads : writes;
+}
+
+MemoryRequest *
+SprinklerScheduler::nextRios(SchedulerContext &ctx)
+{
+    const std::uint32_t n = ctx.geo->numChips();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        // Chip indices already stripe across channels (chip k lives on
+        // channel k % numChannels), so linear traversal is the RIOS
+        // visit order: same offset across channels, then next offset.
+        const auto chip = static_cast<std::uint32_t>((cursor_ + i) % n);
+        if (chip >= buckets_.size() || buckets_[chip].empty())
+            continue;
+        compactBucket(chip);
+        if (buckets_[chip].empty())
+            continue;
+
+        if (faro_) {
+            if (ctx.outstanding(chip) >= window_)
+                continue;
+            auto set = bestSet(ctx, chip);
+            if (set.empty())
+                continue;
+            cursor_ = chip + 1;
+            batch_.assign(set.begin() + 1, set.end());
+            return set.front();
+        }
+
+        // SPK2: no over-commitment -- one outstanding request per
+        // chip, oldest first.
+        if (ctx.outstanding(chip) > 0)
+            continue;
+        if (MemoryRequest *req = oldest(ctx, chip)) {
+            cursor_ = chip + 1;
+            return req;
+        }
+    }
+    return nullptr;
+}
+
+MemoryRequest *
+SprinklerScheduler::nextFaroOnly(SchedulerContext &ctx)
+{
+    // SPK1: FARO without RIOS. Composition is still driven by the
+    // host's I/O arrival order -- only the requests of the few I/Os
+    // at the head of the queue are visible for over-commitment, so
+    // parallelism dependency remains (Section 5.2: "FARO cannot
+    // always secure enough memory requests without RIOS's help").
+    constexpr std::size_t kLookaheadIos = 4;
+
+    std::map<std::uint32_t, std::vector<MemoryRequest *>> per_chip;
+    std::size_t seen = 0;
+    for (IoRequest *io : *ctx.queue) {
+        if (io->allComposed())
+            continue;
+        for (auto &page : io->pages) {
+            MemoryRequest *req = page.get();
+            if (req->composed || req->composing)
+                continue;
+            if (!ctx.schedulable(*req))
+                continue;
+            per_chip[req->chip].push_back(req);
+        }
+        if (++seen >= kLookaheadIos)
+            break;
+    }
+
+    std::size_t best_depth = 0;
+    std::uint64_t best_seed = 0;
+    std::vector<MemoryRequest *> best;
+    for (auto &[chip, candidates] : per_chip) {
+        if (ctx.outstanding(chip) >= window_)
+            continue;
+        auto set = bestSetFrom(candidates, chip);
+        if (set.empty())
+            continue;
+        const std::uint64_t seed = set.front()->id;
+        if (set.size() > best_depth ||
+            (set.size() == best_depth && seed < best_seed)) {
+            best_depth = set.size();
+            best_seed = seed;
+            best = std::move(set);
+        }
+    }
+    if (best.empty())
+        return nullptr;
+    batch_.assign(best.begin() + 1, best.end());
+    return best.front();
+}
+
+MemoryRequest *
+SprinklerScheduler::next(SchedulerContext &ctx)
+{
+    // Finish committing the current FARO batch first so the whole set
+    // reaches the flash controller within one decision window.
+    while (!batch_.empty()) {
+        MemoryRequest *req = batch_.front();
+        batch_.pop_front();
+        if (!req->composed && ctx.schedulable(*req))
+            return req;
+    }
+    return rios_ ? nextRios(ctx) : nextFaroOnly(ctx);
+}
+
+} // namespace spk

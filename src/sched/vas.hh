@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Virtual Address Scheduler (VAS) -- the FIFO baseline.
+ *
+ * VAS serves I/O requests strictly in device-queue order and has no
+ * knowledge of the physical resource layout (Section 3). Operationally
+ * that means: compose the oldest incomplete I/O's memory requests in
+ * page order, and stall head-of-line whenever the next request's
+ * target chip still has outstanding work (the request collisions of
+ * Figure 4).
+ */
+
+#ifndef SPK_SCHED_VAS_HH
+#define SPK_SCHED_VAS_HH
+
+#include "sched/scheduler.hh"
+
+namespace spk
+{
+
+/** FIFO virtual-address scheduler (paper baseline 1). */
+class VasScheduler : public IoScheduler
+{
+  public:
+    const char *name() const override { return "VAS"; }
+
+    MemoryRequest *next(SchedulerContext &ctx) override;
+};
+
+} // namespace spk
+
+#endif // SPK_SCHED_VAS_HH

@@ -1,0 +1,67 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace spk
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_)
+        panic("EventQueue::schedule into the past");
+    events_.push(Event{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleAfter(Tick delay, Callback cb)
+{
+    schedule(now_ + delay, std::move(cb));
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    return events_.empty() ? kTickMax : events_.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    // priority_queue::top returns const&; move the callback out via a
+    // copy of the element, then pop.
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.when;
+    ++dispatched_;
+    ev.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t limit)
+{
+    std::uint64_t n = 0;
+    while (n < limit && step())
+        ++n;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t n = 0;
+    while (!events_.empty() && events_.top().when <= until) {
+        step();
+        ++n;
+    }
+    if (now_ < until)
+        now_ = until;
+    return n;
+}
+
+} // namespace spk

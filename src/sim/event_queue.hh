@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue owns simulated time. Components schedule
+ * callbacks at absolute ticks; the queue dispatches them in
+ * (tick, insertion-order) order so simulation results are fully
+ * deterministic.
+ */
+
+#ifndef SPK_SIM_EVENT_QUEUE_HH
+#define SPK_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace spk
+{
+
+/**
+ * Deterministic discrete-event queue.
+ *
+ * Events at the same tick fire in the order they were scheduled
+ * (FIFO tie-break via a monotonically increasing sequence number).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /**
+     * Schedule @p cb at absolute time @p when.
+     * @pre when >= now() — scheduling in the past is a simulator bug.
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delay ticks from now. */
+    void scheduleAfter(Tick delay, Callback cb);
+
+    /** True when no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events_.size(); }
+
+    /** Tick of the next pending event; kTickMax when empty. */
+    Tick nextEventTick() const;
+
+    /**
+     * Dispatch a single event.
+     * @retval true an event was dispatched.
+     * @retval false the queue was empty.
+     */
+    bool step();
+
+    /** Run until the queue is empty or @p limit events dispatched. */
+    std::uint64_t run(std::uint64_t limit = UINT64_MAX);
+
+    /** Run until simulated time would exceed @p until. */
+    std::uint64_t runUntil(Tick until);
+
+    /** Total events dispatched since construction. */
+    std::uint64_t dispatched() const { return dispatched_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t dispatched_ = 0;
+};
+
+} // namespace spk
+
+#endif // SPK_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * The simulator never uses std::rand or random_device so that every
+ * experiment is reproducible from its seed alone.
+ */
+
+#ifndef SPK_SIM_RNG_HH
+#define SPK_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace spk
+{
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+ * implementation re-expressed). Fast, high-quality 64-bit generator,
+ * seeded via splitmix64 so that any 64-bit seed is acceptable.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; identical seeds replay streams. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection sampling. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextInRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool nextBool(double p);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace spk
+
+#endif // SPK_SIM_RNG_HH

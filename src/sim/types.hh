@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every Sprinkler module.
+ */
+
+#ifndef SPK_SIM_TYPES_HH
+#define SPK_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace spk
+{
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no time" / "never". */
+inline constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+/** Convenience literals for common time units. */
+inline constexpr Tick kNanosecond = 1;
+inline constexpr Tick kMicrosecond = 1000 * kNanosecond;
+inline constexpr Tick kMillisecond = 1000 * kMicrosecond;
+inline constexpr Tick kSecond = 1000 * kMillisecond;
+
+/** Logical (host-visible) page number. */
+using Lpn = std::uint64_t;
+
+/** Physical page number, dense index over the whole device. */
+using Ppn = std::uint64_t;
+
+/** Sentinel for unmapped logical or physical pages. */
+inline constexpr std::uint64_t kInvalidPage =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** Host I/O request identifier (queue tag). */
+using TagId = std::uint32_t;
+
+inline constexpr TagId kInvalidTag = std::numeric_limits<TagId>::max();
+
+} // namespace spk
+
+#endif // SPK_SIM_TYPES_HH

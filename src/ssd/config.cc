@@ -1,0 +1,34 @@
+#include "ssd/config.hh"
+
+#include "sim/logging.hh"
+
+namespace spk
+{
+
+SsdConfig
+SsdConfig::withChips(std::uint32_t num_chips)
+{
+    SsdConfig cfg;
+    // Keep roughly eight chips per channel as in the paper's platform
+    // (64 chips / 8 channels ... 1024 chips / 32 channels follows the
+    // paper's scaling, which grows channels with capacity).
+    std::uint32_t channels = 8;
+    while (channels * 8 < num_chips && channels < 32)
+        channels *= 2;
+    if (num_chips < channels)
+        channels = num_chips;
+    cfg.geometry.numChannels = channels;
+    cfg.geometry.chipsPerChannel =
+        (num_chips + channels - 1) / channels;
+    return cfg;
+}
+
+void
+SsdConfig::validate() const
+{
+    geometry.validate();
+    if (faroWindow == 0)
+        fatal("SsdConfig: faroWindow must be non-zero");
+}
+
+} // namespace spk

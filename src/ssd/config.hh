@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Whole-device configuration.
+ *
+ * Defaults mirror the paper's evaluation platform (Section 5.1):
+ * ONFI 2.x channels, chips with two dies of four planes, 128 x 2 KB
+ * pages per block, 20 us reads, 200-2200 us MLC programs, NCQ-style
+ * device queue.
+ */
+
+#ifndef SPK_SSD_CONFIG_HH
+#define SPK_SSD_CONFIG_HH
+
+#include <cstdint>
+
+#include "flash/geometry.hh"
+#include "flash/timing.hh"
+#include "ftl/ftl.hh"
+#include "sched/nvmhc.hh"
+#include "sched/scheduler.hh"
+#include "sim/types.hh"
+
+namespace spk
+{
+
+/** Full device configuration. */
+struct SsdConfig
+{
+    FlashGeometry geometry;
+    FlashTiming timing;
+    FtlConfig ftl;
+    NvmhcConfig nvmhc;
+
+    /** Scheduling strategy under test. */
+    SchedulerKind scheduler = SchedulerKind::SPK3;
+
+    /** FARO over-commitment window (requests per chip). */
+    std::uint32_t faroWindow = 8;
+
+    /**
+     * Transaction-type decision window at the flash controller:
+     * commitments arriving within this window of a chip becoming
+     * ready can join the same transaction.
+     */
+    Tick decisionWindow = 3 * kMicrosecond;
+
+    /** Deterministic seed for anything stochastic inside the device. */
+    std::uint64_t seed = 1;
+
+    /** Convenience: geometry with a given chip count (stripe 1:8). */
+    static SsdConfig withChips(std::uint32_t num_chips);
+
+    /** Validate all nested configs; fatal() on error. */
+    void validate() const;
+};
+
+} // namespace spk
+
+#endif // SPK_SSD_CONFIG_HH

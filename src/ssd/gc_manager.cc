@@ -1,0 +1,127 @@
+#include "ssd/gc_manager.hh"
+
+#include "sim/logging.hh"
+
+namespace spk
+{
+
+GcManager::GcManager(EventQueue &events, const FlashGeometry &geo,
+                     std::vector<FlashController *> controllers,
+                     std::function<void()> on_all_done)
+    : events_(events),
+      geo_(geo),
+      controllers_(std::move(controllers)),
+      onAllDone_(std::move(on_all_done))
+{
+}
+
+FlashController &
+GcManager::controllerFor(std::uint32_t chip)
+{
+    return *controllers_[geo_.channelOfChip(chip)];
+}
+
+MemoryRequest *
+GcManager::issue(FlashOp op, Ppn ppn, std::uint64_t batch_id)
+{
+    auto req = std::make_unique<MemoryRequest>();
+    req->id = nextReqId_++;
+    req->tag = kInvalidTag;
+    req->op = op;
+    req->lpn = kInvalidPage;
+    req->ppn = ppn;
+    req->addr = geo_.decompose(ppn);
+    req->chip = geo_.chipOf(ppn);
+    req->translated = true;
+    req->composed = true;
+    req->isGc = true;
+    req->composedAt = events_.now();
+
+    MemoryRequest *raw = req.get();
+    owner_[raw] = batch_id;
+    requests_.push_back(std::move(req));
+    controllerFor(raw->chip).commit(raw, /*front=*/true);
+    return raw;
+}
+
+void
+GcManager::launch(std::vector<GcBatch> batches)
+{
+    for (auto &batch : batches) {
+        const std::uint64_t id = nextBatchId_++;
+        ActiveBatch active;
+        active.remainingPrograms = batch.migrations.size();
+        active.batch = std::move(batch);
+        const auto &ref =
+            active_.emplace(id, std::move(active)).first->second;
+        ++stats_.batches;
+
+        if (ref.batch.migrations.empty()) {
+            // Nothing live to move: erase right away.
+            active_.at(id).eraseIssued = true;
+            ++stats_.erases;
+            issue(FlashOp::Erase, ref.batch.victimBasePpn, id);
+            continue;
+        }
+        for (const auto &mig : ref.batch.migrations) {
+            MemoryRequest *read = issue(FlashOp::Read, mig.from, id);
+            pairedProgram_[read] = mig.to;
+            ++stats_.migrationReads;
+        }
+    }
+}
+
+void
+GcManager::onRequestFinished(MemoryRequest *req)
+{
+    const auto owner_it = owner_.find(req);
+    if (owner_it == owner_.end())
+        panic("GcManager: completion for unknown GC request");
+    const std::uint64_t id = owner_it->second;
+    owner_.erase(owner_it);
+
+    auto batch_it = active_.find(id);
+    if (batch_it == active_.end())
+        panic("GcManager: completion for retired batch");
+    ActiveBatch &batch = batch_it->second;
+
+    switch (req->op) {
+      case FlashOp::Read: {
+        const auto pair_it = pairedProgram_.find(req);
+        if (pair_it == pairedProgram_.end())
+            panic("GcManager: migration read without paired program");
+        const Ppn to = pair_it->second;
+        pairedProgram_.erase(pair_it);
+        ++stats_.migrationPrograms;
+        issue(FlashOp::Program, to, id);
+        break;
+      }
+      case FlashOp::Program:
+        if (batch.remainingPrograms == 0)
+            panic("GcManager: program count underflow");
+        --batch.remainingPrograms;
+        if (batch.remainingPrograms == 0 && !batch.eraseIssued) {
+            batch.eraseIssued = true;
+            ++stats_.erases;
+            issue(FlashOp::Erase, batch.batch.victimBasePpn, id);
+        }
+        break;
+      case FlashOp::Erase:
+        active_.erase(batch_it);
+        break;
+    }
+
+    // Reclaim the request object.
+    for (auto it = requests_.begin(); it != requests_.end(); ++it) {
+        if (it->get() == req) {
+            requests_.erase(it);
+            break;
+        }
+    }
+
+    // A chip just freed up: let the host scheduler re-poll.
+    if (onAllDone_)
+        onAllDone_();
+}
+
+} // namespace spk

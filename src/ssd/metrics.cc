@@ -1,0 +1,51 @@
+#include "ssd/metrics.hh"
+
+#include <ostream>
+#include <sstream>
+
+namespace spk
+{
+
+std::string
+MetricsSnapshot::summary() const
+{
+    std::ostringstream os;
+    os << scheduler << ": bw=" << static_cast<std::uint64_t>(bandwidthKBps)
+       << "KB/s iops=" << static_cast<std::uint64_t>(iops)
+       << " lat=" << static_cast<std::uint64_t>(avgLatencyNs / 1000.0)
+       << "us util=" << chipUtilizationPct
+       << "% txns=" << transactions;
+    return os.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const MetricsSnapshot &m)
+{
+    os << "scheduler            " << m.scheduler << '\n'
+       << "makespan (ms)        " << m.makespan / 1000000.0 << '\n'
+       << "ios completed        " << m.iosCompleted << '\n'
+       << "bandwidth (KB/s)     " << m.bandwidthKBps << '\n'
+       << "IOPS                 " << m.iops << '\n'
+       << "avg latency (us)     " << m.avgLatencyNs / 1000.0 << '\n'
+       << "latency p50/p95/p99 (us) " << m.p50LatencyNs / 1000.0 << '/'
+       << m.p95LatencyNs / 1000.0 << '/' << m.p99LatencyNs / 1000.0
+       << '\n'
+       << "read/write latency (us) " << m.avgReadLatencyNs / 1000.0
+       << '/' << m.avgWriteLatencyNs / 1000.0 << '\n'
+       << "queue stall (ms)     " << m.queueStallTime / 1000000.0 << '\n'
+       << "chip utilization (%) " << m.chipUtilizationPct << '\n'
+       << "inter-chip idle (%)  " << m.interChipIdlenessPct << '\n'
+       << "intra-chip idle (%)  " << m.intraChipIdlenessPct << '\n'
+       << "FLP % (NON/P1/P2/P3) " << m.flpPct[0] << '/' << m.flpPct[1]
+       << '/' << m.flpPct[2] << '/' << m.flpPct[3] << '\n'
+       << "transactions         " << m.transactions << '\n'
+       << "requests served      " << m.requestsServed << '\n'
+       << "exec bus/cont/cell/idle (%) " << m.execBusPct << '/'
+       << m.execContentionPct << '/' << m.execCellPct << '/'
+       << m.execIdlePct << '\n'
+       << "stale retries        " << m.staleRetries << '\n'
+       << "gc batches           " << m.gcBatches << '\n';
+    return os;
+}
+
+} // namespace spk

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Device-level metric snapshot.
+ *
+ * Collects every quantity the paper's evaluation reports: bandwidth
+ * and IOPS (Fig. 10a/b), device-level latency (10c), queue stall time
+ * (10d), inter-/intra-chip idleness (Fig. 11), execution-time
+ * breakdown (Fig. 13), FLP breakdown (Fig. 14), chip utilization
+ * (Fig. 15) and flash transaction counts (Fig. 16).
+ */
+
+#ifndef SPK_SSD_METRICS_HH
+#define SPK_SSD_METRICS_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace spk
+{
+
+/** Everything measured over one run. */
+struct MetricsSnapshot
+{
+    std::string scheduler;
+
+    Tick makespan = 0;
+    Tick deviceActiveTime = 0;
+
+    std::uint64_t iosCompleted = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+
+    double bandwidthKBps = 0.0;
+    double iops = 0.0;
+    double avgLatencyNs = 0.0;
+    Tick p50LatencyNs = 0;
+    Tick p95LatencyNs = 0;
+    Tick p99LatencyNs = 0;
+    Tick maxLatencyNs = 0;
+    double avgReadLatencyNs = 0.0;
+    double avgWriteLatencyNs = 0.0;
+    Tick queueStallTime = 0;
+
+    /** Mean over chips of R/B-busy-time / makespan, percent. */
+    double chipUtilizationPct = 0.0;
+
+    /**
+     * Flash-level utilization: plane-active time over total
+     * plane-time capacity, percent (Figure 15's y-axis). A chip
+     * serving single-plane transactions is R/B-busy but uses 1/8 of
+     * its flash internals.
+     */
+    double flashLevelUtilizationPct = 0.0;
+
+    /** Chips idle while the device had outstanding work, percent. */
+    double interChipIdlenessPct = 0.0;
+
+    /** Die/plane capacity idle inside busy chips, percent. */
+    double intraChipIdlenessPct = 0.0;
+
+    /** Memory-request share served at each FLP level, percent.
+     *  Order: NON-PAL, PAL1, PAL2, PAL3. */
+    std::array<double, 4> flpPct{};
+
+    std::uint64_t transactions = 0;
+    std::uint64_t requestsServed = 0;
+
+    /** Execution-time breakdown, percent of chip-time capacity. */
+    double execBusPct = 0.0;
+    double execContentionPct = 0.0;
+    double execCellPct = 0.0;
+    double execIdlePct = 0.0;
+
+    std::uint64_t staleRetries = 0;
+    std::uint64_t gcBatches = 0;
+    std::uint64_t pagesMigrated = 0;
+
+    /** One-line key=value summary. */
+    std::string summary() const;
+};
+
+std::ostream &operator<<(std::ostream &os, const MetricsSnapshot &m);
+
+} // namespace spk
+
+#endif // SPK_SSD_METRICS_HH

@@ -1,0 +1,281 @@
+#include "ssd/ssd.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace spk
+{
+
+Ssd::Ssd(const SsdConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
+{
+    cfg_.validate();
+    const FlashGeometry &geo = cfg_.geometry;
+
+    chips_.reserve(geo.numChips());
+    for (std::uint32_t i = 0; i < geo.numChips(); ++i)
+        chips_.push_back(std::make_unique<FlashChip>(i, geo));
+
+    channels_.reserve(geo.numChannels);
+    controllers_.reserve(geo.numChannels);
+    for (std::uint32_t c = 0; c < geo.numChannels; ++c) {
+        channels_.push_back(std::make_unique<Channel>(c));
+        std::vector<FlashChip *> channel_chips;
+        channel_chips.reserve(geo.chipsPerChannel);
+        for (std::uint32_t off = 0; off < geo.chipsPerChannel; ++off)
+            channel_chips.push_back(
+                chips_[geo.chipIndex(c, off)].get());
+        controllers_.push_back(std::make_unique<FlashController>(
+            events_, *channels_[c], std::move(channel_chips),
+            cfg_.timing, geo.pageSizeBytes, cfg_.decisionWindow,
+            [this](MemoryRequest *req) { onRequestFinished(req); }));
+    }
+
+    ftl_ = std::make_unique<Ftl>(geo, cfg_.ftl);
+
+    std::vector<FlashController *> raw_controllers;
+    raw_controllers.reserve(controllers_.size());
+    for (auto &ctrl : controllers_)
+        raw_controllers.push_back(ctrl.get());
+
+    gc_ = std::make_unique<GcManager>(events_, geo, raw_controllers,
+                                      [this] { nvmhc_->kick(); });
+
+    nvmhc_ = std::make_unique<Nvmhc>(
+        events_, geo, *ftl_, raw_controllers,
+        makeScheduler(cfg_.scheduler, cfg_.faroWindow), cfg_.nvmhc,
+        [this](const IoRequest &io) {
+            results_.push_back(IoResult{io.arrival, io.completed,
+                                        io.isWrite, io.pageCount});
+        });
+
+    nvmhc_->setAfterEnqueueHook([this] { maybeCollectGc(); });
+    nvmhc_->setReclaimHook([this] {
+        auto batches = ftl_->collectGc();
+        if (batches.empty())
+            return false;
+        gc_->launch(std::move(batches));
+        return true;
+    });
+    ftl_->setReaddressCallback([this](Lpn lpn, Ppn from, Ppn to) {
+        nvmhc_->readdress(lpn, from, to);
+    });
+}
+
+void
+Ssd::onRequestFinished(MemoryRequest *req)
+{
+    if (req->isGc)
+        gc_->onRequestFinished(req);
+    else
+        nvmhc_->onRequestFinished(req);
+}
+
+void
+Ssd::maybeCollectGc()
+{
+    // One collectGc round reclaims at most one block per needy plane;
+    // loop (bounded) until every plane regains its threshold headroom.
+    for (int round = 0; round < 64 && ftl_->gcNeeded(); ++round) {
+        auto batches = ftl_->collectGc();
+        if (batches.empty())
+            break;
+        gc_->launch(std::move(batches));
+    }
+    // Static wear leveling (disabled unless configured): one cold
+    // block per trigger keeps the overhead bounded.
+    if (ftl_->wearLevelNeeded()) {
+        auto batches = ftl_->collectWearLevel();
+        if (!batches.empty())
+            gc_->launch(std::move(batches));
+    }
+}
+
+void
+Ssd::submitAt(Tick when, bool is_write, std::uint64_t offset_bytes,
+              std::uint64_t size_bytes, bool fua)
+{
+    if (size_bytes == 0)
+        fatal("Ssd::submitAt zero-length I/O");
+    if (when < events_.now())
+        fatal("Ssd::submitAt arrival in the past");
+
+    const std::uint32_t page = cfg_.geometry.pageSizeBytes;
+    const Lpn first = offset_bytes / page;
+    const std::uint64_t last = (offset_bytes + size_bytes - 1) / page;
+    const auto pages = static_cast<std::uint32_t>(last - first + 1);
+
+    lastArrival_ = std::max(lastArrival_, when);
+    events_.schedule(when, [this, is_write, first, pages, fua, when] {
+        nvmhc_->submit(is_write, first, pages, fua, when);
+    });
+}
+
+void
+Ssd::replay(const Trace &trace)
+{
+    for (const auto &rec : trace)
+        submitAt(rec.arrival, rec.isWrite, rec.offsetBytes,
+                 rec.sizeBytes, rec.fua);
+}
+
+void
+Ssd::run()
+{
+    events_.run();
+    if (!nvmhc_->idle())
+        panic("Ssd::run finished with host I/O still outstanding");
+    if (!gc_->idle())
+        panic("Ssd::run finished with GC still outstanding");
+}
+
+void
+Ssd::preconditionForGc(double fill_fraction, double churn_fraction)
+{
+    ftl_->precondition(fill_fraction, churn_fraction, rng_);
+}
+
+MetricsSnapshot
+Ssd::metrics() const
+{
+    MetricsSnapshot m;
+    m.scheduler = schedulerKindName(cfg_.scheduler);
+    m.makespan = events_.now();
+    m.deviceActiveTime = nvmhc_->deviceActiveTime(m.makespan);
+
+    const auto &ns = nvmhc_->stats();
+    m.iosCompleted = ns.iosCompleted;
+    m.bytesRead = ns.bytesRead;
+    m.bytesWritten = ns.bytesWritten;
+    m.queueStallTime = ns.queueStallTime;
+    m.staleRetries = ns.staleRetries;
+
+    const double seconds =
+        static_cast<double>(m.makespan) / static_cast<double>(kSecond);
+    if (seconds > 0.0) {
+        m.bandwidthKBps =
+            static_cast<double>(m.bytesRead + m.bytesWritten) / 1024.0 /
+            seconds;
+        m.iops = static_cast<double>(m.iosCompleted) / seconds;
+    }
+
+    Tick lat_sum = 0;
+    Tick read_sum = 0;
+    Tick write_sum = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::vector<Tick> latencies;
+    latencies.reserve(results_.size());
+    for (const auto &res : results_) {
+        const Tick lat = res.latency();
+        lat_sum += lat;
+        latencies.push_back(lat);
+        m.maxLatencyNs = std::max(m.maxLatencyNs, lat);
+        if (res.isWrite) {
+            write_sum += lat;
+            ++writes;
+        } else {
+            read_sum += lat;
+            ++reads;
+        }
+    }
+    if (!results_.empty()) {
+        m.avgLatencyNs = static_cast<double>(lat_sum) /
+                         static_cast<double>(results_.size());
+        std::sort(latencies.begin(), latencies.end());
+        const auto quantile = [&](double q) {
+            const auto idx = static_cast<std::size_t>(
+                q * static_cast<double>(latencies.size() - 1));
+            return latencies[idx];
+        };
+        m.p50LatencyNs = quantile(0.50);
+        m.p95LatencyNs = quantile(0.95);
+        m.p99LatencyNs = quantile(0.99);
+    }
+    if (reads > 0) {
+        m.avgReadLatencyNs = static_cast<double>(read_sum) /
+                             static_cast<double>(reads);
+    }
+    if (writes > 0) {
+        m.avgWriteLatencyNs = static_cast<double>(write_sum) /
+                              static_cast<double>(writes);
+    }
+
+    // Chip occupancy metrics.
+    Tick busy_sum = 0;
+    Tick cell_sum = 0;
+    Tick plane_active_sum = 0;
+    Tick chip_bus_sum = 0;
+    std::array<std::uint64_t, 4> req_per_class{};
+    std::uint64_t txns = 0;
+    std::uint64_t reqs = 0;
+    for (const auto &chip : chips_) {
+        const auto &cs = chip->stats();
+        busy_sum += cs.busyTime;
+        cell_sum += cs.cellTime;
+        plane_active_sum += cs.planeActiveTime;
+        chip_bus_sum += cs.busTime;
+        txns += cs.transactions;
+        reqs += cs.requestsServed;
+        for (int i = 0; i < 4; ++i)
+            req_per_class[i] += cs.reqPerClass[i];
+    }
+    m.transactions = txns;
+    m.requestsServed = reqs;
+
+    const auto n_chips = static_cast<double>(chips_.size());
+    const double planes_per_chip =
+        static_cast<double>(cfg_.geometry.diesPerChip *
+                            cfg_.geometry.planesPerDie);
+    if (m.makespan > 0) {
+        m.chipUtilizationPct = 100.0 * static_cast<double>(busy_sum) /
+                               (n_chips * static_cast<double>(m.makespan));
+        m.flashLevelUtilizationPct =
+            100.0 * static_cast<double>(plane_active_sum) /
+            (n_chips * planes_per_chip *
+             static_cast<double>(m.makespan));
+    }
+    if (m.deviceActiveTime > 0) {
+        const double cap =
+            n_chips * static_cast<double>(m.deviceActiveTime);
+        const double busy =
+            std::min(static_cast<double>(busy_sum), cap);
+        m.interChipIdlenessPct = 100.0 * (1.0 - busy / cap);
+    }
+    if (busy_sum > 0) {
+        m.intraChipIdlenessPct =
+            100.0 * (1.0 - static_cast<double>(plane_active_sum) /
+                               (static_cast<double>(busy_sum) *
+                                planes_per_chip));
+    }
+    if (reqs > 0) {
+        for (int i = 0; i < 4; ++i) {
+            m.flpPct[i] = 100.0 *
+                          static_cast<double>(req_per_class[i]) /
+                          static_cast<double>(reqs);
+        }
+    }
+
+    // Execution-time breakdown over chip-time capacity.
+    Tick bus_held = 0;
+    Tick contention = 0;
+    for (const auto &channel : channels_) {
+        bus_held += channel->stats().busHeldTime;
+        contention += channel->stats().contentionTime;
+    }
+    if (m.makespan > 0) {
+        const double cap = n_chips * static_cast<double>(m.makespan);
+        m.execBusPct = 100.0 * static_cast<double>(bus_held) / cap;
+        m.execContentionPct =
+            100.0 * static_cast<double>(contention) / cap;
+        m.execCellPct = 100.0 * static_cast<double>(cell_sum) / cap;
+        m.execIdlePct = std::max(
+            0.0, 100.0 - 100.0 * static_cast<double>(busy_sum) / cap);
+    }
+
+    m.gcBatches = gc_->stats().batches;
+    m.pagesMigrated = ftl_->stats().pagesMigrated;
+    return m;
+}
+
+} // namespace spk

@@ -1,0 +1,128 @@
+#include "workload/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace spk
+{
+
+namespace
+{
+
+std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return align == 0 ? v : v - (v % align);
+}
+
+std::uint64_t
+pickSize(const std::vector<SizeBucket> &buckets, Rng &rng,
+         std::uint64_t align)
+{
+    if (buckets.empty())
+        fatal("generateSynthetic: empty size distribution");
+    double total = 0.0;
+    for (const auto &b : buckets)
+        total += b.weight;
+    double draw = rng.nextDouble() * total;
+    for (const auto &b : buckets) {
+        draw -= b.weight;
+        if (draw <= 0.0)
+            return std::max<std::uint64_t>(alignDown(b.bytes, align),
+                                           align);
+    }
+    return std::max<std::uint64_t>(alignDown(buckets.back().bytes, align),
+                                   align);
+}
+
+/** Exponential interarrival with the given mean. */
+Tick
+drawInterarrival(Rng &rng, Tick mean)
+{
+    if (mean == 0)
+        return 0;
+    const double u = std::max(rng.nextDouble(), 1e-12);
+    const double gap = -static_cast<double>(mean) * std::log(u);
+    return static_cast<Tick>(gap);
+}
+
+} // namespace
+
+Trace
+generateSynthetic(const SyntheticConfig &cfg)
+{
+    if (cfg.spanBytes < cfg.alignBytes * 4)
+        fatal("generateSynthetic: span too small");
+
+    Rng rng(cfg.seed);
+    Trace trace;
+    trace.reserve(cfg.numIos);
+
+    Tick clock = 0;
+    std::uint64_t next_read = 0;  //!< sequential continuation points
+    std::uint64_t next_write = 0;
+    std::uint64_t hot_base = 0;   //!< recent random-access anchor
+
+    for (std::uint64_t i = 0; i < cfg.numIos; ++i) {
+        TraceRecord rec;
+        rec.isWrite = !rng.nextBool(cfg.readFraction);
+        rec.sizeBytes = pickSize(rec.isWrite ? cfg.writeSizes
+                                             : cfg.readSizes,
+                                 rng, cfg.alignBytes);
+        rec.sizeBytes = std::min(rec.sizeBytes, cfg.spanBytes / 2);
+
+        const double randomness = rec.isWrite ? cfg.writeRandomness
+                                              : cfg.readRandomness;
+        std::uint64_t &seq_next = rec.isWrite ? next_write : next_read;
+
+        const std::uint64_t limit = cfg.spanBytes - rec.sizeBytes;
+        if (rng.nextBool(randomness)) {
+            if (rng.nextBool(cfg.locality)) {
+                // Clustered random access near the hot anchor.
+                const std::uint64_t window =
+                    std::min(cfg.hotWindowBytes, cfg.spanBytes / 2);
+                const std::uint64_t base = std::min(hot_base, limit);
+                const std::uint64_t off =
+                    alignDown(rng.nextBelow(window + 1), cfg.alignBytes);
+                rec.offsetBytes = std::min(base + off, limit);
+            } else {
+                rec.offsetBytes =
+                    alignDown(rng.nextBelow(limit + 1), cfg.alignBytes);
+                hot_base = rec.offsetBytes;
+            }
+        } else {
+            // Sequential continuation.
+            rec.offsetBytes = seq_next <= limit ? seq_next : 0;
+        }
+        rec.offsetBytes = alignDown(rec.offsetBytes, cfg.alignBytes);
+        seq_next = rec.offsetBytes + rec.sizeBytes;
+
+        clock += drawInterarrival(rng, cfg.meanInterarrival);
+        rec.arrival = clock;
+        trace.push_back(rec);
+    }
+    return trace;
+}
+
+Trace
+fixedSizeStream(std::uint64_t num_ios, std::uint64_t size_bytes,
+                double write_fraction, std::uint64_t span_bytes,
+                Tick interarrival, std::uint64_t seed)
+{
+    SyntheticConfig cfg;
+    cfg.numIos = num_ios;
+    cfg.readFraction = 1.0 - write_fraction;
+    cfg.readSizes = {{size_bytes, 1.0}};
+    cfg.writeSizes = {{size_bytes, 1.0}};
+    cfg.readRandomness = 1.0;
+    cfg.writeRandomness = 1.0;
+    cfg.locality = 0.0;
+    cfg.spanBytes = span_bytes;
+    cfg.meanInterarrival = interarrival;
+    cfg.seed = seed;
+    return generateSynthetic(cfg);
+}
+
+} // namespace spk

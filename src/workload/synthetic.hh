@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Synthetic trace generation.
+ *
+ * The generator is parameterised by exactly the statistics Table 1
+ * reports for the paper's sixteen data-center traces: read/write mix,
+ * request size distribution, randomness (fraction of non-sequential
+ * accesses) and transactional locality (how clustered random accesses
+ * are, which governs how often queued requests hit the same chip on
+ * different dies/planes).
+ */
+
+#ifndef SPK_WORKLOAD_SYNTHETIC_HH
+#define SPK_WORKLOAD_SYNTHETIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/types.hh"
+#include "workload/trace.hh"
+
+namespace spk
+{
+
+/** One entry of a request-size mixture. */
+struct SizeBucket
+{
+    std::uint64_t bytes = 8192;
+    double weight = 1.0;
+};
+
+/** Parameters of a synthetic trace. */
+struct SyntheticConfig
+{
+    std::uint64_t numIos = 2000;
+    double readFraction = 0.7;
+
+    std::vector<SizeBucket> readSizes{{8192, 1.0}};
+    std::vector<SizeBucket> writeSizes{{8192, 1.0}};
+
+    /** Fraction of accesses that do NOT continue the previous one. */
+    double readRandomness = 0.9;
+    double writeRandomness = 0.9;
+
+    /**
+     * Probability that a random access lands inside the hot window
+     * around a recent offset instead of anywhere in the span. High
+     * locality concentrates queued requests on few chips (high
+     * potential transactional locality).
+     */
+    double locality = 0.1;
+
+    /** Addressable span of the workload (bytes). */
+    std::uint64_t spanBytes = 1ull << 30;
+
+    /** Size of the hot window used by locality. */
+    std::uint64_t hotWindowBytes = 4ull << 20;
+
+    /** Mean of the (exponential) interarrival time. */
+    Tick meanInterarrival = 50 * kMicrosecond;
+
+    /** All offsets/sizes are aligned to this. */
+    std::uint64_t alignBytes = 2048;
+
+    std::uint64_t seed = 42;
+};
+
+/** Generate a trace from @p cfg. Deterministic in cfg.seed. */
+Trace generateSynthetic(const SyntheticConfig &cfg);
+
+/**
+ * Fixed-size request stream used by the sweep experiments
+ * (Figures 1, 15, 16, 17): @p num_ios requests of @p size_bytes,
+ * @p write_fraction writes, uniformly random offsets over
+ * @p span_bytes, arriving every @p interarrival ticks.
+ */
+Trace fixedSizeStream(std::uint64_t num_ios, std::uint64_t size_bytes,
+                      double write_fraction, std::uint64_t span_bytes,
+                      Tick interarrival, std::uint64_t seed);
+
+} // namespace spk
+
+#endif // SPK_WORKLOAD_SYNTHETIC_HH

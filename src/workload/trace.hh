@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Host I/O trace model.
+ *
+ * A trace is a time-ordered list of block-level I/O records. The
+ * paper replays sixteen public data-center traces (Table 1); this
+ * module provides the record type plus summary statistics matching
+ * Table 1's columns (transfer totals, instruction counts, randomness).
+ */
+
+#ifndef SPK_WORKLOAD_TRACE_HH
+#define SPK_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace spk
+{
+
+/** One host I/O in a trace. */
+struct TraceRecord
+{
+    Tick arrival = 0;
+    bool isWrite = false;
+    bool fua = false;
+    std::uint64_t offsetBytes = 0;
+    std::uint64_t sizeBytes = 0;
+};
+
+using Trace = std::vector<TraceRecord>;
+
+/** Table 1-style summary of a trace. */
+struct TraceSummary
+{
+    std::uint64_t readBytes = 0;
+    std::uint64_t writeBytes = 0;
+    std::uint64_t readCount = 0;
+    std::uint64_t writeCount = 0;
+    double readRandomness = 0.0;  //!< % non-sequential reads
+    double writeRandomness = 0.0; //!< % non-sequential writes
+
+    double
+    readFraction() const
+    {
+        const auto total = readCount + writeCount;
+        return total == 0
+                   ? 0.0
+                   : static_cast<double>(readCount) /
+                         static_cast<double>(total);
+    }
+};
+
+/**
+ * Compute a Table 1-style summary.
+ *
+ * Randomness counts an access as sequential when it starts exactly
+ * where the previous same-direction access ended.
+ */
+TraceSummary summarize(const Trace &trace);
+
+/** Total bytes moved by the trace. */
+std::uint64_t traceBytes(const Trace &trace);
+
+/** Highest byte offset touched plus one (address-space span). */
+std::uint64_t traceSpanBytes(const Trace &trace);
+
+} // namespace spk
+
+#endif // SPK_WORKLOAD_TRACE_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unit tests for channel bus arbitration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "controller/channel.hh"
+
+namespace spk
+{
+namespace
+{
+
+TEST(Channel, FirstAcquireGrantsImmediately)
+{
+    Channel ch(0);
+    EXPECT_EQ(ch.acquire(100, 50), 100u);
+    EXPECT_EQ(ch.busyUntil(), 150u);
+    EXPECT_EQ(ch.stats().contentionTime, 0u);
+    EXPECT_EQ(ch.stats().busHeldTime, 50u);
+}
+
+TEST(Channel, OverlappingAcquireWaits)
+{
+    Channel ch(0);
+    ch.acquire(0, 100);
+    const Tick grant = ch.acquire(30, 10);
+    EXPECT_EQ(grant, 100u);
+    EXPECT_EQ(ch.stats().contentionTime, 70u);
+    EXPECT_EQ(ch.busyUntil(), 110u);
+}
+
+TEST(Channel, DisjointAcquiresNoContention)
+{
+    Channel ch(0);
+    ch.acquire(0, 10);
+    ch.acquire(50, 10);
+    EXPECT_EQ(ch.stats().contentionTime, 0u);
+    EXPECT_EQ(ch.stats().busHeldTime, 20u);
+    EXPECT_EQ(ch.stats().grants, 2u);
+}
+
+TEST(Channel, BackToBackReservationsChain)
+{
+    Channel ch(0);
+    const Tick g1 = ch.acquire(0, 10);
+    const Tick g2 = ch.acquire(0, 10);
+    const Tick g3 = ch.acquire(0, 10);
+    EXPECT_EQ(g1, 0u);
+    EXPECT_EQ(g2, 10u);
+    EXPECT_EQ(g3, 20u);
+}
+
+TEST(Channel, ZeroDurationAcquireIsNoop)
+{
+    Channel ch(1);
+    EXPECT_EQ(ch.acquire(5, 0), 5u);
+    EXPECT_EQ(ch.busyUntil(), 5u);
+    EXPECT_EQ(ch.index(), 1u);
+}
+
+} // namespace
+} // namespace spk

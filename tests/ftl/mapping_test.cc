@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit + property tests for the page-level mapping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "ftl/mapping.hh"
+#include "sim/rng.hh"
+
+namespace spk
+{
+namespace
+{
+
+FlashGeometry
+geo()
+{
+    FlashGeometry g;
+    g.numChannels = 2;
+    g.chipsPerChannel = 2;
+    g.diesPerChip = 2;
+    g.planesPerDie = 2;
+    g.blocksPerPlane = 4;
+    g.pagesPerBlock = 8;
+    return g;
+}
+
+TEST(PageMapping, StartsUnmapped)
+{
+    PageMapping m(geo(), 100);
+    EXPECT_EQ(m.logicalPages(), 100u);
+    EXPECT_EQ(m.lookup(0), kInvalidPage);
+    EXPECT_EQ(m.reverseLookup(0), kInvalidPage);
+    EXPECT_FALSE(m.isValid(0));
+    EXPECT_EQ(m.liveCount(), 0u);
+}
+
+TEST(PageMapping, BindAndLookup)
+{
+    PageMapping m(geo(), 100);
+    EXPECT_EQ(m.bind(5, 42), kInvalidPage);
+    EXPECT_EQ(m.lookup(5), 42u);
+    EXPECT_EQ(m.reverseLookup(42), 5u);
+    EXPECT_TRUE(m.isValid(42));
+    EXPECT_EQ(m.liveCount(), 1u);
+}
+
+TEST(PageMapping, RebindInvalidatesOldCopy)
+{
+    PageMapping m(geo(), 100);
+    m.bind(5, 42);
+    EXPECT_EQ(m.bind(5, 77), 42u);
+    EXPECT_FALSE(m.isValid(42));
+    EXPECT_TRUE(m.isValid(77));
+    EXPECT_EQ(m.reverseLookup(42), kInvalidPage);
+    EXPECT_EQ(m.liveCount(), 1u);
+}
+
+TEST(PageMapping, BindToLivePageDies)
+{
+    PageMapping m(geo(), 100);
+    m.bind(1, 10);
+    EXPECT_DEATH(m.bind(2, 10), "live");
+}
+
+TEST(PageMapping, InvalidatePhysicalClearsForwardMap)
+{
+    PageMapping m(geo(), 100);
+    m.bind(3, 30);
+    m.invalidatePhysical(30);
+    EXPECT_EQ(m.lookup(3), kInvalidPage);
+    EXPECT_FALSE(m.isValid(30));
+    EXPECT_EQ(m.liveCount(), 0u);
+    // Idempotent on stale pages.
+    m.invalidatePhysical(30);
+    EXPECT_EQ(m.liveCount(), 0u);
+}
+
+TEST(PageMapping, LogicalLargerThanPhysicalDies)
+{
+    EXPECT_DEATH(PageMapping(geo(), geo().totalPages() + 1), "capacity");
+}
+
+TEST(PageMapping, OutOfRangeAccessDies)
+{
+    PageMapping m(geo(), 10);
+    EXPECT_DEATH(m.lookup(10), "out-of-range");
+    EXPECT_DEATH((void)m.isValid(geo().totalPages()), "out-of-range");
+}
+
+/** Property: mapping stays a bijection under random rebinding. */
+TEST(PageMapping, RandomRebindKeepsBijection)
+{
+    const auto g = geo();
+    PageMapping m(g, 64);
+    Rng rng(5);
+    std::unordered_map<Lpn, Ppn> shadow;
+    Ppn next_free = 0;
+
+    for (int i = 0; i < 200 && next_free < g.totalPages(); ++i) {
+        const Lpn lpn = rng.nextBelow(64);
+        const Ppn ppn = next_free++;
+        m.bind(lpn, ppn);
+        shadow[lpn] = ppn;
+    }
+    std::uint64_t live = 0;
+    for (const auto &[lpn, ppn] : shadow) {
+        EXPECT_EQ(m.lookup(lpn), ppn);
+        EXPECT_EQ(m.reverseLookup(ppn), lpn);
+        EXPECT_TRUE(m.isValid(ppn));
+        ++live;
+    }
+    EXPECT_EQ(m.liveCount(), live);
+}
+
+} // namespace
+} // namespace spk

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Device-level property sweeps: conservation, bounds and cross-metric
+ * invariants over the (scheduler x geometry x workload-seed) grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "ssd/ssd.hh"
+#include "workload/synthetic.hh"
+
+namespace spk
+{
+namespace
+{
+
+struct GridCase
+{
+    SchedulerKind kind;
+    std::uint32_t channels;
+    std::uint32_t chipsPerChannel;
+    std::uint64_t seed;
+};
+
+class DeviceProperty : public ::testing::TestWithParam<GridCase>
+{
+  protected:
+    static SsdConfig
+    config(const GridCase &gc)
+    {
+        SsdConfig cfg;
+        cfg.geometry.numChannels = gc.channels;
+        cfg.geometry.chipsPerChannel = gc.chipsPerChannel;
+        cfg.geometry.blocksPerPlane = 16;
+        cfg.geometry.pagesPerBlock = 16;
+        cfg.scheduler = gc.kind;
+        return cfg;
+    }
+
+    static Trace
+    workload(const SsdConfig &cfg, std::uint64_t seed)
+    {
+        SyntheticConfig wl;
+        wl.numIos = 150;
+        wl.readFraction = 0.6;
+        wl.readSizes = {{4096, 0.5}, {16384, 0.5}};
+        wl.writeSizes = {{8192, 1.0}};
+        wl.locality = 0.5;
+        wl.spanBytes = cfg.geometry.capacityBytes() / 4;
+        wl.meanInterarrival = 20 * kMicrosecond;
+        wl.seed = seed;
+        return generateSynthetic(wl);
+    }
+};
+
+TEST_P(DeviceProperty, ConservationAndBounds)
+{
+    const auto gc = GetParam();
+    const SsdConfig cfg = config(gc);
+    Ssd ssd(cfg);
+    const Trace trace = workload(cfg, gc.seed);
+    ssd.replay(trace);
+    ssd.run();
+
+    // Conservation: every submitted I/O completed exactly once.
+    EXPECT_EQ(ssd.results().size(), trace.size());
+    EXPECT_EQ(ssd.nvmhc().stats().iosCompleted, trace.size());
+    EXPECT_EQ(ssd.nvmhc().stats().iosSubmitted, trace.size());
+
+    // Bytes match the trace (page-rounded upward).
+    std::uint64_t min_bytes = 0;
+    for (const auto &rec : trace)
+        min_bytes += rec.sizeBytes;
+    const auto &ns = ssd.nvmhc().stats();
+    EXPECT_GE(ns.bytesRead + ns.bytesWritten, min_bytes);
+
+    const auto m = ssd.metrics();
+
+    // Percentage metrics bounded.
+    for (const double pct :
+         {m.chipUtilizationPct, m.flashLevelUtilizationPct,
+          m.interChipIdlenessPct, m.intraChipIdlenessPct}) {
+        EXPECT_GE(pct, 0.0);
+        EXPECT_LE(pct, 100.0);
+    }
+
+    // Flash-level utilization can never exceed R/B utilization.
+    EXPECT_LE(m.flashLevelUtilizationPct, m.chipUtilizationPct + 1e-9);
+
+    // FLP shares sum to 100.
+    double flp = 0.0;
+    for (const double f : m.flpPct)
+        flp += f;
+    EXPECT_NEAR(flp, 100.0, 0.1);
+
+    // Transactions <= requests served; both positive.
+    EXPECT_GT(m.transactions, 0u);
+    EXPECT_GE(m.requestsServed, m.transactions);
+
+    // Latency floor: no I/O beats a raw page read.
+    for (const auto &res : ssd.results())
+        EXPECT_GE(res.latency(), cfg.timing.readLatency / 2);
+
+    // Device active time bounded by makespan.
+    EXPECT_LE(m.deviceActiveTime, m.makespan);
+}
+
+TEST_P(DeviceProperty, DeterministicReplay)
+{
+    const auto gc = GetParam();
+    const SsdConfig cfg = config(gc);
+    const Trace trace = workload(cfg, gc.seed);
+
+    auto fingerprint = [&] {
+        Ssd ssd(cfg);
+        ssd.replay(trace);
+        ssd.run();
+        std::uint64_t fp = ssd.events().now();
+        for (const auto &res : ssd.results())
+            fp = fp * 1099511628211ull + res.completed;
+        return fp;
+    };
+    EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+std::string
+gridName(const ::testing::TestParamInfo<GridCase> &info)
+{
+    return std::string(schedulerKindName(info.param.kind)) + "_" +
+           std::to_string(info.param.channels) + "x" +
+           std::to_string(info.param.chipsPerChannel) + "_s" +
+           std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, DeviceProperty,
+    ::testing::Values(
+        GridCase{SchedulerKind::VAS, 2, 2, 1},
+        GridCase{SchedulerKind::PAS, 2, 2, 1},
+        GridCase{SchedulerKind::SPK1, 2, 2, 1},
+        GridCase{SchedulerKind::SPK2, 2, 2, 1},
+        GridCase{SchedulerKind::SPK3, 2, 2, 1},
+        GridCase{SchedulerKind::VAS, 4, 4, 2},
+        GridCase{SchedulerKind::SPK3, 4, 4, 2},
+        GridCase{SchedulerKind::PAS, 8, 2, 3},
+        GridCase{SchedulerKind::SPK3, 8, 2, 3},
+        GridCase{SchedulerKind::SPK3, 1, 1, 4},
+        GridCase{SchedulerKind::VAS, 1, 1, 4},
+        GridCase{SchedulerKind::SPK2, 1, 8, 5},
+        GridCase{SchedulerKind::SPK3, 1, 8, 5}),
+    gridName);
+
+TEST(SingleChipEquivalence, SchedulersConvergeOnOneChip)
+{
+    // On a 1-chip device there is nothing to reorder across chips:
+    // every scheduler must deliver (nearly) the same makespan.
+    SyntheticConfig wl;
+    wl.numIos = 80;
+    wl.readFraction = 0.5;
+    wl.spanBytes = 4ull << 20;
+    wl.seed = 9;
+    const Trace trace = generateSynthetic(wl);
+
+    auto makespan = [&](SchedulerKind kind) {
+        SsdConfig cfg;
+        cfg.geometry.numChannels = 1;
+        cfg.geometry.chipsPerChannel = 1;
+        cfg.geometry.blocksPerPlane = 32;
+        cfg.geometry.pagesPerBlock = 32;
+        cfg.scheduler = kind;
+        Ssd ssd(cfg);
+        ssd.replay(trace);
+        ssd.run();
+        return ssd.events().now();
+    };
+
+    // VAS and SPK2 both allow a single outstanding request per chip
+    // and so cannot coalesce: on one chip they are the same machine.
+    const Tick vas = makespan(SchedulerKind::VAS);
+    const Tick spk2 = makespan(SchedulerKind::SPK2);
+    EXPECT_EQ(vas, spk2);
+
+    // The coalescing schedulers all beat them and land close to each
+    // other (only batch-selection details differ on one chip).
+    const Tick pas = makespan(SchedulerKind::PAS);
+    const Tick spk1 = makespan(SchedulerKind::SPK1);
+    const Tick spk3 = makespan(SchedulerKind::SPK3);
+    EXPECT_LT(pas, vas);
+    EXPECT_LT(spk1, vas);
+    EXPECT_LT(spk3, vas);
+    EXPECT_LT(spk1, pas * 2);
+    EXPECT_LT(spk3, pas * 2);
+    EXPECT_GT(spk3, pas / 2);
+}
+
+} // namespace
+} // namespace spk

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Cross-scheduler behaviour tests: the qualitative claims of the
+ * paper's evaluation must hold on our simulator (who wins, and
+ * roughly why), on a locality-rich queue-saturating workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ssd/ssd.hh"
+#include "workload/synthetic.hh"
+
+namespace spk
+{
+namespace
+{
+
+SsdConfig
+config(SchedulerKind kind)
+{
+    SsdConfig cfg;
+    cfg.geometry.numChannels = 4;
+    cfg.geometry.chipsPerChannel = 4;
+    cfg.geometry.blocksPerPlane = 32;
+    cfg.geometry.pagesPerBlock = 32;
+    cfg.scheduler = kind;
+    return cfg;
+}
+
+Trace
+burstyTrace(std::uint64_t seed)
+{
+    SyntheticConfig wl;
+    wl.numIos = 400;
+    wl.readFraction = 0.7;
+    wl.readSizes = {{16384, 0.5}, {65536, 0.5}};
+    wl.writeSizes = {{16384, 1.0}};
+    wl.readRandomness = 0.9;
+    wl.writeRandomness = 0.9;
+    wl.locality = 0.7;
+    wl.spanBytes = 24ull << 20;
+    wl.meanInterarrival = 5 * kMicrosecond; // saturating
+    wl.seed = seed;
+    return generateSynthetic(wl);
+}
+
+std::map<SchedulerKind, MetricsSnapshot>
+runAll(const Trace &trace)
+{
+    std::map<SchedulerKind, MetricsSnapshot> out;
+    for (const auto kind :
+         {SchedulerKind::VAS, SchedulerKind::PAS, SchedulerKind::SPK1,
+          SchedulerKind::SPK2, SchedulerKind::SPK3}) {
+        Ssd ssd(config(kind));
+        ssd.replay(trace);
+        ssd.run();
+        out[kind] = ssd.metrics();
+    }
+    return out;
+}
+
+TEST(SchedulerComparison, Spk3BeatsVasThroughput)
+{
+    const auto m = runAll(burstyTrace(11));
+    EXPECT_GT(m.at(SchedulerKind::SPK3).bandwidthKBps,
+              m.at(SchedulerKind::VAS).bandwidthKBps * 1.2);
+}
+
+TEST(SchedulerComparison, Spk3BeatsPasThroughput)
+{
+    const auto m = runAll(burstyTrace(12));
+    EXPECT_GT(m.at(SchedulerKind::SPK3).bandwidthKBps,
+              m.at(SchedulerKind::PAS).bandwidthKBps);
+}
+
+TEST(SchedulerComparison, PasNotWorseThanVas)
+{
+    const auto m = runAll(burstyTrace(13));
+    EXPECT_GE(m.at(SchedulerKind::PAS).bandwidthKBps,
+              m.at(SchedulerKind::VAS).bandwidthKBps * 0.95);
+}
+
+TEST(SchedulerComparison, Spk3ReducesLatencyVsVas)
+{
+    const auto m = runAll(burstyTrace(14));
+    EXPECT_LT(m.at(SchedulerKind::SPK3).avgLatencyNs,
+              m.at(SchedulerKind::VAS).avgLatencyNs);
+}
+
+TEST(SchedulerComparison, Spk3ReducesQueueStall)
+{
+    const auto m = runAll(burstyTrace(15));
+    EXPECT_LE(m.at(SchedulerKind::SPK3).queueStallTime,
+              m.at(SchedulerKind::VAS).queueStallTime);
+}
+
+TEST(SchedulerComparison, RiosReducesInterChipIdleness)
+{
+    const auto m = runAll(burstyTrace(16));
+    // SPK2 (RIOS) activates chips regardless of I/O order.
+    EXPECT_LT(m.at(SchedulerKind::SPK2).interChipIdlenessPct,
+              m.at(SchedulerKind::VAS).interChipIdlenessPct);
+}
+
+TEST(SchedulerComparison, FaroImprovesIntraChipUse)
+{
+    const auto m = runAll(burstyTrace(17));
+    // SPK1 (FARO) composes high-FLP transactions: less capacity idle
+    // inside busy chips than SPK2, which never over-commits.
+    EXPECT_LT(m.at(SchedulerKind::SPK1).intraChipIdlenessPct,
+              m.at(SchedulerKind::SPK2).intraChipIdlenessPct);
+}
+
+TEST(SchedulerComparison, FaroCoalescesTransactions)
+{
+    const auto m = runAll(burstyTrace(18));
+    // Same served requests, fewer transactions than VAS.
+    EXPECT_LT(m.at(SchedulerKind::SPK3).transactions,
+              m.at(SchedulerKind::VAS).transactions);
+}
+
+TEST(SchedulerComparison, Spk3AchievesHighestFlpShare)
+{
+    const auto m = runAll(burstyTrace(19));
+    const auto multi = [](const MetricsSnapshot &s) {
+        return s.flpPct[1] + s.flpPct[2] + s.flpPct[3];
+    };
+    EXPECT_GT(multi(m.at(SchedulerKind::SPK3)),
+              multi(m.at(SchedulerKind::VAS)));
+    EXPECT_GT(multi(m.at(SchedulerKind::SPK3)),
+              multi(m.at(SchedulerKind::PAS)));
+}
+
+TEST(SchedulerComparison, Spk3BestUtilization)
+{
+    const auto m = runAll(burstyTrace(20));
+    EXPECT_GT(m.at(SchedulerKind::SPK3).chipUtilizationPct,
+              m.at(SchedulerKind::VAS).chipUtilizationPct);
+}
+
+} // namespace
+} // namespace spk

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the PAS baseline: whole-I/O out-of-order commitment
+ * with conflict avoidance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/pas.hh"
+#include "tests/sched/sched_test_util.hh"
+
+namespace spk
+{
+namespace
+{
+
+using test::SchedHarness;
+
+TEST(Pas, SkipsConflictedHeadIo)
+{
+    SchedHarness h;
+    auto *first = h.addIo({0, 0});
+    auto *second = h.addIo({2, 3});
+    h.outstanding[0] = 1;
+    PasScheduler pas;
+    // Every request of I/O #1 heads to the busy chip 0: unlike VAS,
+    // PAS skips the blocked head and starts I/O #2.
+    EXPECT_EQ(pas.next(h.ctx), second->pages[0].get());
+    (void)first;
+}
+
+TEST(Pas, SkipsBusyChipWithinIo)
+{
+    SchedHarness h;
+    auto *io = h.addIo({0, 1});
+    h.outstanding[0] = 1; // first page's chip is busy
+    PasScheduler pas;
+    // Coarse out-of-order: PAS skips the busy chip and commits the
+    // request heading to the idle one (Section 5.1).
+    EXPECT_EQ(pas.next(h.ctx), io->pages[1].get());
+}
+
+TEST(Pas, OwnIoQueueIsNotAConflict)
+{
+    SchedHarness h;
+    auto *io = h.addIo({0, 0});
+    PasScheduler pas;
+    // Per-chip flash queues: outstanding requests of the SAME I/O do
+    // not block further commitment (enables same-I/O coalescing).
+    h.ctx.outstandingOthers = [&](std::uint32_t, TagId tag) {
+        return tag == io->tag ? 0u : 1u;
+    };
+    EXPECT_EQ(pas.next(h.ctx), io->pages[0].get());
+}
+
+TEST(Pas, ContinuesStartedIoBeforeStartingNew)
+{
+    SchedHarness h;
+    auto *first = h.addIo({0, 1});
+    auto *second = h.addIo({2});
+    PasScheduler pas;
+
+    MemoryRequest *r1 = pas.next(h.ctx);
+    EXPECT_EQ(r1, first->pages[0].get());
+    h.compose(r1);
+    h.outstanding[0] = 1; // committed request now outstanding
+
+    // First I/O has begun: PAS keeps feeding it even though chip 1 of
+    // the same I/O is free and I/O #2 could also start.
+    MemoryRequest *r2 = pas.next(h.ctx);
+    EXPECT_EQ(r2, first->pages[1].get());
+    h.compose(r2);
+
+    EXPECT_EQ(pas.next(h.ctx), second->pages[0].get());
+}
+
+TEST(Pas, InOrderWhenNoConflicts)
+{
+    SchedHarness h;
+    auto *first = h.addIo({0});
+    auto *second = h.addIo({1});
+    PasScheduler pas;
+    EXPECT_EQ(pas.next(h.ctx), first->pages[0].get());
+    h.compose(first->pages[0].get());
+    EXPECT_EQ(pas.next(h.ctx), second->pages[0].get());
+}
+
+TEST(Pas, AllIosConflictedReturnsNull)
+{
+    SchedHarness h;
+    h.addIo({0});
+    h.addIo({0});
+    h.outstanding[0] = 2;
+    PasScheduler pas;
+    EXPECT_EQ(pas.next(h.ctx), nullptr);
+}
+
+TEST(Pas, HazardInsideIoFallsThroughToNextIo)
+{
+    SchedHarness h;
+    auto *first = h.addIo({0, 1});
+    auto *second = h.addIo({2});
+    h.ctx.schedulable = [&](const MemoryRequest &req) {
+        return req.tag != first->tag;
+    };
+    PasScheduler pas;
+    EXPECT_EQ(pas.next(h.ctx), second->pages[0].get());
+}
+
+TEST(Pas, NameIsPas)
+{
+    PasScheduler pas;
+    EXPECT_STREQ(pas.name(), "PAS");
+    EXPECT_FALSE(pas.wantsReaddressing());
+}
+
+} // namespace
+} // namespace spk

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Shared helpers for scheduler unit tests: build fake queues of I/O
+ * requests with hand-placed physical targets and a controllable
+ * SchedulerContext.
+ */
+
+#ifndef SPK_TESTS_SCHED_TEST_UTIL_HH
+#define SPK_TESTS_SCHED_TEST_UTIL_HH
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sched/scheduler.hh"
+
+namespace spk
+{
+namespace test
+{
+
+/** A hand-built device queue plus the context schedulers consume. */
+struct SchedHarness
+{
+    FlashGeometry geo;
+    std::deque<IoRequest *> queue;
+    std::vector<std::unique_ptr<IoRequest>> storage;
+    std::map<std::uint32_t, std::uint32_t> outstanding;
+    SchedulerContext ctx;
+    std::uint64_t nextReqId = 0;
+    TagId nextTag = 0;
+
+    SchedHarness()
+    {
+        geo.numChannels = 2;
+        geo.chipsPerChannel = 2;
+        geo.diesPerChip = 2;
+        geo.planesPerDie = 2;
+        ctx.geo = &geo;
+        ctx.queue = &queue;
+        ctx.outstanding = [this](std::uint32_t chip) {
+            const auto it = outstanding.find(chip);
+            return it == outstanding.end() ? 0u : it->second;
+        };
+        // Tests treat the `outstanding` map as foreign-I/O work, so
+        // the two views coincide unless a test overrides this.
+        ctx.outstandingOthers = [this](std::uint32_t chip, TagId) {
+            const auto it = outstanding.find(chip);
+            return it == outstanding.end() ? 0u : it->second;
+        };
+        ctx.schedulable = [](const MemoryRequest &) { return true; };
+    }
+
+    /**
+     * Add an I/O whose pages target the given chips in order. Die /
+     * plane / page are derived so that same-chip pages of one call sit
+     * on different planes with equal page offsets (coalescable).
+     */
+    IoRequest *
+    addIo(const std::vector<std::uint32_t> &chips, bool is_write = false)
+    {
+        auto io = std::make_unique<IoRequest>();
+        io->tag = nextTag++;
+        io->isWrite = is_write;
+        io->pageCount = static_cast<std::uint32_t>(chips.size());
+        io->initBitmap();
+        std::map<std::uint32_t, std::uint32_t> per_chip;
+        for (std::uint32_t i = 0; i < chips.size(); ++i) {
+            auto req = std::make_unique<MemoryRequest>();
+            req->id = nextReqId++;
+            req->tag = io->tag;
+            req->idxInIo = i;
+            req->op = is_write ? FlashOp::Program : FlashOp::Read;
+            req->lpn = nextReqId; // unique => no hazards
+            const std::uint32_t chip = chips[i];
+            const std::uint32_t slot = per_chip[chip]++;
+            req->chip = chip;
+            req->addr.channel = geo.channelOfChip(chip);
+            req->addr.chipInChannel = geo.chipOffsetOfChip(chip);
+            req->addr.die = slot / geo.planesPerDie;
+            req->addr.plane = slot % geo.planesPerDie;
+            req->addr.block = i;
+            req->addr.page = 0;
+            req->translated = true;
+            io->pages.push_back(std::move(req));
+        }
+        storage.push_back(std::move(io));
+        queue.push_back(storage.back().get());
+        return storage.back().get();
+    }
+
+    /** Mark a request composed (as the NVMHC engine would). */
+    static void
+    compose(MemoryRequest *req, std::deque<IoRequest *> &q)
+    {
+        req->composed = true;
+        for (IoRequest *io : q) {
+            if (io->tag == req->tag)
+                io->composedCount++;
+        }
+    }
+
+    void compose(MemoryRequest *req) { compose(req, queue); }
+};
+
+} // namespace test
+} // namespace spk
+
+#endif // SPK_TESTS_SCHED_TEST_UTIL_HH

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hh"
+
+namespace spk
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng rng(7);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextInRangeInclusive)
+{
+    Rng rng(11);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextInRange(3, 5);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 5u);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextBoolExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(Rng, NextBoolRoughlyFair)
+{
+    Rng rng(19);
+    int heads = 0;
+    constexpr int kDraws = 10000;
+    for (int i = 0; i < kDraws; ++i)
+        heads += rng.nextBool(0.5) ? 1 : 0;
+    EXPECT_GT(heads, kDraws * 45 / 100);
+    EXPECT_LT(heads, kDraws * 55 / 100);
+}
+
+TEST(Rng, UniformishDistribution)
+{
+    Rng rng(23);
+    int buckets[10] = {};
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i)
+        buckets[rng.nextBelow(10)]++;
+    for (const int count : buckets) {
+        EXPECT_GT(count, kDraws / 10 * 8 / 10);
+        EXPECT_LT(count, kDraws / 10 * 12 / 10);
+    }
+}
+
+} // namespace
+} // namespace spk

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Direct unit tests for the GC execution engine: per-batch
+ * read -> program -> erase sequencing against real controllers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ssd/gc_manager.hh"
+
+namespace spk
+{
+namespace
+{
+
+struct Fixture
+{
+    FlashGeometry geo;
+    EventQueue events;
+    std::vector<std::unique_ptr<Channel>> channels;
+    std::vector<std::unique_ptr<FlashChip>> chips;
+    std::vector<std::unique_ptr<FlashController>> controllers;
+    std::vector<FlashController *> raw;
+    std::unique_ptr<GcManager> gc;
+    int drainedCalls = 0;
+
+    /** Every completed request in completion order (op recorded). */
+    std::vector<FlashOp> completedOps;
+
+    Fixture()
+    {
+        geo.numChannels = 2;
+        geo.chipsPerChannel = 1;
+        geo.diesPerChip = 2;
+        geo.planesPerDie = 2;
+        geo.blocksPerPlane = 8;
+        geo.pagesPerBlock = 4;
+
+        for (std::uint32_t i = 0; i < geo.numChips(); ++i)
+            chips.push_back(std::make_unique<FlashChip>(i, geo));
+        for (std::uint32_t c = 0; c < geo.numChannels; ++c) {
+            channels.push_back(std::make_unique<Channel>(c));
+            std::vector<FlashChip *> channel_chips{
+                chips[geo.chipIndex(c, 0)].get()};
+            controllers.push_back(std::make_unique<FlashController>(
+                events, *channels[c], channel_chips, FlashTiming{},
+                geo.pageSizeBytes, 0, [this](MemoryRequest *req) {
+                    completedOps.push_back(req->op);
+                    gc->onRequestFinished(req);
+                }));
+            raw.push_back(controllers.back().get());
+        }
+        gc = std::make_unique<GcManager>(events, geo, raw,
+                                         [this] { ++drainedCalls; });
+    }
+
+    GcBatch
+    makeBatch(std::uint32_t migrations)
+    {
+        GcBatch batch;
+        batch.planeIdx = 0;
+        batch.victimBlock = 0;
+        // Victim pages in chip 0, block 0; destinations in block 1.
+        PhysAddr base{};
+        base.block = 0;
+        batch.victimBasePpn = geo.compose(base);
+        for (std::uint32_t i = 0; i < migrations; ++i) {
+            PhysAddr from = base;
+            from.page = i;
+            PhysAddr to = base;
+            to.block = 1;
+            to.page = i;
+            batch.migrations.push_back(GcMigration{
+                i, geo.compose(from), geo.compose(to)});
+        }
+        return batch;
+    }
+};
+
+TEST(GcManager, EmptyBatchGoesStraightToErase)
+{
+    Fixture f;
+    std::vector<GcBatch> batches;
+    batches.push_back(f.makeBatch(0));
+    f.gc->launch(std::move(batches));
+    EXPECT_FALSE(f.gc->idle());
+    f.events.run();
+    EXPECT_TRUE(f.gc->idle());
+    ASSERT_EQ(f.completedOps.size(), 1u);
+    EXPECT_EQ(f.completedOps[0], FlashOp::Erase);
+    EXPECT_EQ(f.gc->stats().erases, 1u);
+    EXPECT_EQ(f.gc->stats().migrationReads, 0u);
+}
+
+TEST(GcManager, MigrationsSequenceReadProgramErase)
+{
+    Fixture f;
+    std::vector<GcBatch> batches;
+    batches.push_back(f.makeBatch(3));
+    f.gc->launch(std::move(batches));
+    f.events.run();
+
+    ASSERT_EQ(f.completedOps.size(), 7u); // 3 reads + 3 programs + 1 erase
+    EXPECT_EQ(f.gc->stats().migrationReads, 3u);
+    EXPECT_EQ(f.gc->stats().migrationPrograms, 3u);
+    EXPECT_EQ(f.gc->stats().erases, 1u);
+
+    // The erase is strictly last.
+    EXPECT_EQ(f.completedOps.back(), FlashOp::Erase);
+    // No program may complete before at least one read did.
+    bool seen_read = false;
+    for (const auto op : f.completedOps) {
+        if (op == FlashOp::Read)
+            seen_read = true;
+        if (op == FlashOp::Program) {
+            EXPECT_TRUE(seen_read);
+        }
+    }
+}
+
+TEST(GcManager, MultipleBatchesRunConcurrently)
+{
+    Fixture f;
+    std::vector<GcBatch> batches;
+    batches.push_back(f.makeBatch(2));
+    // Second batch on the other chip (channel 1).
+    GcBatch other = f.makeBatch(2);
+    for (auto &mig : other.migrations) {
+        PhysAddr a = f.geo.decompose(mig.from);
+        a.channel = 1;
+        mig.from = f.geo.compose(a);
+        PhysAddr b = f.geo.decompose(mig.to);
+        b.channel = 1;
+        mig.to = f.geo.compose(b);
+    }
+    {
+        PhysAddr v = f.geo.decompose(other.victimBasePpn);
+        v.channel = 1;
+        other.victimBasePpn = f.geo.compose(v);
+    }
+    batches.push_back(std::move(other));
+
+    f.gc->launch(std::move(batches));
+    f.events.run();
+    EXPECT_TRUE(f.gc->idle());
+    EXPECT_EQ(f.gc->stats().batches, 2u);
+    EXPECT_EQ(f.gc->stats().erases, 2u);
+    EXPECT_EQ(f.completedOps.size(), 2u * (2 + 2) + 2);
+}
+
+TEST(GcManager, ProgressCallbackFiresPerCompletion)
+{
+    Fixture f;
+    std::vector<GcBatch> batches;
+    batches.push_back(f.makeBatch(2));
+    f.gc->launch(std::move(batches));
+    f.events.run();
+    // One callback per finished GC request (2R + 2P + 1E).
+    EXPECT_EQ(f.drainedCalls, 5);
+}
+
+TEST(GcManager, UnknownCompletionDies)
+{
+    Fixture f;
+    MemoryRequest bogus;
+    EXPECT_DEATH(f.gc->onRequestFinished(&bogus), "unknown");
+}
+
+} // namespace
+} // namespace spk

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Unit tests for the Table 1 workload catalogue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_traces.hh"
+
+namespace spk
+{
+namespace
+{
+
+TEST(PaperTraces, SixteenEntriesInPaperOrder)
+{
+    const auto &traces = paperTraces();
+    ASSERT_EQ(traces.size(), 16u);
+    EXPECT_STREQ(traces.front().name, "cfs0");
+    EXPECT_STREQ(traces.back().name, "proj4");
+}
+
+TEST(PaperTraces, LookupByName)
+{
+    const auto &info = paperTrace("msnfs2");
+    EXPECT_DOUBLE_EQ(info.readMB, 92772.0);
+    EXPECT_STREQ(info.locality, "High");
+    EXPECT_DEATH((void)paperTrace("nope"), "unknown");
+}
+
+TEST(PaperTraces, MeanSizesWithinClamp)
+{
+    for (const auto &info : paperTraces()) {
+        EXPECT_GE(info.avgReadBytes(), 2048u) << info.name;
+        EXPECT_LE(info.avgReadBytes(), 4u << 20) << info.name;
+        EXPECT_GE(info.avgWriteBytes(), 2048u) << info.name;
+        EXPECT_LE(info.avgWriteBytes(), 4u << 20) << info.name;
+        EXPECT_EQ(info.avgReadBytes() % 2048, 0u) << info.name;
+    }
+}
+
+TEST(PaperTraces, Proj2IsLargeIo)
+{
+    // The paper singles out proj2 as consisting of large requests:
+    // well above the ~8 KB mail-server means of the cfs workloads.
+    const auto proj2 = paperTrace("proj2").avgReadBytes();
+    EXPECT_GE(proj2, 32u << 10);
+    EXPECT_GT(proj2, paperTrace("cfs0").avgReadBytes() * 3);
+}
+
+TEST(PaperTraces, MsnfsThreeIsWriteHeavy)
+{
+    const auto cfg = paperTraceConfig(paperTrace("msnfs3"), 1000,
+                                      1ull << 30, 1);
+    EXPECT_LT(cfg.readFraction, 0.3);
+}
+
+TEST(PaperTraces, ConfigCarriesTableStatistics)
+{
+    const auto &info = paperTrace("cfs3");
+    const auto cfg = paperTraceConfig(info, 2000, 1ull << 30, 9);
+    EXPECT_EQ(cfg.numIos, 2000u);
+    EXPECT_NEAR(cfg.readRandomness, 0.9397, 1e-4);
+    EXPECT_NEAR(cfg.writeRandomness, 0.8670, 1e-4);
+    EXPECT_NEAR(cfg.locality, 0.85, 1e-9); // High
+    EXPECT_EQ(cfg.spanBytes, 1ull << 30);
+}
+
+TEST(PaperTraces, GeneratedTraceMatchesDirectionMix)
+{
+    const auto &info = paperTrace("hm0"); // write-leaning
+    const Trace t = generatePaperTrace("hm0", 3000, 1ull << 30, 4);
+    const auto s = summarize(t);
+    const double expect =
+        info.readKiloOps / (info.readKiloOps + info.writeKiloOps);
+    EXPECT_NEAR(s.readFraction(), expect, 0.05);
+}
+
+TEST(PaperTraces, LocalityClassesCoverAllRows)
+{
+    for (const auto &info : paperTraces()) {
+        const std::string cls = info.locality;
+        EXPECT_TRUE(cls == "Low" || cls == "Medium" || cls == "High")
+            << info.name;
+    }
+}
+
+} // namespace
+} // namespace spk

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Unit + property tests for the synthetic workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.hh"
+
+namespace spk
+{
+namespace
+{
+
+TEST(Synthetic, GeneratesRequestedCount)
+{
+    SyntheticConfig cfg;
+    cfg.numIos = 500;
+    const Trace t = generateSynthetic(cfg);
+    EXPECT_EQ(t.size(), 500u);
+}
+
+TEST(Synthetic, DeterministicInSeed)
+{
+    SyntheticConfig cfg;
+    cfg.numIos = 200;
+    const Trace a = generateSynthetic(cfg);
+    const Trace b = generateSynthetic(cfg);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].offsetBytes, b[i].offsetBytes);
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].isWrite, b[i].isWrite);
+    }
+    cfg.seed = 777;
+    const Trace c = generateSynthetic(cfg);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        differs |= a[i].offsetBytes != c[i].offsetBytes;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Synthetic, RespectsSpanAndAlignment)
+{
+    SyntheticConfig cfg;
+    cfg.numIos = 1000;
+    cfg.spanBytes = 1 << 24;
+    cfg.alignBytes = 2048;
+    const Trace t = generateSynthetic(cfg);
+    for (const auto &rec : t) {
+        EXPECT_LE(rec.offsetBytes + rec.sizeBytes, cfg.spanBytes);
+        EXPECT_EQ(rec.offsetBytes % 2048, 0u);
+        EXPECT_EQ(rec.sizeBytes % 2048, 0u);
+        EXPECT_GT(rec.sizeBytes, 0u);
+    }
+}
+
+TEST(Synthetic, ReadFractionApproximatelyHonoured)
+{
+    SyntheticConfig cfg;
+    cfg.numIos = 4000;
+    cfg.readFraction = 0.25;
+    const auto s = summarize(generateSynthetic(cfg));
+    EXPECT_NEAR(s.readFraction(), 0.25, 0.05);
+}
+
+TEST(Synthetic, RandomnessKnobControlsSequentiality)
+{
+    SyntheticConfig cfg;
+    cfg.numIos = 3000;
+    cfg.readFraction = 1.0;
+
+    cfg.readRandomness = 0.0;
+    const auto seq = summarize(generateSynthetic(cfg));
+    EXPECT_LT(seq.readRandomness, 5.0);
+
+    cfg.readRandomness = 1.0;
+    const auto rnd = summarize(generateSynthetic(cfg));
+    EXPECT_GT(rnd.readRandomness, 95.0);
+
+    cfg.readRandomness = 0.5;
+    const auto mid = summarize(generateSynthetic(cfg));
+    EXPECT_GT(mid.readRandomness, 35.0);
+    EXPECT_LT(mid.readRandomness, 65.0);
+}
+
+TEST(Synthetic, ArrivalsAreMonotonic)
+{
+    SyntheticConfig cfg;
+    cfg.numIos = 1000;
+    const Trace t = generateSynthetic(cfg);
+    for (std::size_t i = 1; i < t.size(); ++i)
+        EXPECT_GE(t[i].arrival, t[i - 1].arrival);
+}
+
+TEST(Synthetic, LocalityConcentratesOffsets)
+{
+    SyntheticConfig base;
+    base.numIos = 3000;
+    base.readFraction = 1.0;
+    base.readRandomness = 1.0;
+    base.spanBytes = 1ull << 32;
+    base.hotWindowBytes = 1 << 20;
+
+    base.locality = 0.0;
+    const Trace spread = generateSynthetic(base);
+    base.locality = 0.95;
+    const Trace tight = generateSynthetic(base);
+
+    // Mean distance between consecutive offsets should be much
+    // smaller with high locality.
+    auto mean_jump = [](const Trace &t) {
+        double sum = 0.0;
+        for (std::size_t i = 1; i < t.size(); ++i) {
+            const auto a = t[i - 1].offsetBytes;
+            const auto b = t[i].offsetBytes;
+            sum += static_cast<double>(a > b ? a - b : b - a);
+        }
+        return sum / static_cast<double>(t.size() - 1);
+    };
+    EXPECT_LT(mean_jump(tight), mean_jump(spread) / 4);
+}
+
+TEST(FixedSizeStream, UniformSizes)
+{
+    const Trace t = fixedSizeStream(100, 65536, 0.5, 1 << 30, 1000, 3);
+    ASSERT_EQ(t.size(), 100u);
+    for (const auto &rec : t)
+        EXPECT_EQ(rec.sizeBytes, 65536u);
+    const auto s = summarize(t);
+    EXPECT_GT(s.writeCount, 25u);
+    EXPECT_GT(s.readCount, 25u);
+}
+
+TEST(Synthetic, TinySpanDies)
+{
+    SyntheticConfig cfg;
+    cfg.spanBytes = 1024;
+    EXPECT_DEATH((void)generateSynthetic(cfg), "span");
+}
+
+/** Property sweep over the randomness x locality grid. */
+class SynthSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(SynthSweep, InvariantsHold)
+{
+    const auto [randomness, locality] = GetParam();
+    SyntheticConfig cfg;
+    cfg.numIos = 800;
+    cfg.readRandomness = randomness;
+    cfg.writeRandomness = randomness;
+    cfg.locality = locality;
+    const Trace t = generateSynthetic(cfg);
+    EXPECT_EQ(t.size(), 800u);
+    for (const auto &rec : t) {
+        EXPECT_LE(rec.offsetBytes + rec.sizeBytes, cfg.spanBytes);
+        EXPECT_EQ(rec.offsetBytes % cfg.alignBytes, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SynthSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.3, 0.7, 1.0),
+                       ::testing::Values(0.0, 0.5, 0.9)));
+
+} // namespace
+} // namespace spk
