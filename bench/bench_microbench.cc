@@ -1,12 +1,25 @@
 /**
  * @file
- * Simulator micro-benchmarks on google-benchmark: hot paths of the
- * event kernel, address arithmetic, scheduler decision loops and a
- * full small-device run. These track the cost of simulating, not the
- * simulated performance.
+ * Simulator micro-benchmarks: hot paths of the event kernel, address
+ * arithmetic, and a full small-device run. These track the cost of
+ * simulating, not the simulated performance.
+ *
+ * Self-contained harness (no external benchmark dependency): each
+ * benchmark reports wall-clock throughput and the number of heap
+ * allocations inside its measurement window (counting operator new
+ * from bench_util.hh), prints a table, and emits machine-readable
+ * BENCH_microbench.json so successive PRs can track the perf
+ * trajectory.
  */
 
-#include <benchmark/benchmark.h>
+#define SPK_BENCH_COUNT_ALLOCS
+#include "bench/bench_util.hh"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
@@ -18,21 +31,110 @@ namespace
 
 using namespace spk;
 
-void
-BM_EventQueueScheduleDispatch(benchmark::State &state)
+struct Result
 {
-    for (auto _ : state) {
-        EventQueue q;
-        for (int i = 0; i < 1000; ++i)
-            q.schedule(static_cast<Tick>(i), [] {});
-        q.run();
-        benchmark::DoNotOptimize(q.dispatched());
-    }
-}
-BENCHMARK(BM_EventQueueScheduleDispatch);
+    std::string name;
+    std::string unit;   //!< what "rate" counts per second
+    double rate = 0.0;
+    std::uint64_t items = 0;
+    double seconds = 0.0;
+    std::uint64_t allocs = 0; //!< heap allocations in the window
+};
 
-void
-BM_GeometryDecompose(benchmark::State &state)
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/**
+ * Event-loop microbenchmark, fill/drain shape: schedule a batch of
+ * capture-light events, dispatch them all, repeat. This is the
+ * canonical event-kernel cost probe tracked across PRs.
+ */
+Result
+benchEventLoopBatch()
+{
+    constexpr int kBatch = 1000;
+    constexpr int kReps = 4000;
+    std::uint64_t fired = 0;
+
+    const auto run_once = [&](EventQueue &q) {
+        for (int i = 0; i < kBatch; ++i)
+            q.scheduleAfter(static_cast<Tick>(i % 97),
+                            [&fired] { ++fired; });
+        q.run();
+    };
+
+    // Warm-up pass grows the pool and heap vector to high water.
+    EventQueue q;
+    run_once(q);
+
+    bench::AllocWindow window;
+    const auto t0 = Clock::now();
+    for (int rep = 0; rep < kReps; ++rep)
+        run_once(q);
+    const double sec = secondsSince(t0);
+    const std::uint64_t allocs = window.count();
+
+    Result r;
+    r.name = "event_loop_batch";
+    r.unit = "events/sec";
+    r.items = static_cast<std::uint64_t>(kBatch) * kReps;
+    r.seconds = sec;
+    r.rate = static_cast<double>(r.items) / sec;
+    r.allocs = allocs;
+    return r;
+}
+
+/**
+ * Event-loop microbenchmark, steady-state shape: many
+ * self-rescheduling chains, mimicking the composition/transaction
+ * event traffic of a busy device. Zero allocations expected.
+ */
+Result
+benchEventLoopSteadyState()
+{
+    constexpr std::uint64_t kTotal = 4'000'000;
+    EventQueue q;
+    std::uint64_t count = 0;
+
+    struct Chain
+    {
+        EventQueue *q;
+        std::uint64_t *count;
+        int i;
+        void
+        operator()() const
+        {
+            if (++*count < kTotal)
+                q->scheduleAfter(1 + (i % 7), *this);
+        }
+    };
+    for (int i = 0; i < 256; ++i)
+        q.schedule(i % 13, Chain{&q, &count, i});
+    q.run(20'000); // warm up pool + heap storage
+
+    bench::AllocWindow window;
+    const auto t0 = Clock::now();
+    q.run();
+    const double sec = secondsSince(t0);
+    const std::uint64_t allocs = window.count();
+
+    Result r;
+    r.name = "event_loop_steady_state";
+    r.unit = "events/sec";
+    r.items = count;
+    r.seconds = sec;
+    r.rate = static_cast<double>(count) / sec;
+    r.allocs = allocs;
+    return r;
+}
+
+Result
+benchGeometryDecompose()
 {
     FlashGeometry geo;
     geo.numChannels = 16;
@@ -41,32 +143,45 @@ BM_GeometryDecompose(benchmark::State &state)
     std::vector<Ppn> ppns;
     for (int i = 0; i < 1024; ++i)
         ppns.push_back(rng.nextBelow(geo.totalPages()));
-    for (auto _ : state) {
+
+    constexpr int kReps = 20'000;
+    std::uint64_t acc = 0;
+    bench::AllocWindow window;
+    const auto t0 = Clock::now();
+    for (int rep = 0; rep < kReps; ++rep) {
         for (const auto ppn : ppns)
-            benchmark::DoNotOptimize(geo.decompose(ppn));
+            acc += geo.decompose(ppn).die;
     }
-}
-BENCHMARK(BM_GeometryDecompose);
+    const double sec = secondsSince(t0);
+    const std::uint64_t allocs = window.count();
+    if (acc == 0xdeadbeef) // defeat dead-code elimination
+        std::printf("impossible\n");
 
-void
-BM_RngNext(benchmark::State &state)
-{
-    Rng rng(7);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(rng.next());
+    Result r;
+    r.name = "geometry_decompose";
+    r.unit = "decomposes/sec";
+    r.items = static_cast<std::uint64_t>(kReps) * ppns.size();
+    r.seconds = sec;
+    r.rate = static_cast<double>(r.items) / sec;
+    r.allocs = allocs;
+    return r;
 }
-BENCHMARK(BM_RngNext);
 
-void
-BM_FullDeviceRun(benchmark::State &state)
+/** Full small-device run; rate counts dispatched simulator events. */
+Result
+benchFullDeviceRun(SchedulerKind kind)
 {
-    const auto kind = static_cast<SchedulerKind>(state.range(0));
     SyntheticConfig wl;
-    wl.numIos = 200;
+    wl.numIos = 400;
     wl.spanBytes = 8ull << 20;
     wl.seed = 3;
     const Trace trace = generateSynthetic(wl);
-    for (auto _ : state) {
+
+    constexpr int kReps = 5;
+    std::uint64_t events = 0;
+    bench::AllocWindow window;
+    const auto t0 = Clock::now();
+    for (int rep = 0; rep < kReps; ++rep) {
         SsdConfig cfg;
         cfg.geometry.numChannels = 4;
         cfg.geometry.chipsPerChannel = 4;
@@ -76,26 +191,67 @@ BM_FullDeviceRun(benchmark::State &state)
         Ssd ssd(cfg);
         ssd.replay(trace);
         ssd.run();
-        benchmark::DoNotOptimize(ssd.results().size());
+        events += ssd.events().dispatched();
     }
+    const double sec = secondsSince(t0);
+    const std::uint64_t allocs = window.count();
+
+    Result r;
+    r.name = std::string("full_device_run_") + schedulerKindName(kind);
+    r.unit = "sim-events/sec";
+    r.items = events;
+    r.seconds = sec;
+    r.rate = static_cast<double>(events) / sec;
+    r.allocs = allocs;
+    return r;
 }
-BENCHMARK(BM_FullDeviceRun)
-    ->Arg(static_cast<int>(SchedulerKind::VAS))
-    ->Arg(static_cast<int>(SchedulerKind::PAS))
-    ->Arg(static_cast<int>(SchedulerKind::SPK3))
-    ->Unit(benchmark::kMillisecond);
 
 void
-BM_SyntheticGeneration(benchmark::State &state)
+writeJson(const std::vector<Result> &results, const char *path)
 {
-    SyntheticConfig wl;
-    wl.numIos = static_cast<std::uint64_t>(state.range(0));
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(generateSynthetic(wl));
+    std::FILE *f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        return;
     }
+    std::fprintf(f, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"unit\": \"%s\", "
+                     "\"rate\": %.6g, \"items\": %llu, "
+                     "\"seconds\": %.6g, \"allocs\": %llu}%s\n",
+                     r.name.c_str(), r.unit.c_str(), r.rate,
+                     static_cast<unsigned long long>(r.items), r.seconds,
+                     static_cast<unsigned long long>(r.allocs),
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
 }
-BENCHMARK(BM_SyntheticGeneration)->Arg(1000)->Arg(10000);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main()
+{
+    std::vector<Result> results;
+    results.push_back(benchEventLoopBatch());
+    results.push_back(benchEventLoopSteadyState());
+    results.push_back(benchGeometryDecompose());
+    results.push_back(benchFullDeviceRun(SchedulerKind::VAS));
+    results.push_back(benchFullDeviceRun(SchedulerKind::PAS));
+    results.push_back(benchFullDeviceRun(SchedulerKind::SPK3));
+
+    std::printf("%-28s %14s %18s %12s\n", "benchmark", "rate", "unit",
+                "allocs");
+    for (const auto &r : results) {
+        std::printf("%-28s %14.4g %18s %12llu\n", r.name.c_str(), r.rate,
+                    r.unit.c_str(),
+                    static_cast<unsigned long long>(r.allocs));
+    }
+
+    writeJson(results, "BENCH_microbench.json");
+    std::printf("\nwrote BENCH_microbench.json\n");
+    return 0;
+}

@@ -37,7 +37,11 @@ FlashController::commit(MemoryRequest *req, bool front)
 
     req->committedAt = events_.now();
     auto &chip_state = state_[offset];
-    chip_state.perTag[req->tag]++;
+    const std::size_t slot = tagSlot(req->tag);
+    if (slot >= chip_state.perTag.size())
+        chip_state.perTag.resize(slot + 1, 0);
+    chip_state.perTag[slot]++;
+    chip_state.tagTotal++;
     if (front)
         chip_state.pending.push_front(req);
     else
@@ -62,13 +66,13 @@ std::uint32_t
 FlashController::outstandingOthers(std::uint32_t chip_offset,
                                    TagId tag) const
 {
+    // Every outstanding request is accounted in perTag and tagTotal,
+    // so the foreign-I/O count is one subtraction.
     const auto &cs = state_.at(chip_offset);
-    std::uint32_t total = 0;
-    for (const auto &[owner, count] : cs.perTag) {
-        if (owner != tag)
-            total += count;
-    }
-    return total;
+    const std::size_t slot = tagSlot(tag);
+    const std::uint32_t mine =
+        slot < cs.perTag.size() ? cs.perTag[slot] : 0;
+    return cs.tagTotal - mine;
 }
 
 bool
@@ -160,26 +164,9 @@ FlashController::tryLaunch(std::uint32_t chip_offset)
     if (txn.size() > 1)
         stats_.coalescedRequests += txn.size();
 
-    std::vector<MemoryRequest *> reqs = txn.requests();
-    for (auto *req : reqs)
+    cs.executing.assign(txn.requests().begin(), txn.requests().end());
+    for (auto *req : cs.executing)
         req->startedAt = start;
-
-    const auto finish = [this, chip_offset, reqs](Tick end) {
-        auto &chip_state = state_[chip_offset];
-        chip_state.inFlight -=
-            static_cast<std::uint32_t>(reqs.size());
-        for (auto *req : reqs) {
-            auto tag_it = chip_state.perTag.find(req->tag);
-            if (tag_it != chip_state.perTag.end() &&
-                --tag_it->second == 0) {
-                chip_state.perTag.erase(tag_it);
-            }
-            req->finishedAt = end;
-            onComplete_(req);
-        }
-        // More pending work? Start the next decision window.
-        armLaunch(chip_offset);
-    };
 
     if (plan.dataOutPhase > 0) {
         // Phase 2 (reads): arbitrate for the bus when the cells are
@@ -187,22 +174,42 @@ FlashController::tryLaunch(std::uint32_t chip_offset)
         // during our tR (channel pipelining).
         const Tick data_out = plan.dataOutPhase;
         FlashChip *chip_ptr = chip;
-        events_.schedule(cell_end_abs,
-                         [this, chip_ptr, data_out, finish] {
-                             const Tick out_start = channel_.acquire(
-                                 events_.now(), data_out);
-                             const Tick end = out_start + data_out;
-                             chip_ptr->extendBusy(end);
-                             events_.schedule(end,
-                                              [finish, end] {
-                                                  finish(end);
-                                              });
-                         });
+        events_.schedule(
+            cell_end_abs, [this, chip_ptr, chip_offset, data_out] {
+                const Tick out_start =
+                    channel_.acquire(events_.now(), data_out);
+                const Tick end = out_start + data_out;
+                chip_ptr->extendBusy(end);
+                events_.schedule(end, [this, chip_offset, end] {
+                    finishTransaction(chip_offset, end);
+                });
+            });
     } else {
-        events_.schedule(provisional_end, [finish, provisional_end] {
-            finish(provisional_end);
-        });
+        events_.schedule(provisional_end,
+                         [this, chip_offset, provisional_end] {
+                             finishTransaction(chip_offset,
+                                               provisional_end);
+                         });
     }
+}
+
+void
+FlashController::finishTransaction(std::uint32_t chip_offset, Tick end)
+{
+    auto &cs = state_[chip_offset];
+    cs.inFlight -= static_cast<std::uint32_t>(cs.executing.size());
+    for (auto *req : cs.executing) {
+        const std::size_t slot = tagSlot(req->tag);
+        if (slot < cs.perTag.size() && cs.perTag[slot] > 0) {
+            cs.perTag[slot]--;
+            cs.tagTotal--;
+        }
+        req->finishedAt = end;
+        onComplete_(req);
+    }
+    cs.executing.clear();
+    // More pending work? Start the next decision window.
+    armLaunch(chip_offset);
 }
 
 } // namespace spk

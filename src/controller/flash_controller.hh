@@ -16,7 +16,6 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "controller/channel.hh"
@@ -101,8 +100,21 @@ class FlashController
         std::deque<MemoryRequest *> pending;
         std::uint32_t inFlight = 0;
         bool launchScheduled = false;
-        /** Outstanding request count per owning I/O tag. */
-        std::unordered_map<TagId, std::uint32_t> perTag;
+        /**
+         * Outstanding request count per owning I/O tag, flat-indexed
+         * by tagSlot(). Tags recycle within the NVMHC queue depth, so
+         * the vector reaches a small steady-state size and stays there.
+         */
+        std::vector<std::uint32_t> perTag;
+        /**
+         * Running sum of perTag. Decremented request-by-request during
+         * transaction completion (inFlight drops transaction-at-once),
+         * so mid-completion scheduler queries see each request leave
+         * individually.
+         */
+        std::uint32_t tagTotal = 0;
+        /** Requests of the in-flight transaction (reused storage). */
+        std::vector<MemoryRequest *> executing;
     };
 
     /** Arm the decision-window timer for a chip if useful. */
@@ -110,6 +122,9 @@ class FlashController
 
     /** Build and execute one transaction on a ready chip. */
     void tryLaunch(std::uint32_t chip_offset);
+
+    /** The in-flight transaction on @p chip_offset completed. */
+    void finishTransaction(std::uint32_t chip_offset, Tick end);
 
     EventQueue &events_;
     Channel &channel_;

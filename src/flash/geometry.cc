@@ -61,6 +61,10 @@ FlashGeometry::validate() const
         pageSizeBytes == 0) {
         fatal("FlashGeometry: all dimensions must be non-zero");
     }
+    if (diesPerChip > kMaxDiesPerChip)
+        fatal("FlashGeometry: diesPerChip exceeds kMaxDiesPerChip");
+    if (planesPerDie > kMaxPlanesPerDie)
+        fatal("FlashGeometry: planesPerDie exceeds kMaxPlanesPerDie");
 }
 
 std::string

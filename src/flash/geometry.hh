@@ -19,6 +19,19 @@
 namespace spk
 {
 
+/**
+ * Hard geometry ceilings, enforced by FlashGeometry::validate().
+ *
+ * Transaction classification, timing plans and coalesced request sets
+ * are sized by these at compile time so the flash hot paths run on
+ * fixed-size arrays instead of per-call associative containers.
+ */
+inline constexpr std::uint32_t kMaxDiesPerChip = 32;
+inline constexpr std::uint32_t kMaxPlanesPerDie = 32;
+/** Max requests one transaction can coalesce: one per (die, plane). */
+inline constexpr std::uint32_t kMaxTxnRequests =
+    kMaxDiesPerChip * kMaxPlanesPerDie;
+
 /** Decomposed physical flash address. */
 struct PhysAddr
 {

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <bit>
-#include <map>
 
 #include "sim/logging.hh"
 
@@ -58,14 +57,19 @@ FlashTransaction::dieCount() const
 FlpClass
 FlashTransaction::classify() const
 {
-    // planeUse[d] = set of planes addressed in die d.
-    std::map<std::uint32_t, std::uint32_t> plane_use;
-    for (const auto *req : requests_)
+    // plane_use[d] = set of planes addressed in die d; die_mask = set
+    // of dies addressed. Fixed-size: die indices are bounded by
+    // kMaxDiesPerChip (geometry validate()).
+    std::array<std::uint32_t, kMaxDiesPerChip> plane_use{};
+    std::uint32_t die_mask = 0;
+    for (const auto *req : requests_) {
         plane_use[req->addr.die] |= 1u << req->addr.plane;
+        die_mask |= 1u << req->addr.die;
+    }
 
-    const bool multi_die = plane_use.size() > 1;
+    const bool multi_die = std::popcount(die_mask) > 1;
     bool multi_plane = false;
-    for (const auto &[die, mask] : plane_use) {
+    for (const auto mask : plane_use) {
         if (std::popcount(mask) > 1)
             multi_plane = true;
     }
@@ -86,11 +90,15 @@ FlashTransaction::valid() const
         return false;
 
     // (die, plane) uniqueness and the same-page multiplane rule.
-    std::map<std::uint32_t, std::uint32_t> plane_use;
-    std::map<std::uint32_t, std::uint32_t> die_page;
+    std::array<std::uint32_t, kMaxDiesPerChip> plane_use{};
+    std::array<std::uint32_t, kMaxDiesPerChip> die_page{};
     for (const auto *req : requests_) {
         if (!req->translated || req->chip != chip_ || req->op != op_)
             return false;
+        if (req->addr.die >= kMaxDiesPerChip ||
+            req->addr.plane >= kMaxPlanesPerDie) {
+            return false;
+        }
         const std::uint32_t plane_bit = 1u << req->addr.plane;
         auto &mask = plane_use[req->addr.die];
         if (mask & plane_bit)
@@ -132,14 +140,16 @@ FlashTransaction::plan(const FlashTiming &timing,
 
     TransactionPlan out;
 
-    // Group requests per die, preserving insertion order of dies.
-    std::vector<std::uint32_t> die_order;
-    std::array<std::vector<const MemoryRequest *>, 32> per_die;
+    // Dies in insertion order of their first request; requests stay in
+    // insertion order within each die (filtered scan below).
+    StaticVec<std::uint32_t, kMaxDiesPerChip> die_order;
+    std::uint32_t seen_mask = 0;
     for (const auto *req : requests_) {
-        auto &vec = per_die[req->addr.die];
-        if (vec.empty())
+        const std::uint32_t bit = 1u << req->addr.die;
+        if (!(seen_mask & bit)) {
+            seen_mask |= bit;
             die_order.push_back(req->addr.die);
-        vec.push_back(req);
+        }
     }
 
     // Phase 1: one channel hold covering commands/addresses for every
@@ -148,19 +158,21 @@ FlashTransaction::plan(const FlashTiming &timing,
     Tick cursor = 0;
     std::uint32_t planes_touched = 0;
     for (const auto die : die_order) {
-        const auto &group = per_die[die];
-        for (const auto *req : group) {
-            cursor += timing.commandOverhead;
-            if (op_ == FlashOp::Program)
-                cursor += timing.transferTime(page_bytes);
-            (void)req;
-        }
-
         CellPhase cell;
         cell.die = die;
-        cell.start = cursor;
-        for (const auto *req : group)
+        Tick cell_duration = 0;
+        for (const auto *req : requests_) {
+            if (req->addr.die != die)
+                continue;
+            cursor += timing.commandOverhead;
+            if (op_ == FlashOp::Program) {
+                cursor += timing.transferTime(page_bytes);
+                cell_duration = std::max(
+                    cell_duration, timing.programLatency(req->addr.page));
+            }
             cell.planeMask |= 1u << req->addr.plane;
+        }
+        cell.start = cursor;
         planes_touched +=
             static_cast<std::uint32_t>(std::popcount(cell.planeMask));
 
@@ -170,11 +182,7 @@ FlashTransaction::plan(const FlashTiming &timing,
             break;
           case FlashOp::Program:
             // Multiplane program completes when the slowest page does.
-            cell.duration = 0;
-            for (const auto *req : group) {
-                cell.duration = std::max(
-                    cell.duration, timing.programLatency(req->addr.page));
-            }
+            cell.duration = cell_duration;
             break;
           case FlashOp::Erase:
             cell.duration = timing.eraseLatency;

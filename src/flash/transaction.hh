@@ -17,10 +17,10 @@
 #define SPK_FLASH_TRANSACTION_HH
 
 #include <cstdint>
-#include <vector>
 
 #include "flash/mem_request.hh"
 #include "flash/timing.hh"
+#include "sim/static_vec.hh"
 #include "sim/types.hh"
 
 namespace spk
@@ -52,7 +52,7 @@ struct CellPhase
 struct TransactionPlan
 {
     Tick cmdPhase = 0;
-    std::vector<CellPhase> cells;
+    StaticVec<CellPhase, kMaxDiesPerChip> cells; //!< one per active die
     Tick cellEnd = 0;      //!< relative end of the latest cell phase
     Tick dataOutPhase = 0; //!< 0 for programs and erases
     std::uint32_t planesTouched = 0;
@@ -72,6 +72,8 @@ struct TransactionPlan
 class FlashTransaction
 {
   public:
+    using RequestSet = StaticVec<MemoryRequest *, kMaxTxnRequests>;
+
     FlashTransaction(FlashOp op, std::uint32_t chip)
         : op_(op), chip_(chip)
     {}
@@ -82,10 +84,7 @@ class FlashTransaction
     /** Append a request. Caller guarantees compatibility. */
     void add(MemoryRequest *req) { requests_.push_back(req); }
 
-    const std::vector<MemoryRequest *> &requests() const
-    {
-        return requests_;
-    }
+    const RequestSet &requests() const { return requests_; }
 
     std::size_t size() const { return requests_.size(); }
     bool empty() const { return requests_.empty(); }
@@ -113,7 +112,7 @@ class FlashTransaction
   private:
     FlashOp op_;
     std::uint32_t chip_;
-    std::vector<MemoryRequest *> requests_;
+    RequestSet requests_;
 };
 
 /**

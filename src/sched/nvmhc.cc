@@ -26,23 +26,41 @@ Nvmhc::Nvmhc(EventQueue &events, const FlashGeometry &geo, Ftl &ftl,
 
     ctx_.geo = &geo_;
     ctx_.queue = &queue_;
-    ctx_.outstanding = [this](std::uint32_t chip) {
-        return controllers_[geo_.channelOfChip(chip)]->outstanding(
-            geo_.chipOffsetOfChip(chip));
-    };
-    ctx_.outstandingOthers = [this](std::uint32_t chip, TagId tag) {
-        return controllers_[geo_.channelOfChip(chip)]->outstandingOthers(
-            geo_.chipOffsetOfChip(chip), tag);
-    };
-    ctx_.schedulable = [this](const MemoryRequest &req) {
-        return hazardFree(req);
-    };
+    ctx_.view = this;
+
+    // Flat NCQ slot table: tag ids are recycled within [0, queueDepth)
+    // so per-tag state everywhere can be a vector, not a map.
+    slots_.resize(cfg_.queueDepth);
+    freeTags_.reserve(cfg_.queueDepth);
+    for (TagId tag = cfg_.queueDepth; tag > 0; --tag)
+        freeTags_.push_back(tag - 1);
+
+    // Flat per-chip lookup tables so a scheduler poll is two loads.
+    const std::uint32_t n_chips = geo_.numChips();
+    ctrlByChip_.reserve(n_chips);
+    offsetByChip_.reserve(n_chips);
+    for (std::uint32_t chip = 0; chip < n_chips; ++chip) {
+        ctrlByChip_.push_back(controllers_[geo_.channelOfChip(chip)]);
+        offsetByChip_.push_back(geo_.chipOffsetOfChip(chip));
+    }
+}
+
+std::uint32_t
+Nvmhc::outstanding(std::uint32_t chip) const
+{
+    return ctrlByChip_[chip]->outstanding(offsetByChip_[chip]);
+}
+
+std::uint32_t
+Nvmhc::outstandingOthers(std::uint32_t chip, TagId tag) const
+{
+    return ctrlByChip_[chip]->outstandingOthers(offsetByChip_[chip], tag);
 }
 
 FlashController &
 Nvmhc::controllerFor(std::uint32_t chip)
 {
-    return *controllers_[geo_.channelOfChip(chip)];
+    return *ctrlByChip_[chip];
 }
 
 void
@@ -102,8 +120,11 @@ void
 Nvmhc::enqueue(const PendingSubmission &sub)
 {
     const Tick now = events_.now();
+    if (freeTags_.empty())
+        panic("Nvmhc::enqueue no free tag despite queue-depth gate");
     auto io = std::make_unique<IoRequest>();
-    io->tag = nextTag_++;
+    io->tag = freeTags_.back();
+    freeTags_.pop_back();
     io->isWrite = sub.isWrite;
     io->fua = sub.fua;
     io->firstLpn = sub.firstLpn;
@@ -128,7 +149,7 @@ Nvmhc::enqueue(const PendingSubmission &sub)
     }
 
     IoRequest *raw = io.get();
-    slots_.emplace(raw->tag, std::move(io));
+    slots_[raw->tag] = std::move(io);
     queue_.push_back(raw);
     sched_->onEnqueue(*raw);
     if (afterEnqueue_)
@@ -207,10 +228,9 @@ Nvmhc::composeDone(MemoryRequest *req)
     req->composedAt = events_.now();
     ++stats_.requestsComposed;
 
-    auto it = slots_.find(req->tag);
-    if (it == slots_.end())
+    if (req->tag >= slots_.size() || slots_[req->tag] == nullptr)
         panic("Nvmhc::composeDone orphan request");
-    it->second->composedCount++;
+    slots_[req->tag]->composedCount++;
     sched_->onComposed(*req);
 
     controllerFor(req->chip).commit(req);
@@ -222,10 +242,9 @@ void
 Nvmhc::onRequestFinished(MemoryRequest *req)
 {
     const Tick now = events_.now();
-    auto slot = slots_.find(req->tag);
-    if (slot == slots_.end())
+    if (req->tag >= slots_.size() || slots_[req->tag] == nullptr)
         panic("Nvmhc::onRequestFinished orphan request");
-    IoRequest *io = slot->second.get();
+    IoRequest *io = slots_[req->tag].get();
 
     // Stale read: live-data migration moved the page while the request
     // was in flight (or, without a readdressing callback, while it sat
@@ -273,7 +292,9 @@ Nvmhc::onRequestFinished(MemoryRequest *req)
         if (qit == queue_.end())
             panic("Nvmhc: completed I/O missing from queue");
         queue_.erase(qit);
-        slots_.erase(slot); // frees the IoRequest and its pages
+        const TagId tag = io->tag;
+        slots_[tag].reset(); // frees the IoRequest and its pages
+        freeTags_.push_back(tag);
 
         admitWaiting();
         if (outstandingIos() == 0)

@@ -65,8 +65,12 @@ struct NvmhcStats
  * The composition engine serializes memory-request composition; which
  * request it composes next is the scheduler's decision (this is where
  * VAS / PAS / Sprinkler differ).
+ *
+ * The NVMHC is the SchedulerView: outstanding counts come from flat
+ * per-chip controller lookup tables and the controllers' incremental
+ * counters, so a scheduler poll never allocates or walks a map.
  */
-class Nvmhc
+class Nvmhc : private SchedulerView
 {
   public:
     using IoCompleteFn = std::function<void(const IoRequest &)>;
@@ -136,6 +140,15 @@ class Nvmhc
     }
 
   private:
+    // SchedulerView: flat-indexed, allocation-free device queries.
+    std::uint32_t outstanding(std::uint32_t chip) const override;
+    std::uint32_t outstandingOthers(std::uint32_t chip,
+                                    TagId tag) const override;
+    bool schedulable(const MemoryRequest &req) const override
+    {
+        return hazardFree(req);
+    }
+
     struct PendingSubmission
     {
         bool isWrite = false;
@@ -175,11 +188,17 @@ class Nvmhc
     std::function<void()> afterEnqueue_;
     std::function<bool()> reclaim_;
 
-    std::unordered_map<TagId, std::unique_ptr<IoRequest>> slots_;
+    /** Flat NCQ slot table indexed by tag; size == queueDepth. */
+    std::vector<std::unique_ptr<IoRequest>> slots_;
+    /** Recycled tag ids (LIFO); tags stay in [0, queueDepth). */
+    std::vector<TagId> freeTags_;
     std::deque<IoRequest *> queue_; //!< arrival order, live entries
     std::deque<PendingSubmission> waiting_;
-    TagId nextTag_ = 0;
     std::uint64_t nextReqId_ = 0;
+
+    /** Per-global-chip controller / chip-offset lookup tables. */
+    std::vector<FlashController *> ctrlByChip_;
+    std::vector<std::uint32_t> offsetByChip_;
 
     /** Per-LPN pending requests, oldest first (hazard ordering). */
     std::unordered_map<Lpn, std::deque<MemoryRequest *>> lpnChain_;

@@ -23,9 +23,9 @@ PasScheduler::next(SchedulerContext &ctx)
             MemoryRequest *req = page.get();
             if (req->composed)
                 continue;
-            if (!ctx.schedulable(*req))
+            if (!ctx.view->schedulable(*req))
                 continue; // hazard: try the next request
-            if (ctx.outstandingOthers(req->chip, req->tag) > 0)
+            if (ctx.view->outstandingOthers(req->chip, req->tag) > 0)
                 continue; // busy chip: skip, commit elsewhere
             return req;
         }

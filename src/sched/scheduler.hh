@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <string>
 
@@ -25,6 +24,38 @@
 
 namespace spk
 {
+
+/**
+ * Device-state queries the NVMHC answers for its scheduler.
+ *
+ * Schedulers poll these on every next() call, per chip, so the
+ * implementation must be allocation-free and O(1): the NVMHC backs
+ * them with flat per-chip/per-tag counters maintained incrementally
+ * at commit/finish time (no closures, no recomputation).
+ */
+class SchedulerView
+{
+  public:
+    virtual ~SchedulerView() = default;
+
+    /** Committed-but-unfinished request count on a global chip. */
+    virtual std::uint32_t outstanding(std::uint32_t chip) const = 0;
+
+    /**
+     * Same, excluding requests that belong to I/O @p tag (a chip whose
+     * per-chip queue only holds one's own I/O is not a conflict for a
+     * PAS-style scheduler).
+     */
+    virtual std::uint32_t outstandingOthers(std::uint32_t chip,
+                                            TagId tag) const = 0;
+
+    /**
+     * Hazard gate: false while an older request on the same logical
+     * page is still pending, or while an FUA barrier holds the
+     * request back (Section 4.4, hazard control).
+     */
+    virtual bool schedulable(const MemoryRequest &req) const = 0;
+};
 
 /**
  * The view the NVMHC exposes to a scheduler when asking for the next
@@ -37,23 +68,8 @@ struct SchedulerContext
     /** Queue entries in arrival order (oldest first). */
     const std::deque<IoRequest *> *queue = nullptr;
 
-    /** Committed-but-unfinished request count on a global chip. */
-    std::function<std::uint32_t(std::uint32_t chip)> outstanding;
-
-    /**
-     * Same, excluding requests that belong to I/O @p tag (a chip whose
-     * per-chip queue only holds one's own I/O is not a conflict for a
-     * PAS-style scheduler).
-     */
-    std::function<std::uint32_t(std::uint32_t chip, TagId tag)>
-        outstandingOthers;
-
-    /**
-     * Hazard gate: false while an older request on the same logical
-     * page is still pending, or while an FUA barrier holds the
-     * request back (Section 4.4, hazard control).
-     */
-    std::function<bool(const MemoryRequest &)> schedulable;
+    /** Device-state queries (owned by the NVMHC). */
+    const SchedulerView *view = nullptr;
 };
 
 /**

@@ -1,8 +1,6 @@
 #include "sched/sprinkler.hh"
 
 #include <algorithm>
-#include <map>
-#include <unordered_map>
 
 #include "flash/transaction.hh"
 #include "sim/logging.hh"
@@ -83,41 +81,52 @@ SprinklerScheduler::oldest(SchedulerContext &ctx,
                            std::uint32_t chip) const
 {
     for (MemoryRequest *req : buckets_[chip]) {
-        if (!req->composed && ctx.schedulable(*req))
+        if (!req->composed && ctx.view->schedulable(*req))
             return req;
     }
     return nullptr;
 }
 
-std::vector<MemoryRequest *>
-SprinklerScheduler::bestSet(SchedulerContext &ctx,
-                            std::uint32_t chip) const
+void
+SprinklerScheduler::bestSet(SchedulerContext &ctx, std::uint32_t chip,
+                            std::vector<MemoryRequest *> &out) const
 {
-    std::vector<MemoryRequest *> candidates;
+    candScratch_.clear();
     for (MemoryRequest *req : buckets_[chip]) {
-        if (!req->composed && ctx.schedulable(*req))
-            candidates.push_back(req);
+        if (!req->composed && ctx.view->schedulable(*req))
+            candScratch_.push_back(req);
     }
-    return bestSetFrom(candidates, chip);
+    bestSetFrom(candScratch_, chip, out);
 }
 
-std::vector<MemoryRequest *>
+void
 SprinklerScheduler::bestSetFrom(
-    const std::vector<MemoryRequest *> &candidates,
-    std::uint32_t chip) const
+    const std::vector<MemoryRequest *> &candidates, std::uint32_t chip,
+    std::vector<MemoryRequest *> &out) const
 {
+    out.clear();
     if (candidates.empty())
-        return {};
+        return;
 
     // Connectivity: requests per owning I/O among the candidates.
-    std::unordered_map<TagId, std::uint32_t> per_tag;
-    for (const auto *req : candidates)
-        per_tag[req->tag]++;
+    // Flat per-tag counters, reset via the touched-slot list (tags
+    // recycle within the NVMHC queue depth, so this stays tiny).
+    for (const auto slot : touchedTags_)
+        tagCount_[slot] = 0;
+    touchedTags_.clear();
+    for (const auto *req : candidates) {
+        const std::size_t slot = tagSlot(req->tag);
+        if (slot >= tagCount_.size())
+            tagCount_.resize(slot + 1, 0);
+        if (tagCount_[slot]++ == 0)
+            touchedTags_.push_back(static_cast<std::uint32_t>(slot));
+    }
 
     // Greedy coalescable set seeded at the oldest candidate of each
     // operation type; the larger set has the higher overlap depth.
-    auto greedy = [&](FlashOp op) {
-        std::vector<MemoryRequest *> set;
+    const auto greedy = [&](FlashOp op,
+                            std::vector<MemoryRequest *> &set) {
+        set.clear();
         FlashTransaction txn(op, chip);
         for (MemoryRequest *req : candidates) {
             if (req->op != op || set.size() >= window_)
@@ -127,30 +136,47 @@ SprinklerScheduler::bestSetFrom(
                 set.push_back(req);
             }
         }
-        return set;
     };
 
-    auto reads = greedy(FlashOp::Read);
-    auto writes = greedy(FlashOp::Program);
+    greedy(FlashOp::Read, readSet_);
+    greedy(FlashOp::Program, writeSet_);
 
-    auto connectivity = [&](const std::vector<MemoryRequest *> &set) {
-        std::uint32_t best = 0;
-        for (const auto *req : set)
-            best = std::max(best, per_tag[req->tag]);
-        return best;
+    const auto connectivity =
+        [&](const std::vector<MemoryRequest *> &set) {
+            std::uint32_t best = 0;
+            for (const auto *req : set)
+                best = std::max(best, tagCount_[tagSlot(req->tag)]);
+            return best;
+        };
+
+    const auto pick = [&](const std::vector<MemoryRequest *> &set) {
+        out.assign(set.begin(), set.end());
     };
 
-    if (reads.size() != writes.size())
-        return reads.size() > writes.size() ? reads : writes;
-    if (reads.empty())
-        return writes; // both empty
+    if (readSet_.size() != writeSet_.size()) {
+        pick(readSet_.size() > writeSet_.size() ? readSet_ : writeSet_);
+        return;
+    }
+    if (readSet_.empty())
+        return; // both empty
     // Same overlap depth: prefer the higher-connectivity set; final
     // tie goes to the set whose seed arrived first.
-    const auto conn_r = connectivity(reads);
-    const auto conn_w = connectivity(writes);
-    if (conn_r != conn_w)
-        return conn_r > conn_w ? reads : writes;
-    return reads.front()->id <= writes.front()->id ? reads : writes;
+    const auto conn_r = connectivity(readSet_);
+    const auto conn_w = connectivity(writeSet_);
+    if (conn_r != conn_w) {
+        pick(conn_r > conn_w ? readSet_ : writeSet_);
+        return;
+    }
+    pick(readSet_.front()->id <= writeSet_.front()->id ? readSet_
+                                                       : writeSet_);
+}
+
+MemoryRequest *
+SprinklerScheduler::takeSet(const std::vector<MemoryRequest *> &set)
+{
+    batch_.assign(set.begin() + 1, set.end());
+    batchPos_ = 0;
+    return set.front();
 }
 
 MemoryRequest *
@@ -169,19 +195,18 @@ SprinklerScheduler::nextRios(SchedulerContext &ctx)
             continue;
 
         if (faro_) {
-            if (ctx.outstanding(chip) >= window_)
+            if (ctx.view->outstanding(chip) >= window_)
                 continue;
-            auto set = bestSet(ctx, chip);
-            if (set.empty())
+            bestSet(ctx, chip, setScratch_);
+            if (setScratch_.empty())
                 continue;
             cursor_ = chip + 1;
-            batch_.assign(set.begin() + 1, set.end());
-            return set.front();
+            return takeSet(setScratch_);
         }
 
         // SPK2: no over-commitment -- one outstanding request per
         // chip, oldest first.
-        if (ctx.outstanding(chip) > 0)
+        if (ctx.view->outstanding(chip) > 0)
             continue;
         if (MemoryRequest *req = oldest(ctx, chip)) {
             cursor_ = chip + 1;
@@ -201,7 +226,12 @@ SprinklerScheduler::nextFaroOnly(SchedulerContext &ctx)
     // always secure enough memory requests without RIOS's help").
     constexpr std::size_t kLookaheadIos = 4;
 
-    std::map<std::uint32_t, std::vector<MemoryRequest *>> per_chip;
+    if (faroPerChip_.size() < ctx.geo->numChips())
+        faroPerChip_.resize(ctx.geo->numChips());
+    for (const auto chip : faroTouched_)
+        faroPerChip_[chip].clear();
+    faroTouched_.clear();
+
     std::size_t seen = 0;
     for (IoRequest *io : *ctx.queue) {
         if (io->allComposed())
@@ -210,35 +240,37 @@ SprinklerScheduler::nextFaroOnly(SchedulerContext &ctx)
             MemoryRequest *req = page.get();
             if (req->composed || req->composing)
                 continue;
-            if (!ctx.schedulable(*req))
+            if (!ctx.view->schedulable(*req))
                 continue;
-            per_chip[req->chip].push_back(req);
+            if (faroPerChip_[req->chip].empty())
+                faroTouched_.push_back(req->chip);
+            faroPerChip_[req->chip].push_back(req);
         }
         if (++seen >= kLookaheadIos)
             break;
     }
+    std::sort(faroTouched_.begin(), faroTouched_.end());
 
     std::size_t best_depth = 0;
     std::uint64_t best_seed = 0;
-    std::vector<MemoryRequest *> best;
-    for (auto &[chip, candidates] : per_chip) {
-        if (ctx.outstanding(chip) >= window_)
+    bestScratch_.clear();
+    for (const auto chip : faroTouched_) {
+        if (ctx.view->outstanding(chip) >= window_)
             continue;
-        auto set = bestSetFrom(candidates, chip);
-        if (set.empty())
+        bestSetFrom(faroPerChip_[chip], chip, setScratch_);
+        if (setScratch_.empty())
             continue;
-        const std::uint64_t seed = set.front()->id;
-        if (set.size() > best_depth ||
-            (set.size() == best_depth && seed < best_seed)) {
-            best_depth = set.size();
+        const std::uint64_t seed = setScratch_.front()->id;
+        if (setScratch_.size() > best_depth ||
+            (setScratch_.size() == best_depth && seed < best_seed)) {
+            best_depth = setScratch_.size();
             best_seed = seed;
-            best = std::move(set);
+            std::swap(bestScratch_, setScratch_);
         }
     }
-    if (best.empty())
+    if (bestScratch_.empty())
         return nullptr;
-    batch_.assign(best.begin() + 1, best.end());
-    return best.front();
+    return takeSet(bestScratch_);
 }
 
 MemoryRequest *
@@ -246,10 +278,9 @@ SprinklerScheduler::next(SchedulerContext &ctx)
 {
     // Finish committing the current FARO batch first so the whole set
     // reaches the flash controller within one decision window.
-    while (!batch_.empty()) {
-        MemoryRequest *req = batch_.front();
-        batch_.pop_front();
-        if (!req->composed && ctx.schedulable(*req))
+    while (batchPos_ < batch_.size()) {
+        MemoryRequest *req = batch_[batchPos_++];
+        if (!req->composed && ctx.view->schedulable(*req))
             return req;
     }
     return rios_ ? nextRios(ctx) : nextFaroOnly(ctx);

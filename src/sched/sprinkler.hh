@@ -16,6 +16,10 @@
  *
  * The three evaluated variants map to constructor flags:
  *   SPK1 = FARO only, SPK2 = RIOS only, SPK3 = RIOS + FARO.
+ *
+ * All decision state lives in flat per-chip / per-tag vectors reused
+ * across next() calls; the inner loops are allocation-free once the
+ * scratch buffers reach their steady-state sizes.
  */
 
 #ifndef SPK_SCHED_SPRINKLER_HH
@@ -69,17 +73,17 @@ class SprinklerScheduler : public IoScheduler
 
     /**
      * Largest coalescable set among @p candidates for @p chip (the
-     * highest-overlap-depth group). Ties between the read-seeded and
-     * write-seeded candidate sets break toward higher connectivity,
-     * then toward the older seed.
+     * highest-overlap-depth group), written into @p out. Ties between
+     * the read-seeded and write-seeded candidate sets break toward
+     * higher connectivity, then toward the older seed.
      */
-    std::vector<MemoryRequest *>
-    bestSetFrom(const std::vector<MemoryRequest *> &candidates,
-                std::uint32_t chip) const;
+    void bestSetFrom(const std::vector<MemoryRequest *> &candidates,
+                     std::uint32_t chip,
+                     std::vector<MemoryRequest *> &out) const;
 
     /** bestSetFrom over the schedulable entries of a chip's bucket. */
-    std::vector<MemoryRequest *> bestSet(SchedulerContext &ctx,
-                                         std::uint32_t chip) const;
+    void bestSet(SchedulerContext &ctx, std::uint32_t chip,
+                 std::vector<MemoryRequest *> &out) const;
 
     /** Oldest schedulable, uncomposed request in a bucket. */
     MemoryRequest *oldest(SchedulerContext &ctx, std::uint32_t chip) const;
@@ -89,6 +93,9 @@ class SprinklerScheduler : public IoScheduler
 
     /** SPK1: depth-first chip selection without traversal. */
     MemoryRequest *nextFaroOnly(SchedulerContext &ctx);
+
+    /** Adopt @p set: head is returned, the rest becomes the batch. */
+    MemoryRequest *takeSet(const std::vector<MemoryRequest *> &set);
 
     bool rios_;
     bool faro_;
@@ -100,8 +107,22 @@ class SprinklerScheduler : public IoScheduler
     /** RIOS chip traversal cursor. */
     std::uint64_t cursor_ = 0;
 
-    /** Remainder of the FARO batch being committed. */
-    std::deque<MemoryRequest *> batch_;
+    /** FARO batch being committed; batchPos_ is the next entry. */
+    std::vector<MemoryRequest *> batch_;
+    std::size_t batchPos_ = 0;
+
+    // Scratch buffers reused across next() calls (mutable: decision
+    // helpers are const). Their contents never outlive one call.
+    mutable std::vector<MemoryRequest *> candScratch_;
+    mutable std::vector<MemoryRequest *> readSet_;
+    mutable std::vector<MemoryRequest *> writeSet_;
+    mutable std::vector<std::uint32_t> tagCount_;   //!< by tag slot
+    mutable std::vector<std::uint32_t> touchedTags_;
+    std::vector<MemoryRequest *> setScratch_;
+    std::vector<MemoryRequest *> bestScratch_;
+    /** SPK1 per-chip candidate lists + touched-chip index. */
+    std::vector<std::vector<MemoryRequest *>> faroPerChip_;
+    std::vector<std::uint32_t> faroTouched_;
 };
 
 } // namespace spk

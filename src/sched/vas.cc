@@ -16,12 +16,12 @@ VasScheduler::next(SchedulerContext &ctx)
             MemoryRequest *req = page.get();
             if (req->composed)
                 continue;
-            if (!ctx.schedulable(*req))
+            if (!ctx.view->schedulable(*req))
                 return nullptr; // ordering hazard: wait
             // VAS commits blindly and the commitment pipeline blocks
             // on the chip's R/B: model as head-of-line stall while the
             // target chip has outstanding requests.
-            if (ctx.outstanding(req->chip) > 0)
+            if (ctx.view->outstanding(req->chip) > 0)
                 return nullptr;
             return req;
         }

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Opt-in global allocation counter for benchmarks and tests.
+ *
+ * Define SPK_COUNT_ALLOCS before including this header in EXACTLY ONE
+ * translation unit per executable: it replaces the global operator
+ * new/delete (external linkage -- two definitions collide at link
+ * time) with versions that bump a counter. Without the macro the
+ * header only declares the counter accessors, so shared headers can
+ * reference AllocWindow unconditionally.
+ *
+ * Used by bench_microbench (allocs column in BENCH_microbench.json)
+ * and tests/sim/event_pool_test.cc (zero-allocation assertion), so
+ * both measure allocations with identical instrumentation.
+ */
+
+#ifndef SPK_SIM_ALLOC_COUNTER_HH
+#define SPK_SIM_ALLOC_COUNTER_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace spk
+{
+
+/** Heap allocations observed by the counting operator new. Stays at
+ *  zero unless some TU in the executable defines SPK_COUNT_ALLOCS. */
+inline std::uint64_t g_allocCount = 0;
+
+/** Allocation delta across a window of interest. */
+class AllocWindow
+{
+  public:
+    AllocWindow() : start_(g_allocCount) {}
+    std::uint64_t count() const { return g_allocCount - start_; }
+
+  private:
+    std::uint64_t start_;
+};
+
+} // namespace spk
+
+#ifdef SPK_COUNT_ALLOCS
+
+void *
+operator new(std::size_t size)
+{
+    ++spk::g_allocCount;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new[](std::size_t size)
+{
+    ++spk::g_allocCount;
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+#endif // SPK_COUNT_ALLOCS
+
+#endif // SPK_SIM_ALLOC_COUNTER_HH

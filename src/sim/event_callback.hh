@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Small-buffer-optimized event callback.
+ *
+ * The event kernel dispatches millions of callbacks per simulated
+ * second; std::function's type erasure heap-allocates for anything
+ * beyond a pointer or two. EventCallback stores the callable inline
+ * (no heap allocation, ever) and rejects oversized captures at
+ * compile time, so the event hot path stays allocation-free by
+ * construction. Capture-heavy work belongs in component state, not in
+ * the closure.
+ */
+
+#ifndef SPK_SIM_EVENT_CALLBACK_HH
+#define SPK_SIM_EVENT_CALLBACK_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace spk
+{
+
+/**
+ * Move-only callable with fixed inline storage.
+ *
+ * Unlike std::function, construction never allocates: the callable is
+ * placement-new'ed into the inline buffer and a static assert rejects
+ * captures larger than kInlineSize. Invocation is one indirect call
+ * through a per-type vtable.
+ */
+class EventCallback
+{
+  public:
+    /** Inline capture budget; sized for the largest simulator lambda
+     *  with headroom. Growing it grows every pooled event node. */
+    static constexpr std::size_t kInlineSize = 64;
+    static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+    EventCallback() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback>>>
+    EventCallback(F &&fn) // NOLINT: implicit by design, mirrors std::function
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= kInlineSize,
+                      "EventCallback capture exceeds inline storage; "
+                      "move state into the owning component");
+        static_assert(alignof(Fn) <= kInlineAlign,
+                      "EventCallback capture over-aligned");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "EventCallback requires nothrow-movable callables");
+        ::new (static_cast<void *>(storage_)) Fn(std::forward<F>(fn));
+        vt_ = &kVTable<Fn>;
+    }
+
+    EventCallback(EventCallback &&other) noexcept : vt_(other.vt_)
+    {
+        if (vt_ != nullptr) {
+            vt_->relocate(storage_, other.storage_);
+            other.vt_ = nullptr;
+        }
+    }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            vt_ = other.vt_;
+            if (vt_ != nullptr) {
+                vt_->relocate(storage_, other.storage_);
+                other.vt_ = nullptr;
+            }
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    /** Destroy the held callable, leaving the callback empty. */
+    void
+    reset() noexcept
+    {
+        if (vt_ != nullptr) {
+            vt_->destroy(storage_);
+            vt_ = nullptr;
+        }
+    }
+
+    explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+    void operator()() { vt_->invoke(storage_); }
+
+  private:
+    struct VTable
+    {
+        void (*invoke)(void *self);
+        /** Move-construct into @p dst from @p src, destroying src. */
+        void (*relocate)(void *dst, void *src);
+        void (*destroy)(void *self);
+    };
+
+    template <typename Fn>
+    static constexpr VTable kVTable = {
+        [](void *self) { (*static_cast<Fn *>(self))(); },
+        [](void *dst, void *src) {
+            auto *from = static_cast<Fn *>(src);
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+        },
+        [](void *self) { static_cast<Fn *>(self)->~Fn(); },
+    };
+
+    alignas(kInlineAlign) unsigned char storage_[kInlineSize];
+    const VTable *vt_ = nullptr;
+};
+
+} // namespace spk
+
+#endif // SPK_SIM_EVENT_CALLBACK_HH

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -7,12 +8,61 @@
 namespace spk
 {
 
+EventQueue::Event *
+EventQueue::acquireEvent()
+{
+    if (freeList_ == nullptr) {
+        auto chunk = std::make_unique<Event[]>(kPoolChunk);
+        for (std::size_t i = 0; i < kPoolChunk; ++i) {
+            chunk[i].nextFree = freeList_;
+            freeList_ = &chunk[i];
+        }
+        chunks_.push_back(std::move(chunk));
+        poolCapacity_ += kPoolChunk;
+        poolFreeCount_ += kPoolChunk;
+    }
+    Event *ev = freeList_;
+    freeList_ = ev->nextFree;
+    --poolFreeCount_;
+    return ev;
+}
+
+void
+EventQueue::releaseEvent(Event *ev)
+{
+    ev->cb.reset();
+    ev->nextFree = freeList_;
+    freeList_ = ev;
+    ++poolFreeCount_;
+}
+
+namespace
+{
+
+/** std::heap comparator: max-heap on "later", so the min is on top. */
+struct HeapLater
+{
+    bool
+    operator()(const EventQueue::HeapEntry &a,
+               const EventQueue::HeapEntry &b) const
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
+};
+
+} // namespace
+
 void
 EventQueue::schedule(Tick when, Callback cb)
 {
     if (when < now_)
         panic("EventQueue::schedule into the past");
-    events_.push(Event{when, nextSeq_++, std::move(cb)});
+    Event *ev = acquireEvent();
+    ev->cb = std::move(cb);
+    heap_.push_back(HeapEntry{when, nextSeq_++, ev});
+    std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
 }
 
 void
@@ -24,21 +74,23 @@ EventQueue::scheduleAfter(Tick delay, Callback cb)
 Tick
 EventQueue::nextEventTick() const
 {
-    return events_.empty() ? kTickMax : events_.top().when;
+    return heap_.empty() ? kTickMax : heap_.front().when;
 }
 
 bool
 EventQueue::step()
 {
-    if (events_.empty())
+    if (heap_.empty())
         return false;
-    // priority_queue::top returns const&; move the callback out via a
-    // copy of the element, then pop.
-    Event ev = events_.top();
-    events_.pop();
-    now_ = ev.when;
+    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
+    const HeapEntry entry = heap_.back();
+    heap_.pop_back();
+    now_ = entry.when;
     ++dispatched_;
-    ev.cb();
+    // Invoke from the node (it may schedule new events, growing the
+    // pool), then recycle it.
+    entry.ev->cb();
+    releaseEvent(entry.ev);
     return true;
 }
 
@@ -55,7 +107,7 @@ std::uint64_t
 EventQueue::runUntil(Tick until)
 {
     std::uint64_t n = 0;
-    while (!events_.empty() && events_.top().when <= until) {
+    while (!heap_.empty() && heap_.front().when <= until) {
         step();
         ++n;
     }

@@ -6,16 +6,22 @@
  * callbacks at absolute ticks; the queue dispatches them in
  * (tick, insertion-order) order so simulation results are fully
  * deterministic.
+ *
+ * The kernel is allocation-free in steady state: callbacks live in
+ * pooled event nodes (inline storage, see EventCallback) recycled
+ * through a free list, and the dispatch heap holds small plain
+ * entries whose backing vector stops growing once the pending-event
+ * high-water mark is reached.
  */
 
 #ifndef SPK_SIM_EVENT_QUEUE_HH
 #define SPK_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "sim/event_callback.hh"
 #include "sim/types.hh"
 
 namespace spk
@@ -30,7 +36,7 @@ namespace spk
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
 
     EventQueue() = default;
 
@@ -42,7 +48,8 @@ class EventQueue
 
     /**
      * Schedule @p cb at absolute time @p when.
-     * @pre when >= now() — scheduling in the past is a simulator bug.
+     * @pre when >= now() — scheduling in the past is a simulator bug
+     *      and panics (silent reordering would corrupt causality).
      */
     void schedule(Tick when, Callback cb);
 
@@ -50,10 +57,10 @@ class EventQueue
     void scheduleAfter(Tick delay, Callback cb);
 
     /** True when no events remain. */
-    bool empty() const { return events_.empty(); }
+    bool empty() const { return heap_.empty(); }
 
     /** Number of pending events. */
-    std::size_t size() const { return events_.size(); }
+    std::size_t size() const { return heap_.size(); }
 
     /** Tick of the next pending event; kTickMax when empty. */
     Tick nextEventTick() const;
@@ -74,26 +81,40 @@ class EventQueue
     /** Total events dispatched since construction. */
     std::uint64_t dispatched() const { return dispatched_; }
 
-  private:
+    /** Event nodes owned by the pool (its high-water mark). */
+    std::size_t poolCapacity() const { return poolCapacity_; }
+
+    /** Pool nodes currently on the free list. */
+    std::size_t poolFree() const { return poolFreeCount_; }
+
+    /** Pooled event node; recycled via the intrusive free list. */
     struct Event
+    {
+        EventCallback cb;
+        Event *nextFree = nullptr;
+    };
+
+    /** Heap entry: ordering key plus the pooled payload. */
+    struct HeapEntry
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        Event *ev;
     };
 
-    struct Later
-    {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+  private:
+    /** Nodes carved per pool growth step. */
+    static constexpr std::size_t kPoolChunk = 256;
 
-    std::priority_queue<Event, std::vector<Event>, Later> events_;
+    Event *acquireEvent();
+    void releaseEvent(Event *ev);
+
+    std::vector<HeapEntry> heap_; //!< binary min-heap by (when, seq)
+    std::vector<std::unique_ptr<Event[]>> chunks_;
+    Event *freeList_ = nullptr;
+    std::size_t poolCapacity_ = 0;
+    std::size_t poolFreeCount_ = 0;
+
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t dispatched_ = 0;

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fixed-capacity vector for hot-path aggregates.
+ *
+ * Transaction timelines and coalesced request sets are bounded by the
+ * chip geometry (dies x planes); StaticVec keeps them on the stack or
+ * inside their owner with zero heap traffic while preserving the
+ * std::vector surface the code and tests already use.
+ */
+
+#ifndef SPK_SIM_STATIC_VEC_HH
+#define SPK_SIM_STATIC_VEC_HH
+
+#include <array>
+#include <cstddef>
+
+#include "sim/logging.hh"
+
+namespace spk
+{
+
+/** Bounded, allocation-free vector. push_back past N is a panic(). */
+template <typename T, std::size_t N>
+class StaticVec
+{
+  public:
+    using value_type = T;
+    using iterator = T *;
+    using const_iterator = const T *;
+
+    constexpr StaticVec() = default;
+
+    void
+    push_back(const T &value)
+    {
+        if (size_ >= N)
+            panic("StaticVec overflow");
+        items_[size_++] = value;
+    }
+
+    void clear() { size_ = 0; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    static constexpr std::size_t capacity() { return N; }
+
+    T &operator[](std::size_t i) { return items_[i]; }
+    const T &operator[](std::size_t i) const { return items_[i]; }
+
+    T &front() { return items_[0]; }
+    const T &front() const { return items_[0]; }
+    T &back() { return items_[size_ - 1]; }
+    const T &back() const { return items_[size_ - 1]; }
+
+    iterator begin() { return items_.data(); }
+    iterator end() { return items_.data() + size_; }
+    const_iterator begin() const { return items_.data(); }
+    const_iterator end() const { return items_.data() + size_; }
+
+  private:
+    /** Deliberately default-initialized: only [0, size_) is ever
+     *  read, and zero-filling large capacities (e.g. a transaction's
+     *  request set) would cost more than the whole hot-path saving. */
+    std::array<T, N> items_;
+    std::size_t size_ = 0;
+};
+
+} // namespace spk
+
+#endif // SPK_SIM_STATIC_VEC_HH

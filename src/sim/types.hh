@@ -39,6 +39,17 @@ using TagId = std::uint32_t;
 
 inline constexpr TagId kInvalidTag = std::numeric_limits<TagId>::max();
 
+/**
+ * Flat per-tag array index: slot 0 is reserved for kInvalidTag (GC
+ * requests), host tags map to tag + 1. Tags recycle within the NVMHC
+ * queue depth, so per-tag vectors indexed by this stay small.
+ */
+inline std::size_t
+tagSlot(TagId tag)
+{
+    return tag == kInvalidTag ? 0 : std::size_t{tag} + 1;
+}
+
 } // namespace spk
 
 #endif // SPK_SIM_TYPES_HH

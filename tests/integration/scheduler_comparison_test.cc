@@ -140,5 +140,47 @@ TEST(SchedulerComparison, Spk3BestUtilization)
               m.at(SchedulerKind::VAS).chipUtilizationPct);
 }
 
+/**
+ * Pinned aggregate metrics, captured from the pre-pooled-event-kernel
+ * simulator (PR 1 baseline) on the seed-11 bursty trace. The event
+ * kernel, scheduler view and flat-state refactors must be
+ * perf-transparent: any drift here means scheduling DECISIONS changed,
+ * not just their cost. Update these values only with a change that is
+ * *supposed* to alter simulated behaviour, and say so in the PR.
+ */
+TEST(SchedulerComparison, AggregateMetricsArePinned)
+{
+    struct Pinned
+    {
+        SchedulerKind kind;
+        Tick makespan;
+        std::uint64_t transactions;
+        std::uint64_t requestsServed;
+        Tick queueStallTime;
+    };
+    const Pinned expected[] = {
+        {SchedulerKind::VAS, 161157303u, 6536u, 6536u, 28697286556u},
+        {SchedulerKind::PAS, 105645417u, 4617u, 6536u, 19378411194u},
+        {SchedulerKind::SPK1, 99987801u, 2631u, 6536u, 18086968892u},
+        {SchedulerKind::SPK2, 107861879u, 6536u, 6536u, 19764564084u},
+        {SchedulerKind::SPK3, 75590687u, 2192u, 6536u, 13239251238u},
+    };
+
+    const auto m = runAll(burstyTrace(11));
+    for (const auto &exp : expected) {
+        const auto &got = m.at(exp.kind);
+        EXPECT_EQ(got.makespan, exp.makespan) << got.scheduler;
+        EXPECT_EQ(got.transactions, exp.transactions) << got.scheduler;
+        EXPECT_EQ(got.requestsServed, exp.requestsServed)
+            << got.scheduler;
+        EXPECT_EQ(got.queueStallTime, exp.queueStallTime)
+            << got.scheduler;
+        EXPECT_EQ(got.iosCompleted, 400u) << got.scheduler;
+        EXPECT_EQ(got.bytesRead, 11206656u) << got.scheduler;
+        EXPECT_EQ(got.bytesWritten, 2179072u) << got.scheduler;
+        EXPECT_EQ(got.staleRetries, 0u) << got.scheduler;
+    }
+}
+
 } // namespace
 } // namespace spk

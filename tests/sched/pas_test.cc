@@ -21,7 +21,7 @@ TEST(Pas, SkipsConflictedHeadIo)
     SchedHarness h;
     auto *first = h.addIo({0, 0});
     auto *second = h.addIo({2, 3});
-    h.outstanding[0] = 1;
+    h.view.outstandingMap[0] = 1;
     PasScheduler pas;
     // Every request of I/O #1 heads to the busy chip 0: unlike VAS,
     // PAS skips the blocked head and starts I/O #2.
@@ -33,7 +33,7 @@ TEST(Pas, SkipsBusyChipWithinIo)
 {
     SchedHarness h;
     auto *io = h.addIo({0, 1});
-    h.outstanding[0] = 1; // first page's chip is busy
+    h.view.outstandingMap[0] = 1; // first page's chip is busy
     PasScheduler pas;
     // Coarse out-of-order: PAS skips the busy chip and commits the
     // request heading to the idle one (Section 5.1).
@@ -47,7 +47,7 @@ TEST(Pas, OwnIoQueueIsNotAConflict)
     PasScheduler pas;
     // Per-chip flash queues: outstanding requests of the SAME I/O do
     // not block further commitment (enables same-I/O coalescing).
-    h.ctx.outstandingOthers = [&](std::uint32_t, TagId tag) {
+    h.view.othersOverride = [&](std::uint32_t, TagId tag) {
         return tag == io->tag ? 0u : 1u;
     };
     EXPECT_EQ(pas.next(h.ctx), io->pages[0].get());
@@ -63,7 +63,7 @@ TEST(Pas, ContinuesStartedIoBeforeStartingNew)
     MemoryRequest *r1 = pas.next(h.ctx);
     EXPECT_EQ(r1, first->pages[0].get());
     h.compose(r1);
-    h.outstanding[0] = 1; // committed request now outstanding
+    h.view.outstandingMap[0] = 1; // committed request now outstanding
 
     // First I/O has begun: PAS keeps feeding it even though chip 1 of
     // the same I/O is free and I/O #2 could also start.
@@ -90,7 +90,7 @@ TEST(Pas, AllIosConflictedReturnsNull)
     SchedHarness h;
     h.addIo({0});
     h.addIo({0});
-    h.outstanding[0] = 2;
+    h.view.outstandingMap[0] = 2;
     PasScheduler pas;
     EXPECT_EQ(pas.next(h.ctx), nullptr);
 }
@@ -100,7 +100,7 @@ TEST(Pas, HazardInsideIoFallsThroughToNextIo)
     SchedHarness h;
     auto *first = h.addIo({0, 1});
     auto *second = h.addIo({2});
-    h.ctx.schedulable = [&](const MemoryRequest &req) {
+    h.view.schedulableOverride = [&](const MemoryRequest &req) {
         return req.tag != first->tag;
     };
     PasScheduler pas;

@@ -9,6 +9,7 @@
 #define SPK_TESTS_SCHED_TEST_UTIL_HH
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -20,13 +21,49 @@ namespace spk
 namespace test
 {
 
+/**
+ * Hand-controllable SchedulerView: outstanding counts come from a
+ * test-owned map, and individual queries can be overridden per test
+ * with std::function hooks (test-only convenience; the production
+ * view in the NVMHC is closure-free).
+ */
+struct TestSchedulerView : SchedulerView
+{
+    std::map<std::uint32_t, std::uint32_t> outstandingMap;
+    std::function<std::uint32_t(std::uint32_t, TagId)> othersOverride;
+    std::function<bool(const MemoryRequest &)> schedulableOverride;
+
+    std::uint32_t
+    outstanding(std::uint32_t chip) const override
+    {
+        const auto it = outstandingMap.find(chip);
+        return it == outstandingMap.end() ? 0u : it->second;
+    }
+
+    // Tests treat the outstanding map as foreign-I/O work, so the two
+    // views coincide unless a test installs an override.
+    std::uint32_t
+    outstandingOthers(std::uint32_t chip, TagId tag) const override
+    {
+        if (othersOverride)
+            return othersOverride(chip, tag);
+        return outstanding(chip);
+    }
+
+    bool
+    schedulable(const MemoryRequest &req) const override
+    {
+        return schedulableOverride ? schedulableOverride(req) : true;
+    }
+};
+
 /** A hand-built device queue plus the context schedulers consume. */
 struct SchedHarness
 {
     FlashGeometry geo;
     std::deque<IoRequest *> queue;
     std::vector<std::unique_ptr<IoRequest>> storage;
-    std::map<std::uint32_t, std::uint32_t> outstanding;
+    TestSchedulerView view;
     SchedulerContext ctx;
     std::uint64_t nextReqId = 0;
     TagId nextTag = 0;
@@ -39,17 +76,7 @@ struct SchedHarness
         geo.planesPerDie = 2;
         ctx.geo = &geo;
         ctx.queue = &queue;
-        ctx.outstanding = [this](std::uint32_t chip) {
-            const auto it = outstanding.find(chip);
-            return it == outstanding.end() ? 0u : it->second;
-        };
-        // Tests treat the `outstanding` map as foreign-I/O work, so
-        // the two views coincide unless a test overrides this.
-        ctx.outstandingOthers = [this](std::uint32_t chip, TagId) {
-            const auto it = outstanding.find(chip);
-            return it == outstanding.end() ? 0u : it->second;
-        };
-        ctx.schedulable = [](const MemoryRequest &) { return true; };
+        ctx.view = &view;
     }
 
     /**

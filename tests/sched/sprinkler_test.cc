@@ -61,7 +61,7 @@ TEST(Sprinkler, RiosCommitsAcrossIoBoundaries)
     SprinklerScheduler spk2(true, false, 1);
     spk2.onEnqueue(*first);
     spk2.onEnqueue(*second);
-    h.outstanding[0] = 1; // chip 0 busy
+    h.view.outstandingMap[0] = 1; // chip 0 busy
     // VAS would stall; RIOS simply serves chip 1 from I/O #2.
     MemoryRequest *r = spk2.next(h.ctx);
     ASSERT_NE(r, nullptr);
@@ -74,7 +74,7 @@ TEST(Sprinkler, Spk2NoOvercommit)
     auto *io = h.addIo({0, 0});
     SprinklerScheduler spk2(true, false, 1);
     spk2.onEnqueue(*io);
-    h.outstanding[0] = 1;
+    h.view.outstandingMap[0] = 1;
     EXPECT_EQ(spk2.next(h.ctx), nullptr); // won't stack on a busy chip
 }
 
@@ -84,10 +84,10 @@ TEST(Sprinkler, FaroOvercommitsUpToWindow)
     auto *io = h.addIo({0, 0});
     SprinklerScheduler spk3(true, true, 4);
     spk3.onEnqueue(*io);
-    h.outstanding[0] = 2; // already two outstanding, window is 4
+    h.view.outstandingMap[0] = 2; // already two outstanding, window is 4
     EXPECT_NE(spk3.next(h.ctx), nullptr);
 
-    h.outstanding[0] = 4; // window reached
+    h.view.outstandingMap[0] = 4; // window reached
     SprinklerScheduler fresh(true, true, 4);
     fresh.onEnqueue(*io);
     EXPECT_EQ(fresh.next(h.ctx), nullptr);

@@ -35,13 +35,13 @@ TEST(Vas, BlocksOnBusyChip)
 {
     SchedHarness h;
     h.addIo({0, 1});
-    h.outstanding[0] = 1; // chip 0 occupied
+    h.view.outstandingMap[0] = 1; // chip 0 occupied
     VasScheduler vas;
     // Head request targets chip 0 -> the whole pipeline stalls, even
     // though chip 1 is free (the paper's Figure 4 pathology).
     EXPECT_EQ(vas.next(h.ctx), nullptr);
 
-    h.outstanding[0] = 0;
+    h.view.outstandingMap[0] = 0;
     EXPECT_NE(vas.next(h.ctx), nullptr);
 }
 
@@ -50,12 +50,12 @@ TEST(Vas, DoesNotReorderAcrossIos)
     SchedHarness h;
     auto *first = h.addIo({0});
     auto *second = h.addIo({1});
-    h.outstanding[0] = 1;
+    h.view.outstandingMap[0] = 1;
     VasScheduler vas;
     // Second I/O's chip is idle, but VAS is FIFO: nothing to do.
     EXPECT_EQ(vas.next(h.ctx), nullptr);
 
-    h.outstanding[0] = 0;
+    h.view.outstandingMap[0] = 0;
     EXPECT_EQ(vas.next(h.ctx), first->pages[0].get());
     h.compose(first->pages[0].get());
     EXPECT_EQ(vas.next(h.ctx), second->pages[0].get());
@@ -76,7 +76,7 @@ TEST(Vas, HazardStallsPipeline)
 {
     SchedHarness h;
     auto *io = h.addIo({0, 1});
-    h.ctx.schedulable = [&](const MemoryRequest &req) {
+    h.view.schedulableOverride = [&](const MemoryRequest &req) {
         return &req != io->pages[0].get();
     };
     VasScheduler vas;
