@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Perf gate: diff BENCH_microbench.json against the committed baseline.
+
+Usage:
+    perf_gate.py CURRENT.json BASELINE.json [--tolerance 0.10]
+                 [--warn-only] [--update BASELINE.json]
+
+Exit status is non-zero when a gated metric regresses by more than the
+tolerance, or when an allocation-free benchmark starts allocating.
+
+Two classes of checks:
+  * allocation counts: event_loop_batch and event_loop_steady_state
+    must stay at 0 allocations. This is machine-independent and always
+    a hard failure.
+  * events/sec rates: compared ratio-wise against the committed
+    previous run. Wall-clock rates are machine-dependent, so this
+    check is meaningful on hardware comparable to the baseline's;
+    --warn-only downgrades rate failures (use it when the runner
+    fleet is heterogeneous). event_loop_steady_state is warn-only by
+    default: the reschedule-chain microbench is the noisiest metric.
+
+--update rewrites the baseline from the current run after the checks
+pass (used when intentionally re-pinning after a perf-affecting PR).
+"""
+
+import argparse
+import json
+import sys
+
+# Benchmarks whose measurement windows must not allocate, ever.
+ZERO_ALLOC = ("event_loop_batch", "event_loop_steady_state")
+
+# Rate regressions on these names only warn (noisy measurements).
+WARN_ONLY_RATES = ("event_loop_steady_state",)
+
+
+def load(path):
+    with open(path) as f:
+        return {b["name"]: b for b in json.load(f)["benchmarks"]}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("current")
+    ap.add_argument("baseline")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="allowed fractional rate drop (default 0.10)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="downgrade all rate regressions to warnings")
+    ap.add_argument("--update", metavar="PATH",
+                    help="rewrite the baseline from the current run")
+    args = ap.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    failures = []
+
+    for name in ZERO_ALLOC:
+        bench = current.get(name)
+        if bench is None:
+            failures.append(f"{name}: missing from current run")
+        elif bench["allocs"] != 0:
+            failures.append(
+                f"{name}: {bench['allocs']} allocations in the "
+                "measurement window (must be 0)")
+
+    for name, base in sorted(baseline.items()):
+        bench = current.get(name)
+        if bench is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+        if base["rate"] <= 0:
+            continue
+        ratio = bench["rate"] / base["rate"]
+        line = (f"{name}: {bench['rate']:.3g} vs baseline "
+                f"{base['rate']:.3g} {bench['unit']} "
+                f"({100 * (ratio - 1):+.1f}%)")
+        if ratio < 1.0 - args.tolerance:
+            if args.warn_only or name in WARN_ONLY_RATES:
+                print(f"WARN  {line}")
+            else:
+                failures.append(line + " regression beyond "
+                                f"{100 * args.tolerance:.0f}%")
+        else:
+            print(f"ok    {line}")
+
+    for msg in failures:
+        print(f"FAIL  {msg}")
+    if failures:
+        return 1
+
+    if args.update:
+        with open(args.current) as f:
+            blob = f.read()
+        with open(args.update, "w") as f:
+            f.write(blob)
+        print(f"baseline updated: {args.update}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

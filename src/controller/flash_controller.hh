@@ -14,7 +14,6 @@
 #define SPK_CONTROLLER_FLASH_CONTROLLER_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <vector>
 
@@ -24,6 +23,7 @@
 #include "flash/timing.hh"
 #include "flash/transaction.hh"
 #include "sim/event_queue.hh"
+#include "sim/ring_deque.hh"
 #include "sim/types.hh"
 
 namespace spk
@@ -97,7 +97,7 @@ class FlashController
   private:
     struct PerChip
     {
-        std::deque<MemoryRequest *> pending;
+        RingDeque<MemoryRequest *> pending;
         std::uint32_t inFlight = 0;
         bool launchScheduled = false;
         /**

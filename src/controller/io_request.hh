@@ -12,7 +12,6 @@
 #define SPK_CONTROLLER_IO_REQUEST_HH
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "flash/mem_request.hh"
@@ -24,12 +23,16 @@ namespace spk
 /**
  * One host I/O request (queue entry).
  *
- * Owns its memory requests; every other component references them by
- * raw pointer, which stays valid until the entry retires.
+ * Entries live in a flat slab indexed by the recycled NCQ tag, and
+ * their memory requests come from a slab owned by the NVMHC: pointers
+ * into both stay valid until the entry retires, and retiring recycles
+ * the storage (pages vector, bitmap words) instead of freeing it, so
+ * enqueue is allocation-free at steady state.
  */
 struct IoRequest
 {
     TagId tag = kInvalidTag;
+    bool active = false; //!< slab slot currently holds a live I/O
     bool isWrite = false;
     bool fua = false; //!< force-unit-access: no reordering around it
 
@@ -40,8 +43,9 @@ struct IoRequest
     Tick enqueued = 0;   //!< secured a queue tag (>= arrival if stalled)
     Tick completed = 0;  //!< all memory requests finished
 
-    /** Page-sized children; filled at enqueue (preprocess). */
-    std::vector<std::unique_ptr<MemoryRequest>> pages;
+    /** Page-sized children; filled at enqueue (preprocess). Backed
+     *  by the NVMHC's memory-request slab (not owned). */
+    std::vector<MemoryRequest *> pages;
 
     /** Requests composed (data movement initiated) so far. */
     std::uint32_t composedCount = 0;

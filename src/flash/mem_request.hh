@@ -53,6 +53,9 @@ struct MemoryRequest
     Tick committedAt = 0;
     Tick startedAt = 0;
     Tick finishedAt = 0;
+
+    /** Intrusive link for the NVMHC's per-LPN hazard chain. */
+    MemoryRequest *lpnNext = nullptr;
 };
 
 } // namespace spk

@@ -13,12 +13,12 @@
 #define SPK_FTL_BLOCK_MANAGER_HH
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "flash/geometry.hh"
+#include "sim/ring_deque.hh"
 #include "sim/types.hh"
 
 namespace spk
@@ -157,7 +157,7 @@ class BlockManager
          * the rotation (LIFO would re-erase the same few blocks and
          * defeat wear leveling).
          */
-        std::deque<std::uint32_t> freeList;
+        RingDeque<std::uint32_t> freeList;
         std::int32_t activeBlock = -1; //!< -1: none
     };
 

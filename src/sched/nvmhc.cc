@@ -28,8 +28,9 @@ Nvmhc::Nvmhc(EventQueue &events, const FlashGeometry &geo, Ftl &ftl,
     ctx_.queue = &queue_;
     ctx_.view = this;
 
-    // Flat NCQ slot table: tag ids are recycled within [0, queueDepth)
-    // so per-tag state everywhere can be a vector, not a map.
+    // Flat NCQ slot slab: tag ids are recycled within [0, queueDepth)
+    // so per-tag state everywhere can be a vector, not a map. The
+    // slab never resizes after this, so IoRequest pointers are stable.
     slots_.resize(cfg_.queueDepth);
     freeTags_.reserve(cfg_.queueDepth);
     for (TagId tag = cfg_.queueDepth; tag > 0; --tag)
@@ -43,6 +44,29 @@ Nvmhc::Nvmhc(EventQueue &events, const FlashGeometry &geo, Ftl &ftl,
         ctrlByChip_.push_back(controllers_[geo_.channelOfChip(chip)]);
         offsetByChip_.push_back(geo_.chipOffsetOfChip(chip));
     }
+}
+
+MemoryRequest *
+Nvmhc::acquireRequest()
+{
+    if (freeReqs_.empty()) {
+        constexpr std::size_t kChunk = 64;
+        auto chunk = std::make_unique<MemoryRequest[]>(kChunk);
+        freeReqs_.reserve(freeReqs_.capacity() + kChunk);
+        for (std::size_t i = 0; i < kChunk; ++i)
+            freeReqs_.push_back(&chunk[i]);
+        reqChunks_.push_back(std::move(chunk));
+    }
+    MemoryRequest *req = freeReqs_.back();
+    freeReqs_.pop_back();
+    return req;
+}
+
+void
+Nvmhc::releaseRequest(MemoryRequest *req)
+{
+    *req = MemoryRequest{}; // scrub recycled state
+    freeReqs_.push_back(req);
 }
 
 std::uint32_t
@@ -122,34 +146,41 @@ Nvmhc::enqueue(const PendingSubmission &sub)
     const Tick now = events_.now();
     if (freeTags_.empty())
         panic("Nvmhc::enqueue no free tag despite queue-depth gate");
-    auto io = std::make_unique<IoRequest>();
-    io->tag = freeTags_.back();
+    const TagId tag = freeTags_.back();
     freeTags_.pop_back();
+    IoRequest *io = &slots_[tag];
+    if (io->active)
+        panic("Nvmhc::enqueue tag slot still active");
+    io->tag = tag;
+    io->active = true;
     io->isWrite = sub.isWrite;
     io->fua = sub.fua;
     io->firstLpn = sub.firstLpn;
     io->pageCount = sub.pageCount;
     io->arrival = sub.arrival;
     io->enqueued = now;
+    io->completed = 0;
+    io->composedCount = 0;
+    io->finishedCount = 0;
     stats_.queueStallTime += now - sub.arrival;
-    io->initBitmap();
+    io->initBitmap(); // reuses the recycled slot's bitmap capacity
 
     const std::uint64_t logical = ftl_.logicalPages();
+    io->pages.clear();
     io->pages.reserve(sub.pageCount);
     for (std::uint32_t i = 0; i < sub.pageCount; ++i) {
-        auto req = std::make_unique<MemoryRequest>();
+        MemoryRequest *req = acquireRequest();
         req->id = nextReqId_++;
-        req->tag = io->tag;
+        req->tag = tag;
         req->idxInIo = i;
         req->op = sub.isWrite ? FlashOp::Program : FlashOp::Read;
         req->lpn = (sub.firstLpn + i) % logical;
         translate(*req);
-        lpnChain_[req->lpn].push_back(req.get());
-        io->pages.push_back(std::move(req));
+        lpnChain_.pushBack(req->lpn, req);
+        io->pages.push_back(req);
     }
 
-    IoRequest *raw = io.get();
-    slots_[raw->tag] = std::move(io);
+    IoRequest *raw = io;
     queue_.push_back(raw);
     sched_->onEnqueue(*raw);
     if (afterEnqueue_)
@@ -172,8 +203,8 @@ Nvmhc::hazardFree(const MemoryRequest &req) const
 {
     // Per-LPN ordering: only the oldest pending request on a logical
     // page may proceed (covers RAW/WAW/WAR across queued I/Os).
-    const auto it = lpnChain_.find(req.lpn);
-    if (it == lpnChain_.end() || it->second.empty()) {
+    const MemoryRequest *oldest = lpnChain_.front(req.lpn);
+    if (oldest == nullptr) {
         panic("Nvmhc::hazardFree request missing from LPN chain: lpn=" +
               std::to_string(req.lpn) + " tag=" +
               std::to_string(req.tag) + " composed=" +
@@ -181,7 +212,7 @@ Nvmhc::hazardFree(const MemoryRequest &req) const
               std::to_string(req.isGc) + " id=" +
               std::to_string(req.id));
     }
-    if (it->second.front() != &req)
+    if (oldest != &req)
         return false;
 
     // FUA barrier: an FUA I/O is served strictly in order -- nothing
@@ -228,9 +259,9 @@ Nvmhc::composeDone(MemoryRequest *req)
     req->composedAt = events_.now();
     ++stats_.requestsComposed;
 
-    if (req->tag >= slots_.size() || slots_[req->tag] == nullptr)
+    if (req->tag >= slots_.size() || !slots_[req->tag].active)
         panic("Nvmhc::composeDone orphan request");
-    slots_[req->tag]->composedCount++;
+    slots_[req->tag].composedCount++;
     sched_->onComposed(*req);
 
     controllerFor(req->chip).commit(req);
@@ -242,9 +273,9 @@ void
 Nvmhc::onRequestFinished(MemoryRequest *req)
 {
     const Tick now = events_.now();
-    if (req->tag >= slots_.size() || slots_[req->tag] == nullptr)
+    if (req->tag >= slots_.size() || !slots_[req->tag].active)
         panic("Nvmhc::onRequestFinished orphan request");
-    IoRequest *io = slots_[req->tag].get();
+    IoRequest *io = &slots_[req->tag];
 
     // Stale read: live-data migration moved the page while the request
     // was in flight (or, without a readdressing callback, while it sat
@@ -263,14 +294,9 @@ Nvmhc::onRequestFinished(MemoryRequest *req)
     }
 
     // Retire the request from the hazard chain.
-    auto chain = lpnChain_.find(req->lpn);
-    if (chain == lpnChain_.end() || chain->second.empty() ||
-        chain->second.front() != req) {
+    if (lpnChain_.front(req->lpn) != req)
         panic("Nvmhc: LPN chain corrupted at completion");
-    }
-    chain->second.pop_front();
-    if (chain->second.empty())
-        lpnChain_.erase(chain);
+    lpnChain_.popFront(req->lpn);
 
     if (!io->clearBit(req->idxInIo))
         panic("Nvmhc: completion bitmap bit already clear");
@@ -293,7 +319,12 @@ Nvmhc::onRequestFinished(MemoryRequest *req)
             panic("Nvmhc: completed I/O missing from queue");
         queue_.erase(qit);
         const TagId tag = io->tag;
-        slots_[tag].reset(); // frees the IoRequest and its pages
+        // Recycle the entry in place: pages return to the slab, the
+        // slot keeps its vector/bitmap capacity for the next I/O.
+        for (MemoryRequest *page : io->pages)
+            releaseRequest(page);
+        io->pages.clear();
+        io->active = false;
         freeTags_.push_back(tag);
 
         admitWaiting();
@@ -306,12 +337,9 @@ Nvmhc::onRequestFinished(MemoryRequest *req)
 void
 Nvmhc::readdress(Lpn lpn, Ppn from, Ppn to)
 {
-    const auto it = lpnChain_.find(lpn);
-    if (it == lpnChain_.end())
-        return;
-    for (MemoryRequest *req : it->second) {
+    lpnChain_.forEach(lpn, [&](MemoryRequest *req) {
         if (req->op != FlashOp::Read || req->ppn != from)
-            continue;
+            return;
         const bool in_flight = req->composed || req->composing;
         if (!in_flight && sched_->wantsReaddressing()) {
             // Sprinkler's readdressing callback: retarget before the
@@ -327,7 +355,7 @@ Nvmhc::readdress(Lpn lpn, Ppn from, Ppn to)
             // the old location and is re-executed at completion.
             req->stale = true;
         }
-    }
+    });
 }
 
 void

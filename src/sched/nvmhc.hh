@@ -13,15 +13,14 @@
 #define SPK_SCHED_NVMHC_HH
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "controller/flash_controller.hh"
 #include "controller/io_request.hh"
 #include "ftl/ftl.hh"
+#include "sched/lpn_chain.hh"
 #include "sched/scheduler.hh"
 #include "sim/event_queue.hh"
 #include "sim/stats.hh"
@@ -120,7 +119,7 @@ class Nvmhc : private SchedulerView
 
     const NvmhcStats &stats() const { return stats_; }
     IoScheduler &scheduler() { return *sched_; }
-    const std::deque<IoRequest *> &queue() const { return queue_; }
+    const RingDeque<IoRequest *> &queue() const { return queue_; }
 
     /** Hook run after every enqueue (the device's GC trigger check). */
     void setAfterEnqueueHook(std::function<void()> hook)
@@ -161,6 +160,12 @@ class Nvmhc : private SchedulerView
     /** Secure a tag and preprocess (translate + bucket) an I/O. */
     void enqueue(const PendingSubmission &sub);
 
+    /** Pull a recycled memory request from the slab (grows by chunk). */
+    MemoryRequest *acquireRequest();
+
+    /** Return a retired memory request to the slab. */
+    void releaseRequest(MemoryRequest *req);
+
     /** Admit waiting submissions into freed tags. */
     void admitWaiting();
 
@@ -188,20 +193,30 @@ class Nvmhc : private SchedulerView
     std::function<void()> afterEnqueue_;
     std::function<bool()> reclaim_;
 
-    /** Flat NCQ slot table indexed by tag; size == queueDepth. */
-    std::vector<std::unique_ptr<IoRequest>> slots_;
+    /**
+     * Flat NCQ slot slab indexed by tag; size == queueDepth, fixed at
+     * construction (entries are recycled in place, their pages vector
+     * and bitmap keep their capacity across I/Os).
+     */
+    std::vector<IoRequest> slots_;
     /** Recycled tag ids (LIFO); tags stay in [0, queueDepth). */
     std::vector<TagId> freeTags_;
-    std::deque<IoRequest *> queue_; //!< arrival order, live entries
-    std::deque<PendingSubmission> waiting_;
+    RingDeque<IoRequest *> queue_; //!< arrival order, live entries
+    RingDeque<PendingSubmission> waiting_;
     std::uint64_t nextReqId_ = 0;
+
+    /** Memory-request slab: chunk storage plus the free list. The
+     *  high-water mark is bounded by queueDepth x pages-per-I/O. */
+    std::vector<std::unique_ptr<MemoryRequest[]>> reqChunks_;
+    std::vector<MemoryRequest *> freeReqs_;
 
     /** Per-global-chip controller / chip-offset lookup tables. */
     std::vector<FlashController *> ctrlByChip_;
     std::vector<std::uint32_t> offsetByChip_;
 
-    /** Per-LPN pending requests, oldest first (hazard ordering). */
-    std::unordered_map<Lpn, std::deque<MemoryRequest *>> lpnChain_;
+    /** Per-LPN pending requests, oldest first (hazard ordering);
+     *  intrusive chains, allocation-free at steady state. */
+    LpnChainMap lpnChain_;
 
     bool engineBusy_ = false;
     BusyTracker active_;

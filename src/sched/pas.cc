@@ -19,8 +19,8 @@ PasScheduler::next(SchedulerContext &ctx)
     for (IoRequest *io : *ctx.queue) {
         if (io->allComposed())
             continue;
-        for (auto &page : io->pages) {
-            MemoryRequest *req = page.get();
+        for (MemoryRequest *page : io->pages) {
+            MemoryRequest *req = page;
             if (req->composed)
                 continue;
             if (!ctx.view->schedulable(*req))

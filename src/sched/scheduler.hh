@@ -14,7 +14,7 @@
 #define SPK_SCHED_SCHEDULER_HH
 
 #include <cstdint>
-#include <deque>
+#include "sim/ring_deque.hh"
 #include <memory>
 #include <string>
 
@@ -66,7 +66,7 @@ struct SchedulerContext
     const FlashGeometry *geo = nullptr;
 
     /** Queue entries in arrival order (oldest first). */
-    const std::deque<IoRequest *> *queue = nullptr;
+    const RingDeque<IoRequest *> *queue = nullptr;
 
     /** Device-state queries (owned by the NVMHC). */
     const SchedulerView *view = nullptr;

@@ -36,9 +36,9 @@ SprinklerScheduler::onEnqueue(IoRequest &io)
 {
     // Securing tags: identify physical layout and bucket per chip
     // without any memory request composition (RIOS step i).
-    for (auto &page : io.pages) {
+    for (MemoryRequest *page : io.pages) {
         ensureBuckets(page->chip);
-        buckets_[page->chip].push_back(page.get());
+        buckets_[page->chip].push_back(page);
     }
 }
 
@@ -236,8 +236,8 @@ SprinklerScheduler::nextFaroOnly(SchedulerContext &ctx)
     for (IoRequest *io : *ctx.queue) {
         if (io->allComposed())
             continue;
-        for (auto &page : io->pages) {
-            MemoryRequest *req = page.get();
+        for (MemoryRequest *page : io->pages) {
+            MemoryRequest *req = page;
             if (req->composed || req->composing)
                 continue;
             if (!ctx.view->schedulable(*req))

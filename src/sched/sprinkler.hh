@@ -26,7 +26,6 @@
 #define SPK_SCHED_SPRINKLER_HH
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "sched/scheduler.hh"
@@ -102,7 +101,7 @@ class SprinklerScheduler : public IoScheduler
     std::uint32_t window_;
 
     /** Per-chip uncomposed requests, insertion (arrival) order. */
-    std::vector<std::deque<MemoryRequest *>> buckets_;
+    std::vector<RingDeque<MemoryRequest *>> buckets_;
 
     /** RIOS chip traversal cursor. */
     std::uint64_t cursor_ = 0;

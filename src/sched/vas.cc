@@ -12,8 +12,8 @@ VasScheduler::next(SchedulerContext &ctx)
             continue;
 
         // Next uncomposed page in virtual (page) order.
-        for (auto &page : io->pages) {
-            MemoryRequest *req = page.get();
+        for (MemoryRequest *page : io->pages) {
+            MemoryRequest *req = page;
             if (req->composed)
                 continue;
             if (!ctx.view->schedulable(*req))

@@ -17,6 +17,7 @@
 #ifndef SPK_SIM_ALLOC_COUNTER_HH
 #define SPK_SIM_ALLOC_COUNTER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
@@ -25,15 +26,23 @@ namespace spk
 {
 
 /** Heap allocations observed by the counting operator new. Stays at
- *  zero unless some TU in the executable defines SPK_COUNT_ALLOCS. */
-inline std::uint64_t g_allocCount = 0;
+ *  zero unless some TU in the executable defines SPK_COUNT_ALLOCS.
+ *  Atomic (relaxed) so sharded multi-device runs can count too. */
+inline std::atomic<std::uint64_t> g_allocCount{0};
 
 /** Allocation delta across a window of interest. */
 class AllocWindow
 {
   public:
-    AllocWindow() : start_(g_allocCount) {}
-    std::uint64_t count() const { return g_allocCount - start_; }
+    AllocWindow() : start_(g_allocCount.load(std::memory_order_relaxed))
+    {
+    }
+
+    std::uint64_t
+    count() const
+    {
+        return g_allocCount.load(std::memory_order_relaxed) - start_;
+    }
 
   private:
     std::uint64_t start_;
@@ -46,7 +55,7 @@ class AllocWindow
 void *
 operator new(std::size_t size)
 {
-    ++spk::g_allocCount;
+    spk::g_allocCount.fetch_add(1, std::memory_order_relaxed);
     if (void *p = std::malloc(size))
         return p;
     throw std::bad_alloc{};
@@ -55,7 +64,7 @@ operator new(std::size_t size)
 void *
 operator new[](std::size_t size)
 {
-    ++spk::g_allocCount;
+    spk::g_allocCount.fetch_add(1, std::memory_order_relaxed);
     if (void *p = std::malloc(size))
         return p;
     throw std::bad_alloc{};

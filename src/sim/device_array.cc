@@ -1,0 +1,180 @@
+#include "sim/device_array.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "sim/logging.hh"
+#include "ssd/ssd.hh"
+
+namespace spk
+{
+
+DeviceArray::DeviceArray(std::vector<DeviceJob> jobs)
+    : jobs_(std::move(jobs))
+{
+    if (jobs_.empty())
+        fatal("DeviceArray: no jobs");
+}
+
+void
+DeviceArray::runOne(std::size_t index)
+{
+    const DeviceJob &job = jobs_[index];
+    Ssd ssd(job.cfg);
+    if (job.preconditionGc)
+        ssd.preconditionForGc();
+    ssd.replay(job.trace);
+    ssd.run();
+    results_[index] = ssd.metrics();
+}
+
+const std::vector<MetricsSnapshot> &
+DeviceArray::run(unsigned threads)
+{
+    results_.assign(jobs_.size(), MetricsSnapshot{});
+    const unsigned workers = std::max(
+        1u, std::min(threads, static_cast<unsigned>(jobs_.size())));
+
+    if (workers == 1) {
+        for (std::size_t i = 0; i < jobs_.size(); ++i)
+            runOne(i);
+        return results_;
+    }
+
+    // Fixed pool; each worker claims the next unstarted device from
+    // an atomic cursor. Devices share nothing mutable, so the claim
+    // order cannot influence any result.
+    std::atomic<std::size_t> cursor{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([this, &cursor] {
+            while (true) {
+                const std::size_t i =
+                    cursor.fetch_add(1, std::memory_order_relaxed);
+                if (i >= jobs_.size())
+                    return;
+                runOne(i);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+    return results_;
+}
+
+MetricsSnapshot
+DeviceArray::aggregate(const std::vector<MetricsSnapshot> &devices)
+{
+    MetricsSnapshot agg;
+    if (devices.empty())
+        return agg;
+
+    agg.scheduler = devices.front().scheduler;
+    for (const auto &m : devices) {
+        if (m.scheduler != agg.scheduler)
+            agg.scheduler = "mixed";
+    }
+
+    double weighted_lat = 0.0;
+    double weighted_read_lat = 0.0;
+    double weighted_write_lat = 0.0;
+    double weighted_p50 = 0.0;
+    double weighted_p95 = 0.0;
+    double weighted_p99 = 0.0;
+    double span_weight = 0.0;
+    double util = 0.0;
+    double flash_util = 0.0;
+    double inter_idle = 0.0;
+    double intra_idle = 0.0;
+    double exec_bus = 0.0;
+    double exec_cont = 0.0;
+    double exec_cell = 0.0;
+    double exec_idle = 0.0;
+    std::array<double, 4> flp{};
+    double reads = 0.0;
+    double writes = 0.0;
+
+    for (const auto &m : devices) {
+        agg.makespan = std::max(agg.makespan, m.makespan);
+        agg.deviceActiveTime += m.deviceActiveTime;
+        agg.iosCompleted += m.iosCompleted;
+        agg.bytesRead += m.bytesRead;
+        agg.bytesWritten += m.bytesWritten;
+        agg.bandwidthKBps += m.bandwidthKBps;
+        agg.iops += m.iops;
+        agg.queueStallTime += m.queueStallTime;
+        agg.transactions += m.transactions;
+        agg.requestsServed += m.requestsServed;
+        agg.staleRetries += m.staleRetries;
+        agg.gcBatches += m.gcBatches;
+        agg.pagesMigrated += m.pagesMigrated;
+        agg.maxLatencyNs = std::max(agg.maxLatencyNs, m.maxLatencyNs);
+
+        const auto ios = static_cast<double>(m.iosCompleted);
+        weighted_lat += m.avgLatencyNs * ios;
+        weighted_p50 += static_cast<double>(m.p50LatencyNs) * ios;
+        weighted_p95 += static_cast<double>(m.p95LatencyNs) * ios;
+        weighted_p99 += static_cast<double>(m.p99LatencyNs) * ios;
+        // Read/write splits are weighted by total I/Os as well: the
+        // snapshot does not carry separate read/write counts, so use
+        // the byte mix to apportion them.
+        const double dev_bytes =
+            static_cast<double>(m.bytesRead + m.bytesWritten);
+        const double read_share =
+            dev_bytes > 0.0
+                ? static_cast<double>(m.bytesRead) / dev_bytes
+                : 0.0;
+        weighted_read_lat += m.avgReadLatencyNs * ios * read_share;
+        reads += ios * read_share;
+        weighted_write_lat +=
+            m.avgWriteLatencyNs * ios * (1.0 - read_share);
+        writes += ios * (1.0 - read_share);
+
+        const auto span = static_cast<double>(m.makespan);
+        span_weight += span;
+        util += m.chipUtilizationPct * span;
+        flash_util += m.flashLevelUtilizationPct * span;
+        inter_idle += m.interChipIdlenessPct * span;
+        intra_idle += m.intraChipIdlenessPct * span;
+        exec_bus += m.execBusPct * span;
+        exec_cont += m.execContentionPct * span;
+        exec_cell += m.execCellPct * span;
+        exec_idle += m.execIdlePct * span;
+        for (std::size_t i = 0; i < flp.size(); ++i)
+            flp[i] += m.flpPct[i] * static_cast<double>(m.requestsServed);
+    }
+
+    if (agg.iosCompleted > 0) {
+        const auto total = static_cast<double>(agg.iosCompleted);
+        agg.avgLatencyNs = weighted_lat / total;
+        agg.p50LatencyNs = static_cast<Tick>(weighted_p50 / total);
+        agg.p95LatencyNs = static_cast<Tick>(weighted_p95 / total);
+        agg.p99LatencyNs = static_cast<Tick>(weighted_p99 / total);
+    }
+    if (reads > 0.0)
+        agg.avgReadLatencyNs = weighted_read_lat / reads;
+    if (writes > 0.0)
+        agg.avgWriteLatencyNs = weighted_write_lat / writes;
+    if (span_weight > 0.0) {
+        agg.chipUtilizationPct = util / span_weight;
+        agg.flashLevelUtilizationPct = flash_util / span_weight;
+        agg.interChipIdlenessPct = inter_idle / span_weight;
+        agg.intraChipIdlenessPct = intra_idle / span_weight;
+        agg.execBusPct = exec_bus / span_weight;
+        agg.execContentionPct = exec_cont / span_weight;
+        agg.execCellPct = exec_cell / span_weight;
+        agg.execIdlePct = exec_idle / span_weight;
+    }
+    if (agg.requestsServed > 0) {
+        for (std::size_t i = 0; i < flp.size(); ++i) {
+            agg.flpPct[i] =
+                flp[i] / static_cast<double>(agg.requestsServed);
+        }
+    }
+    return agg;
+}
+
+} // namespace spk

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Sharded multi-device simulation driver.
+ *
+ * The event kernel is per-device deterministic and shares no mutable
+ * state between Ssd instances, so a sweep over N (config, workload)
+ * combinations is embarrassingly parallel: each device gets its own
+ * EventQueue, RNG seed and workload stream, and a fixed pool of
+ * worker threads claims devices from an atomic cursor. Per-device
+ * results are bit-identical to running the same jobs sequentially,
+ * regardless of thread count or claim order.
+ */
+
+#ifndef SPK_SIM_DEVICE_ARRAY_HH
+#define SPK_SIM_DEVICE_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "ssd/config.hh"
+#include "ssd/metrics.hh"
+#include "workload/trace.hh"
+
+namespace spk
+{
+
+/** One independent simulation: device config plus its workload. */
+struct DeviceJob
+{
+    SsdConfig cfg;
+    Trace trace;
+    bool preconditionGc = false; //!< fill + fragment before replay
+};
+
+/**
+ * Runs a batch of independent device simulations across threads.
+ *
+ * Typical use:
+ * @code
+ *   std::vector<DeviceJob> jobs = ...;   // one per seed/scheduler
+ *   DeviceArray array(std::move(jobs));
+ *   array.run(8);                        // 8 worker threads
+ *   MetricsSnapshot fleet = DeviceArray::aggregate(array.results());
+ * @endcode
+ */
+class DeviceArray
+{
+  public:
+    explicit DeviceArray(std::vector<DeviceJob> jobs);
+
+    DeviceArray(const DeviceArray &) = delete;
+    DeviceArray &operator=(const DeviceArray &) = delete;
+
+    /**
+     * Simulate every job and collect its metrics.
+     *
+     * @param threads worker threads; 1 runs inline on the caller
+     *        (clamped to the job count). Thread count affects only
+     *        wall-clock time, never results.
+     * @return per-job snapshots, indexed like the jobs vector.
+     */
+    const std::vector<MetricsSnapshot> &run(unsigned threads);
+
+    /** Per-job snapshots from the last run() (empty before it). */
+    const std::vector<MetricsSnapshot> &results() const
+    {
+        return results_;
+    }
+
+    std::size_t deviceCount() const { return jobs_.size(); }
+
+    /**
+     * Merge per-device snapshots into one fleet-level report.
+     *
+     * Counters (I/Os, bytes, transactions, GC work) are summed;
+     * bandwidth and IOPS are summed (the devices run concurrently);
+     * makespan and max latency take the fleet maximum; mean latencies
+     * are I/O-weighted and utilization/idleness percentages are
+     * makespan-weighted. Latency percentiles cannot be merged exactly
+     * from snapshots, so they are I/O-weighted means — a fleet
+     * summary, not an exact pooled percentile.
+     */
+    static MetricsSnapshot
+    aggregate(const std::vector<MetricsSnapshot> &devices);
+
+  private:
+    void runOne(std::size_t index);
+
+    std::vector<DeviceJob> jobs_;
+    std::vector<MetricsSnapshot> results_;
+};
+
+} // namespace spk
+
+#endif // SPK_SIM_DEVICE_ARRAY_HH

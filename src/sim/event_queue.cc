@@ -1,6 +1,7 @@
 #include "sim/event_queue.hh"
 
 #include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "sim/logging.hh"
@@ -8,13 +9,38 @@
 namespace spk
 {
 
+/*
+ * OrderInvariant — why bucket FIFO + overflow (tick, seq) preserves
+ * the global (tick, insertion-order) dispatch order:
+ *
+ * The window [base_, base_ + kBuckets) only moves forward, and the
+ * overflow heap only ever holds events at or beyond its end. Two
+ * same-tick events therefore either (a) both enter the ring, in
+ * insertion order, landing in the same bucket FIFO; (b) both enter
+ * the overflow heap, where the explicit seq breaks the tie; or
+ * (c) the overflow one is inserted first: a ring insertion at tick T
+ * requires T < base_ + kBuckets, which becomes true only inside
+ * advanceTo(), and advanceTo() drains every due overflow entry into
+ * the ring before returning — so the overflow event is already
+ * appended when the direct insertion arrives. The fourth case (ring
+ * first, then overflow at the same tick) cannot occur because the
+ * window end never decreases.
+ */
+
+EventQueue::EventQueue()
+{
+    // The far-future heap typically stays small (cell-latency events
+    // in flight); pre-sizing it keeps early runs allocation-quiet.
+    overflow_.reserve(kPoolChunk);
+}
+
 EventQueue::Event *
 EventQueue::acquireEvent()
 {
     if (freeList_ == nullptr) {
         auto chunk = std::make_unique<Event[]>(kPoolChunk);
         for (std::size_t i = 0; i < kPoolChunk; ++i) {
-            chunk[i].nextFree = freeList_;
+            chunk[i].next = freeList_;
             freeList_ = &chunk[i];
         }
         chunks_.push_back(std::move(chunk));
@@ -22,7 +48,7 @@ EventQueue::acquireEvent()
         poolFreeCount_ += kPoolChunk;
     }
     Event *ev = freeList_;
-    freeList_ = ev->nextFree;
+    freeList_ = ev->next;
     --poolFreeCount_;
     return ev;
 }
@@ -31,7 +57,7 @@ void
 EventQueue::releaseEvent(Event *ev)
 {
     ev->cb.reset();
-    ev->nextFree = freeList_;
+    ev->next = freeList_;
     freeList_ = ev;
     ++poolFreeCount_;
 }
@@ -55,14 +81,75 @@ struct HeapLater
 } // namespace
 
 void
+EventQueue::pushRing(Event *ev)
+{
+    const std::size_t idx = ev->when & kBucketMask;
+    ev->next = nullptr;
+    Bucket &b = buckets_[idx];
+    if (b.tail != nullptr) {
+        b.tail->next = ev;
+    } else {
+        b.head = ev;
+        words_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+        summary_ |= std::uint64_t{1} << (idx >> 6);
+    }
+    b.tail = ev;
+    ++ringCount_;
+}
+
+std::size_t
+EventQueue::firstBucket() const
+{
+    // Circular scan from the cursor bucket. The wrapped tail of the
+    // cursor word (bits below the cursor) maps to the highest ticks
+    // of the window, so it is correct to revisit the full word last.
+    const std::size_t cur = base_ & kBucketMask;
+    const std::size_t w = cur >> 6;
+    const std::uint64_t head = words_[w] >> (cur & 63);
+    if (head != 0)
+        return cur + static_cast<std::size_t>(std::countr_zero(head));
+
+    const std::uint64_t wbit = std::uint64_t{1} << w;
+    // Words strictly after the cursor word, then wrap to 0..w. The
+    // summary bit for w itself is only considered on the wrap.
+    std::uint64_t s = summary_ & ~(wbit | (wbit - 1));
+    if (s == 0)
+        s = summary_ & (wbit | (wbit - 1));
+    if (s == 0)
+        panic("EventQueue::firstBucket on an empty ring");
+    const auto wi = static_cast<std::size_t>(std::countr_zero(s));
+    const std::uint64_t word = words_[wi];
+    return (wi << 6) + static_cast<std::size_t>(std::countr_zero(word));
+}
+
+void
+EventQueue::advanceTo(Tick tick)
+{
+    base_ = tick;
+    // Subtraction form avoids overflow for ticks near kTickMax.
+    while (!overflow_.empty() && overflow_.front().when - tick < kBuckets) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+        Event *ev = overflow_.back().ev;
+        overflow_.pop_back();
+        pushRing(ev);
+    }
+}
+
+void
 EventQueue::schedule(Tick when, Callback cb)
 {
     if (when < now_)
         panic("EventQueue::schedule into the past");
     Event *ev = acquireEvent();
     ev->cb = std::move(cb);
-    heap_.push_back(HeapEntry{when, nextSeq_++, ev});
-    std::push_heap(heap_.begin(), heap_.end(), HeapLater{});
+    ev->when = when;
+    if (when - base_ < kBuckets) {
+        pushRing(ev);
+    } else {
+        overflow_.push_back(HeapEntry{when, nextSeq_++, ev});
+        std::push_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+    }
+    ++size_;
 }
 
 void
@@ -74,23 +161,46 @@ EventQueue::scheduleAfter(Tick delay, Callback cb)
 Tick
 EventQueue::nextEventTick() const
 {
-    return heap_.empty() ? kTickMax : heap_.front().when;
+    if (ringCount_ > 0)
+        return buckets_[firstBucket()].head->when;
+    if (!overflow_.empty())
+        return overflow_.front().when;
+    return kTickMax;
 }
 
 bool
 EventQueue::step()
 {
-    if (heap_.empty())
+    if (size_ == 0)
         return false;
-    std::pop_heap(heap_.begin(), heap_.end(), HeapLater{});
-    const HeapEntry entry = heap_.back();
-    heap_.pop_back();
-    now_ = entry.when;
+    if (ringCount_ == 0) {
+        // Ring drained: jump the window to the earliest far-future
+        // event. advanceTo refills at least that event.
+        advanceTo(overflow_.front().when);
+    }
+    const std::size_t idx = firstBucket();
+    Bucket &b = buckets_[idx];
+    Event *ev = b.head;
+    b.head = ev->next;
+    if (b.head == nullptr) {
+        b.tail = nullptr;
+        std::uint64_t &word = words_[idx >> 6];
+        word &= ~(std::uint64_t{1} << (idx & 63));
+        if (word == 0)
+            summary_ &= ~(std::uint64_t{1} << (idx >> 6));
+    }
+    --ringCount_;
+    --size_;
+
+    const Tick when = ev->when;
+    if (when > base_)
+        advanceTo(when); // slide the window; pull due overflow in
+    now_ = when;
     ++dispatched_;
     // Invoke from the node (it may schedule new events, growing the
     // pool), then recycle it.
-    entry.ev->cb();
-    releaseEvent(entry.ev);
+    ev->cb();
+    releaseEvent(ev);
     return true;
 }
 
@@ -107,7 +217,7 @@ std::uint64_t
 EventQueue::runUntil(Tick until)
 {
     std::uint64_t n = 0;
-    while (!heap_.empty() && heap_.front().when <= until) {
+    while (size_ != 0 && nextEventTick() <= until) {
         step();
         ++n;
     }

@@ -7,16 +7,25 @@
  * (tick, insertion-order) order so simulation results are fully
  * deterministic.
  *
+ * Dispatch core is a two-level calendar queue: a power-of-two ring of
+ * near-future buckets (one tick per bucket, intrusive FIFO lists of
+ * pooled event nodes, O(1) append) backed by an overflow binary heap
+ * for events beyond the ring window. As the cursor advances the
+ * window follows it and due overflow entries refill the ring, so the
+ * short-delay reschedule chains that dominate chip/channel timing
+ * traffic never touch the heap at all.
+ *
  * The kernel is allocation-free in steady state: callbacks live in
  * pooled event nodes (inline storage, see EventCallback) recycled
- * through a free list, and the dispatch heap holds small plain
- * entries whose backing vector stops growing once the pending-event
- * high-water mark is reached.
+ * through a free list, the ring is a fixed array, and the overflow
+ * heap's backing vector stops growing once the far-future high-water
+ * mark is reached.
  */
 
 #ifndef SPK_SIM_EVENT_QUEUE_HH
 #define SPK_SIM_EVENT_QUEUE_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -31,14 +40,18 @@ namespace spk
  * Deterministic discrete-event queue.
  *
  * Events at the same tick fire in the order they were scheduled
- * (FIFO tie-break via a monotonically increasing sequence number).
+ * (FIFO tie-break). Ring buckets hold exactly one tick each, so
+ * per-bucket append order is FIFO order; overflow entries carry an
+ * explicit sequence number and refill the ring in (tick, seq) order
+ * before any same-tick ring insertion can occur, which preserves the
+ * global tie-break exactly (see OrderInvariant note in the .cc).
  */
 class EventQueue
 {
   public:
     using Callback = EventCallback;
 
-    EventQueue() = default;
+    EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -57,10 +70,10 @@ class EventQueue
     void scheduleAfter(Tick delay, Callback cb);
 
     /** True when no events remain. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /** Number of pending events. */
-    std::size_t size() const { return heap_.size(); }
+    std::size_t size() const { return size_; }
 
     /** Tick of the next pending event; kTickMax when empty. */
     Tick nextEventTick() const;
@@ -87,14 +100,27 @@ class EventQueue
     /** Pool nodes currently on the free list. */
     std::size_t poolFree() const { return poolFreeCount_; }
 
-    /** Pooled event node; recycled via the intrusive free list. */
+    /** Events currently parked in the near-future ring. */
+    std::size_t ringSize() const { return ringCount_; }
+
+    /** Events currently parked in the far-future overflow heap. */
+    std::size_t overflowSize() const { return overflow_.size(); }
+
+    /** Ring window width in ticks (one bucket per tick). */
+    static constexpr Tick windowTicks() { return kBuckets; }
+
+    /**
+     * Pooled event node; recycled via the intrusive free list. The
+     * link pointer doubles as the bucket FIFO chain while queued.
+     */
     struct Event
     {
         EventCallback cb;
-        Event *nextFree = nullptr;
+        Event *next = nullptr;
+        Tick when = 0;
     };
 
-    /** Heap entry: ordering key plus the pooled payload. */
+    /** Overflow-heap entry: ordering key plus the pooled payload. */
     struct HeapEntry
     {
         Tick when;
@@ -103,17 +129,46 @@ class EventQueue
     };
 
   private:
+    /** Ring buckets; power of two, one tick per bucket. */
+    static constexpr std::size_t kBuckets = 4096;
+    static constexpr std::size_t kBucketMask = kBuckets - 1;
+    static constexpr std::size_t kWords = kBuckets / 64;
+
     /** Nodes carved per pool growth step. */
     static constexpr std::size_t kPoolChunk = 256;
+
+    /** Intrusive per-bucket FIFO list. */
+    struct Bucket
+    {
+        Event *head = nullptr;
+        Event *tail = nullptr;
+    };
 
     Event *acquireEvent();
     void releaseEvent(Event *ev);
 
-    std::vector<HeapEntry> heap_; //!< binary min-heap by (when, seq)
+    /** Append @p ev to its ring bucket (when within the window). */
+    void pushRing(Event *ev);
+
+    /** Index of the first occupied bucket at or after the cursor. */
+    std::size_t firstBucket() const;
+
+    /** Advance the window start to @p tick and refill due overflow. */
+    void advanceTo(Tick tick);
+
+    std::array<Bucket, kBuckets> buckets_;
+    std::array<std::uint64_t, kWords> words_{}; //!< bucket occupancy
+    std::uint64_t summary_ = 0; //!< one bit per occupancy word
+
+    std::vector<HeapEntry> overflow_; //!< min-heap by (when, seq)
     std::vector<std::unique_ptr<Event[]>> chunks_;
     Event *freeList_ = nullptr;
     std::size_t poolCapacity_ = 0;
     std::size_t poolFreeCount_ = 0;
+
+    Tick base_ = 0; //!< window start; ring holds [base_, base_+kBuckets)
+    std::size_t ringCount_ = 0;
+    std::size_t size_ = 0;
 
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;

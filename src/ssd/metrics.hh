@@ -81,6 +81,9 @@ struct MetricsSnapshot
 
     /** One-line key=value summary. */
     std::string summary() const;
+
+    /** Exact (bit-level) comparison; used by determinism tests. */
+    bool operator==(const MetricsSnapshot &) const = default;
 };
 
 std::ostream &operator<<(std::ostream &os, const MetricsSnapshot &m);

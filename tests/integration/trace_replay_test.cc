@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -83,6 +84,40 @@ TEST_F(TraceReplayE2E, ReplayAcrossSchedulersMatchesByteTotals)
         ssd.run();
         EXPECT_EQ(ssd.nvmhc().stats().bytesWritten, 8192u + 16384u)
             << schedulerKindName(kind);
+    }
+}
+
+TEST(TraceReplaySample, CheckedInMsrSampleRunsEndToEnd)
+{
+    // The committed sample under data/traces is the first
+    // non-synthetic workload: parse it, fold offsets into the device
+    // span, and replay it deterministically under two schedulers.
+    auto parsed = parseMsrTraceFile(std::string(SPK_DATA_DIR) +
+                                    "/traces/msr_sample.csv");
+    ASSERT_EQ(parsed.trace.size(), 64u);
+
+    SsdConfig cfg;
+    cfg.geometry.numChannels = 2;
+    cfg.geometry.chipsPerChannel = 4;
+    cfg.geometry.blocksPerPlane = 16;
+    cfg.geometry.pagesPerBlock = 32;
+    const std::uint64_t span =
+        cfg.geometry.totalPages() * cfg.geometry.pageSizeBytes / 2;
+    for (auto &rec : parsed.trace) {
+        rec.offsetBytes %= span;
+        rec.sizeBytes =
+            std::min<std::uint64_t>(rec.sizeBytes,
+                                    span - rec.offsetBytes);
+    }
+
+    for (const auto kind : {SchedulerKind::VAS, SchedulerKind::SPK3}) {
+        cfg.scheduler = kind;
+        Ssd ssd(cfg);
+        ssd.replay(parsed.trace);
+        ssd.run();
+        const auto m = ssd.metrics();
+        EXPECT_EQ(m.iosCompleted, 64u) << schedulerKindName(kind);
+        EXPECT_GT(m.bandwidthKBps, 0.0);
     }
 }
 

@@ -25,7 +25,7 @@ TEST(Pas, SkipsConflictedHeadIo)
     PasScheduler pas;
     // Every request of I/O #1 heads to the busy chip 0: unlike VAS,
     // PAS skips the blocked head and starts I/O #2.
-    EXPECT_EQ(pas.next(h.ctx), second->pages[0].get());
+    EXPECT_EQ(pas.next(h.ctx), second->pages[0]);
     (void)first;
 }
 
@@ -37,7 +37,7 @@ TEST(Pas, SkipsBusyChipWithinIo)
     PasScheduler pas;
     // Coarse out-of-order: PAS skips the busy chip and commits the
     // request heading to the idle one (Section 5.1).
-    EXPECT_EQ(pas.next(h.ctx), io->pages[1].get());
+    EXPECT_EQ(pas.next(h.ctx), io->pages[1]);
 }
 
 TEST(Pas, OwnIoQueueIsNotAConflict)
@@ -50,7 +50,7 @@ TEST(Pas, OwnIoQueueIsNotAConflict)
     h.view.othersOverride = [&](std::uint32_t, TagId tag) {
         return tag == io->tag ? 0u : 1u;
     };
-    EXPECT_EQ(pas.next(h.ctx), io->pages[0].get());
+    EXPECT_EQ(pas.next(h.ctx), io->pages[0]);
 }
 
 TEST(Pas, ContinuesStartedIoBeforeStartingNew)
@@ -61,17 +61,17 @@ TEST(Pas, ContinuesStartedIoBeforeStartingNew)
     PasScheduler pas;
 
     MemoryRequest *r1 = pas.next(h.ctx);
-    EXPECT_EQ(r1, first->pages[0].get());
+    EXPECT_EQ(r1, first->pages[0]);
     h.compose(r1);
     h.view.outstandingMap[0] = 1; // committed request now outstanding
 
     // First I/O has begun: PAS keeps feeding it even though chip 1 of
     // the same I/O is free and I/O #2 could also start.
     MemoryRequest *r2 = pas.next(h.ctx);
-    EXPECT_EQ(r2, first->pages[1].get());
+    EXPECT_EQ(r2, first->pages[1]);
     h.compose(r2);
 
-    EXPECT_EQ(pas.next(h.ctx), second->pages[0].get());
+    EXPECT_EQ(pas.next(h.ctx), second->pages[0]);
 }
 
 TEST(Pas, InOrderWhenNoConflicts)
@@ -80,9 +80,9 @@ TEST(Pas, InOrderWhenNoConflicts)
     auto *first = h.addIo({0});
     auto *second = h.addIo({1});
     PasScheduler pas;
-    EXPECT_EQ(pas.next(h.ctx), first->pages[0].get());
-    h.compose(first->pages[0].get());
-    EXPECT_EQ(pas.next(h.ctx), second->pages[0].get());
+    EXPECT_EQ(pas.next(h.ctx), first->pages[0]);
+    h.compose(first->pages[0]);
+    EXPECT_EQ(pas.next(h.ctx), second->pages[0]);
 }
 
 TEST(Pas, AllIosConflictedReturnsNull)
@@ -104,7 +104,7 @@ TEST(Pas, HazardInsideIoFallsThroughToNextIo)
         return req.tag != first->tag;
     };
     PasScheduler pas;
-    EXPECT_EQ(pas.next(h.ctx), second->pages[0].get());
+    EXPECT_EQ(pas.next(h.ctx), second->pages[0]);
 }
 
 TEST(Pas, NameIsPas)

@@ -8,7 +8,6 @@
 #ifndef SPK_TESTS_SCHED_TEST_UTIL_HH
 #define SPK_TESTS_SCHED_TEST_UTIL_HH
 
-#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -61,8 +60,9 @@ struct TestSchedulerView : SchedulerView
 struct SchedHarness
 {
     FlashGeometry geo;
-    std::deque<IoRequest *> queue;
+    RingDeque<IoRequest *> queue;
     std::vector<std::unique_ptr<IoRequest>> storage;
+    std::vector<std::unique_ptr<MemoryRequest>> reqStorage;
     TestSchedulerView view;
     SchedulerContext ctx;
     std::uint64_t nextReqId = 0;
@@ -110,7 +110,8 @@ struct SchedHarness
             req->addr.block = i;
             req->addr.page = 0;
             req->translated = true;
-            io->pages.push_back(std::move(req));
+            io->pages.push_back(req.get());
+            reqStorage.push_back(std::move(req));
         }
         storage.push_back(std::move(io));
         queue.push_back(storage.back().get());
@@ -119,7 +120,7 @@ struct SchedHarness
 
     /** Mark a request composed (as the NVMHC engine would). */
     static void
-    compose(MemoryRequest *req, std::deque<IoRequest *> &q)
+    compose(MemoryRequest *req, RingDeque<IoRequest *> &q)
     {
         req->composed = true;
         for (IoRequest *io : q) {

@@ -65,7 +65,7 @@ TEST(Sprinkler, RiosCommitsAcrossIoBoundaries)
     // VAS would stall; RIOS simply serves chip 1 from I/O #2.
     MemoryRequest *r = spk2.next(h.ctx);
     ASSERT_NE(r, nullptr);
-    EXPECT_EQ(r, second->pages[0].get());
+    EXPECT_EQ(r, second->pages[0]);
 }
 
 TEST(Sprinkler, Spk2NoOvercommit)
@@ -156,7 +156,7 @@ TEST(Sprinkler, RetargetMovesBucket)
     SprinklerScheduler spk3(true, true, 8);
     spk3.onEnqueue(*io);
 
-    MemoryRequest *req = io->pages[0].get();
+    MemoryRequest *req = io->pages[0];
     const std::uint32_t old_chip = req->chip;
     req->chip = 3;
     req->addr.channel = h.geo.channelOfChip(3);
@@ -174,10 +174,10 @@ TEST(Sprinkler, SkipsComposedEntries)
     auto *io = h.addIo({0, 0});
     SprinklerScheduler spk3(true, true, 8);
     spk3.onEnqueue(*io);
-    h.compose(io->pages[0].get());
+    h.compose(io->pages[0]);
     MemoryRequest *r = spk3.next(h.ctx);
     ASSERT_NE(r, nullptr);
-    EXPECT_EQ(r, io->pages[1].get());
+    EXPECT_EQ(r, io->pages[1]);
 }
 
 TEST(Sprinkler, EmptyQueueReturnsNull)

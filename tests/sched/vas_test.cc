@@ -25,7 +25,7 @@ TEST(Vas, ComposesHeadIoInPageOrder)
     for (std::uint32_t i = 0; i < 3; ++i) {
         MemoryRequest *req = vas.next(h.ctx);
         ASSERT_NE(req, nullptr);
-        EXPECT_EQ(req, io->pages[i].get());
+        EXPECT_EQ(req, io->pages[i]);
         h.compose(req);
     }
     EXPECT_EQ(vas.next(h.ctx), nullptr);
@@ -56,9 +56,9 @@ TEST(Vas, DoesNotReorderAcrossIos)
     EXPECT_EQ(vas.next(h.ctx), nullptr);
 
     h.view.outstandingMap[0] = 0;
-    EXPECT_EQ(vas.next(h.ctx), first->pages[0].get());
-    h.compose(first->pages[0].get());
-    EXPECT_EQ(vas.next(h.ctx), second->pages[0].get());
+    EXPECT_EQ(vas.next(h.ctx), first->pages[0]);
+    h.compose(first->pages[0]);
+    EXPECT_EQ(vas.next(h.ctx), second->pages[0]);
 }
 
 TEST(Vas, AdvancesToNextIoAfterHeadFullyComposed)
@@ -67,9 +67,9 @@ TEST(Vas, AdvancesToNextIoAfterHeadFullyComposed)
     auto *first = h.addIo({0, 0});
     auto *second = h.addIo({2});
     VasScheduler vas;
-    h.compose(first->pages[0].get());
-    h.compose(first->pages[1].get());
-    EXPECT_EQ(vas.next(h.ctx), second->pages[0].get());
+    h.compose(first->pages[0]);
+    h.compose(first->pages[1]);
+    EXPECT_EQ(vas.next(h.ctx), second->pages[0]);
 }
 
 TEST(Vas, HazardStallsPipeline)
@@ -77,7 +77,7 @@ TEST(Vas, HazardStallsPipeline)
     SchedHarness h;
     auto *io = h.addIo({0, 1});
     h.view.schedulableOverride = [&](const MemoryRequest &req) {
-        return &req != io->pages[0].get();
+        return &req != io->pages[0];
     };
     VasScheduler vas;
     EXPECT_EQ(vas.next(h.ctx), nullptr);

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Calendar-queue dispatch order cross-checked against a reference
+ * (tick, seq) priority model.
+ *
+ * The reference replays the same schedule through a stable sort on
+ * (tick, insertion-sequence) — the contract the old binary-heap
+ * kernel implemented directly. Streams are randomized to hit
+ * same-tick FIFO ties, far-future (overflow-heap) insertions, and
+ * overflow->ring refill boundaries, including events scheduled from
+ * inside callbacks on both sides of the window edge.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace spk
+{
+namespace
+{
+
+/** One dispatched event: (tick, payload id). */
+using Log = std::vector<std::pair<Tick, int>>;
+
+/** Reference event: absolute tick + global insertion sequence. */
+struct RefEvent
+{
+    Tick when;
+    std::uint64_t seq;
+    int id;
+};
+
+/**
+ * Reference dispatcher: repeatedly extract the (tick, seq) minimum.
+ * Spawned events are appended with later seq, exactly mirroring what
+ * the kernel's schedule() calls do during dispatch.
+ */
+class RefQueue
+{
+  public:
+    void
+    schedule(Tick when, int id)
+    {
+        pending_.push_back(RefEvent{when, nextSeq_++, id});
+    }
+
+    Tick now() const { return now_; }
+
+    /** Drain fully; @p spawn may schedule more events per dispatch. */
+    template <typename SpawnFn>
+    Log
+    drain(SpawnFn &&spawn)
+    {
+        Log log;
+        while (!pending_.empty()) {
+            std::size_t best = 0;
+            for (std::size_t i = 1; i < pending_.size(); ++i) {
+                const auto &e = pending_[i];
+                const auto &b = pending_[best];
+                if (e.when < b.when ||
+                    (e.when == b.when && e.seq < b.seq)) {
+                    best = i;
+                }
+            }
+            const RefEvent ev = pending_[best];
+            pending_.erase(pending_.begin() +
+                           static_cast<std::ptrdiff_t>(best));
+            now_ = ev.when;
+            log.emplace_back(ev.when, ev.id);
+            spawn(*this, ev.id);
+        }
+        return log;
+    }
+
+  private:
+    std::vector<RefEvent> pending_;
+    std::uint64_t nextSeq_ = 0;
+    Tick now_ = 0;
+};
+
+/**
+ * Deterministic delay generator shared by both queues: mixes ties
+ * (delay 0), near-future ring hits, window-edge values and deep
+ * overflow-heap insertions several windows out.
+ */
+Tick
+delayFor(Rng &rng)
+{
+    const Tick window = EventQueue::windowTicks();
+    switch (rng.nextBelow(8)) {
+      case 0:
+        return 0; // same-tick tie
+      case 1:
+      case 2:
+      case 3:
+        return rng.nextBelow(16); // short reschedule chain
+      case 4:
+        return rng.nextInRange(window - 8, window + 8); // window edge
+      case 5:
+        return rng.nextBelow(window); // anywhere in the ring
+      default:
+        return rng.nextInRange(window, 40 * window); // deep overflow
+    }
+}
+
+/** Spawn budget: each seed event schedules a bounded follow-up tree. */
+constexpr int kSeedEvents = 200;
+constexpr int kMaxSpawnId = 4000;
+
+Log
+runKernel(std::uint64_t seed)
+{
+    EventQueue q;
+    Rng arrival_rng(seed);
+    Rng spawn_rng(seed ^ 0xabcdef);
+    Log log;
+    int next_id = kSeedEvents;
+
+    // The spawning callback must draw delays in dispatch order, which
+    // both queues reproduce identically, so the streams line up.
+    struct Spawner
+    {
+        EventQueue *q;
+        Rng *rng;
+        Log *log;
+        int *next_id;
+        int id;
+
+        void
+        operator()() const
+        {
+            log->emplace_back(q->now(), id);
+            if (id % 3 != 2 && *next_id < kMaxSpawnId) {
+                const int child = (*next_id)++;
+                q->scheduleAfter(delayFor(*rng),
+                                 Spawner{q, rng, log, next_id, child});
+            }
+        }
+    };
+
+    for (int i = 0; i < kSeedEvents; ++i) {
+        q.schedule(arrival_rng.nextBelow(64) +
+                       delayFor(arrival_rng),
+                   Spawner{&q, &spawn_rng, &log, &next_id, i});
+    }
+    q.run();
+    return log;
+}
+
+Log
+runReference(std::uint64_t seed)
+{
+    RefQueue q;
+    Rng arrival_rng(seed);
+    Rng spawn_rng(seed ^ 0xabcdef);
+    int next_id = kSeedEvents;
+
+    for (int i = 0; i < kSeedEvents; ++i)
+        q.schedule(arrival_rng.nextBelow(64) + delayFor(arrival_rng), i);
+
+    return q.drain([&](RefQueue &rq, int id) {
+        if (id % 3 != 2 && next_id < kMaxSpawnId) {
+            const int child = next_id++;
+            rq.schedule(rq.now() + delayFor(spawn_rng), child);
+        }
+    });
+}
+
+TEST(CalendarQueue, MatchesReferenceOrderAcrossRandomStreams)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        const Log kernel = runKernel(seed);
+        const Log ref = runReference(seed);
+        ASSERT_EQ(kernel.size(), ref.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < kernel.size(); ++i) {
+            ASSERT_EQ(kernel[i], ref[i])
+                << "seed " << seed << " divergence at event " << i;
+        }
+    }
+}
+
+TEST(CalendarQueue, OverflowRefillPreservesSameTickFifo)
+{
+    // An overflow event and a later ring event at the same tick: the
+    // overflow one was scheduled first and must fire first. The ring
+    // insertion only becomes possible after the window has advanced
+    // (and thus refilled), so FIFO must hold across the boundary.
+    EventQueue q;
+    const Tick far = 3 * EventQueue::windowTicks() + 17;
+    std::vector<int> order;
+    q.schedule(far, [&order] { order.push_back(1); }); // overflow
+    q.schedule(far - 5, [&order, &q, far] {
+        order.push_back(0);
+        q.schedule(far, [&order] { order.push_back(2); }); // ring now
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(q.now(), far);
+}
+
+TEST(CalendarQueue, RingAndOverflowCountsTrackTheWindow)
+{
+    EventQueue q;
+    const Tick window = EventQueue::windowTicks();
+    for (Tick t = 0; t < 10; ++t)
+        q.schedule(t, [] {});
+    for (Tick t = 0; t < 4; ++t)
+        q.schedule(window + 100 + t, [] {});
+    EXPECT_EQ(q.ringSize(), 10u);
+    EXPECT_EQ(q.overflowSize(), 4u);
+    EXPECT_EQ(q.size(), 14u);
+
+    q.run(10); // draining the ring pulls the window forward
+    EXPECT_EQ(q.ringSize(), 0u);
+    EXPECT_EQ(q.overflowSize(), 4u);
+    q.run();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.dispatched(), 14u);
+}
+
+TEST(CalendarQueue, JumpAcrossManyEmptyWindows)
+{
+    // Successive events dozens of windows apart force the empty-ring
+    // jump path (advanceTo straight to the overflow head).
+    EventQueue q;
+    const Tick window = EventQueue::windowTicks();
+    std::vector<Tick> fired;
+    for (int i = 1; i <= 16; ++i) {
+        const Tick when = static_cast<Tick>(i) * 37 * window + i;
+        q.schedule(when, [&fired, &q] { fired.push_back(q.now()); });
+    }
+    q.run();
+    ASSERT_EQ(fired.size(), 16u);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+    for (int i = 1; i <= 16; ++i)
+        EXPECT_EQ(fired[i - 1], static_cast<Tick>(i) * 37 * window + i);
+}
+
+TEST(CalendarQueue, NextEventTickSeesRingAndOverflow)
+{
+    EventQueue q;
+    EXPECT_EQ(q.nextEventTick(), kTickMax);
+    const Tick far = 5 * EventQueue::windowTicks();
+    q.schedule(far, [] {});
+    EXPECT_EQ(q.nextEventTick(), far); // overflow only
+    q.schedule(3, [] {});
+    EXPECT_EQ(q.nextEventTick(), 3u); // ring wins
+    q.run();
+    EXPECT_EQ(q.nextEventTick(), kTickMax);
+}
+
+} // namespace
+} // namespace spk

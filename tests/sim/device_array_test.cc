@@ -1,0 +1,151 @@
+/**
+ * @file
+ * DeviceArray determinism and aggregation.
+ *
+ * The sharded driver must produce per-device MetricsSnapshots that
+ * are bit-identical to running the same jobs sequentially, for any
+ * thread count (the claim order may differ; the results may not).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/device_array.hh"
+#include "workload/synthetic.hh"
+
+namespace spk
+{
+namespace
+{
+
+std::vector<DeviceJob>
+makeJobs(unsigned devices, SchedulerKind kind = SchedulerKind::SPK3)
+{
+    std::vector<DeviceJob> jobs;
+    for (unsigned d = 0; d < devices; ++d) {
+        DeviceJob job;
+        job.cfg = SsdConfig::withChips(8);
+        job.cfg.geometry.blocksPerPlane = 16;
+        job.cfg.geometry.pagesPerBlock = 32;
+        job.cfg.scheduler = kind;
+        job.cfg.seed = 7000 + d;
+
+        SyntheticConfig wl;
+        wl.numIos = 150;
+        wl.spanBytes = job.cfg.geometry.totalPages() *
+                       job.cfg.geometry.pageSizeBytes / 2;
+        wl.seed = 31 + d;
+        job.trace = generateSynthetic(wl);
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+TEST(DeviceArray, ShardedMatchesSequentialBitForBit)
+{
+    const auto jobs = makeJobs(8);
+
+    DeviceArray sequential(jobs);
+    sequential.run(1);
+
+    for (const unsigned threads : {2u, 4u, 8u}) {
+        DeviceArray sharded(jobs);
+        sharded.run(threads);
+        ASSERT_EQ(sharded.results().size(), 8u);
+        for (std::size_t d = 0; d < 8; ++d) {
+            EXPECT_EQ(sequential.results()[d], sharded.results()[d])
+                << "device " << d << " diverged at " << threads
+                << " threads";
+        }
+    }
+}
+
+TEST(DeviceArray, RepeatedShardedRunsAreStable)
+{
+    const auto jobs = makeJobs(4);
+    DeviceArray first(jobs);
+    first.run(4);
+    DeviceArray second(jobs);
+    second.run(4);
+    for (std::size_t d = 0; d < 4; ++d)
+        EXPECT_EQ(first.results()[d], second.results()[d]);
+}
+
+TEST(DeviceArray, DistinctSeedsProduceDistinctDevices)
+{
+    // Guard against accidentally sharing a workload or RNG stream:
+    // different seeds must not collapse to identical snapshots.
+    const auto jobs = makeJobs(3);
+    DeviceArray array(jobs);
+    array.run(3);
+    EXPECT_FALSE(array.results()[0] == array.results()[1]);
+    EXPECT_FALSE(array.results()[1] == array.results()[2]);
+}
+
+TEST(DeviceArray, ThreadCountClampsToJobCount)
+{
+    const auto jobs = makeJobs(2);
+    DeviceArray reference(jobs);
+    reference.run(1);
+    DeviceArray oversubscribed(jobs);
+    oversubscribed.run(64); // clamped to 2 workers
+    for (std::size_t d = 0; d < 2; ++d)
+        EXPECT_EQ(reference.results()[d], oversubscribed.results()[d]);
+}
+
+TEST(DeviceArray, AggregateSumsCountersAndWeightsMeans)
+{
+    const auto jobs = makeJobs(4);
+    DeviceArray array(jobs);
+    array.run(4);
+    const auto fleet = DeviceArray::aggregate(array.results());
+
+    std::uint64_t ios = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t txns = 0;
+    double bw = 0.0;
+    Tick makespan = 0;
+    Tick max_lat = 0;
+    for (const auto &m : array.results()) {
+        ios += m.iosCompleted;
+        bytes += m.bytesRead + m.bytesWritten;
+        txns += m.transactions;
+        bw += m.bandwidthKBps;
+        makespan = std::max(makespan, m.makespan);
+        max_lat = std::max(max_lat, m.maxLatencyNs);
+    }
+    EXPECT_EQ(fleet.iosCompleted, ios);
+    EXPECT_EQ(fleet.bytesRead + fleet.bytesWritten, bytes);
+    EXPECT_EQ(fleet.transactions, txns);
+    EXPECT_DOUBLE_EQ(fleet.bandwidthKBps, bw);
+    EXPECT_EQ(fleet.makespan, makespan);
+    EXPECT_EQ(fleet.maxLatencyNs, max_lat);
+    EXPECT_EQ(fleet.scheduler, "SPK3");
+
+    // Weighted means stay inside the per-device envelope.
+    double lo = 1e300;
+    double hi = 0.0;
+    for (const auto &m : array.results()) {
+        lo = std::min(lo, m.avgLatencyNs);
+        hi = std::max(hi, m.avgLatencyNs);
+    }
+    EXPECT_GE(fleet.avgLatencyNs, lo);
+    EXPECT_LE(fleet.avgLatencyNs, hi);
+}
+
+TEST(DeviceArray, MixedSchedulersReportMixed)
+{
+    auto jobs = makeJobs(2);
+    jobs[1].cfg.scheduler = SchedulerKind::VAS;
+    DeviceArray array(std::move(jobs));
+    array.run(2);
+    EXPECT_EQ(DeviceArray::aggregate(array.results()).scheduler,
+              "mixed");
+}
+
+TEST(DeviceArray, EmptyJobListDies)
+{
+    EXPECT_DEATH(DeviceArray(std::vector<DeviceJob>{}), "no jobs");
+}
+
+} // namespace
+} // namespace spk

@@ -13,6 +13,8 @@
 #define SPK_COUNT_ALLOCS
 #include "sim/alloc_counter.hh"
 #include "sim/event_queue.hh"
+#include "ssd/ssd.hh"
+#include "workload/synthetic.hh"
 
 namespace spk
 {
@@ -95,6 +97,47 @@ TEST(EventPool, MillionEventSteadyStateRunIsAllocationFree)
     EXPECT_GE(count, kTotal);
     EXPECT_EQ(allocs_during, 0u)
         << "steady-state event loop must not touch the heap";
+}
+
+TEST(EventPool, SteadyStateHostIoEnqueueIsAllocationFree)
+{
+    // The assertion window covers the whole host-I/O path, enqueue
+    // included: IoRequest slots, per-page MemoryRequests and the
+    // completion bitmap recycle through slabs keyed by the bounded
+    // NCQ queue depth, the LPN hazard chains are intrusive, and every
+    // flow-through queue is a RingDeque — so once the warmup run has
+    // established all high-water marks, submitting and completing
+    // further I/Os must not touch the heap at all.
+    SsdConfig cfg = SsdConfig::withChips(8);
+    cfg.geometry.blocksPerPlane = 16;
+    cfg.geometry.pagesPerBlock = 32;
+    cfg.scheduler = SchedulerKind::SPK3;
+    Ssd ssd(cfg);
+
+    SyntheticConfig wl;
+    wl.numIos = 1100;
+    wl.readFraction = 1.0; // reads backfill mappings; no GC pressure
+    wl.spanBytes = cfg.geometry.totalPages() *
+                   cfg.geometry.pageSizeBytes / 4;
+    wl.seed = 5;
+    ssd.replay(generateSynthetic(wl));
+    ssd.run();
+
+    wl.numIos = 300;
+    wl.seed = 5; // same stream => warmed LPN set, no fresh backfill
+    const Trace probe = generateSynthetic(wl);
+    const Tick start = ssd.events().now();
+
+    const AllocWindow window;
+    for (const auto &rec : probe) {
+        ssd.submitAt(start + rec.arrival, rec.isWrite, rec.offsetBytes,
+                     rec.sizeBytes, rec.fua);
+    }
+    ssd.run();
+    EXPECT_EQ(window.count(), 0u)
+        << "steady-state host-I/O enqueue+completion must not "
+           "allocate";
+    EXPECT_GE(ssd.metrics().iosCompleted, 1400u);
 }
 
 TEST(EventPool, SchedulingInThePastPanics)

@@ -70,6 +70,28 @@ TEST(TraceParser, HandlesCrLf)
     EXPECT_EQ(result.skippedLines, 0u);
 }
 
+TEST(TraceParser, ParsesCheckedInSampleTrace)
+{
+    // data/traces/msr_sample.csv is the repo's canonical non-synthetic
+    // workload fixture: 64 records plus two comment lines.
+    const auto result = parseMsrTraceFile(
+        std::string(SPK_DATA_DIR) + "/traces/msr_sample.csv");
+    EXPECT_EQ(result.skippedLines, 2u); // the two '#' header lines
+    ASSERT_EQ(result.trace.size(), 64u);
+    EXPECT_EQ(result.trace.front().arrival, 0u); // rebased
+
+    const auto s = summarize(result.trace);
+    EXPECT_EQ(s.readCount + s.writeCount, 64u);
+    EXPECT_GT(s.readCount, 0u);
+    EXPECT_GT(s.writeCount, 0u);
+    Tick prev = 0;
+    for (const auto &rec : result.trace) {
+        EXPECT_GE(rec.arrival, prev); // timestamps monotonic
+        prev = rec.arrival;
+        EXPECT_GT(rec.sizeBytes, 0u);
+    }
+}
+
 TEST(TraceParser, MissingFileDies)
 {
     EXPECT_DEATH((void)parseMsrTraceFile("/nonexistent/trace.csv"),
