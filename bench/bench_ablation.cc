@@ -8,11 +8,17 @@
  *  3. Device-level queue depth: 8 .. 128.
  *  4. Page allocation policy (channel-stripe vs plane-first) per
  *     scheduler.
+ *
+ * Each study is one SweepRunner with the swept parameter on the
+ * variant axis; --csv writes one file per study (suffixes .faro,
+ * .decision, .depth, .alloc appended to the given path).
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench/bench_cli.hh"
 #include "bench/bench_util.hh"
 
 namespace
@@ -35,92 +41,174 @@ workload(const SsdConfig &cfg, std::uint64_t seed)
     return generateSynthetic(wl);
 }
 
-void
-faroWindowSweep()
+std::string
+suffixed(const std::string &csv, const char *suffix)
 {
+    return csv.empty() ? csv : csv + suffix;
+}
+
+void
+faroWindowSweep(const bench::BenchCli &cli)
+{
+    SweepAxes axes;
+    axes.schedulers = {SchedulerKind::SPK3};
+    axes.seeds = {71};
+    axes.variants = {"1", "2", "4", "8", "12", "16"};
+
+    // The trace depends on the config only through the geometry,
+    // which no variant overrides: build it once.
+    const Trace trace =
+        workload(bench::evalConfig(SchedulerKind::SPK3), 71);
+    SweepRunner sweep(filterAxes(axes, cli.filter),
+                      [&trace](const SweepPoint &p) {
+                          DeviceJob job;
+                          job.cfg = bench::evalConfig(p.scheduler);
+                          job.cfg.faroWindow = static_cast<std::uint32_t>(
+                              std::stoul(p.variant));
+                          job.trace = trace;
+                          return job;
+                      });
+    bench::runSweep(sweep, cli, suffixed(cli.csv, ".faro"));
+
     std::printf("\n(1) FARO over-commitment window (SPK3, 64 chips)\n");
     std::printf("%8s %12s %12s %10s %12s\n", "window", "BW KB/s",
                 "latency us", "txns", "intra-idle %");
-    for (const std::uint32_t window : {1u, 2u, 4u, 8u, 12u, 16u}) {
-        SsdConfig cfg = bench::evalConfig(SchedulerKind::SPK3);
-        cfg.faroWindow = window;
-        const auto m = bench::runOnce(cfg, workload(cfg, 71));
-        std::printf("%8u %12.0f %12.0f %10llu %12.1f\n", window,
-                    m.bandwidthKBps, m.avgLatencyNs / 1000.0,
+    for (const auto &v : sweep.axes().variants) {
+        const auto &m = sweep.at("", SchedulerKind::SPK3, 71, v);
+        std::printf("%8lu %12.0f %12.0f %10llu %12.1f\n",
+                    std::stoul(v), m.bandwidthKBps,
+                    m.avgLatencyNs / 1000.0,
                     static_cast<unsigned long long>(m.transactions),
                     m.intraChipIdlenessPct);
     }
 }
 
 void
-decisionWindowSweep()
+decisionWindowSweep(const bench::BenchCli &cli)
 {
+    SweepAxes axes;
+    axes.schedulers = {SchedulerKind::SPK3};
+    axes.seeds = {72};
+    axes.variants = {"0", "1", "3", "5", "10"}; // microseconds
+
+    const Trace trace =
+        workload(bench::evalConfig(SchedulerKind::SPK3), 72);
+    SweepRunner sweep(
+        filterAxes(axes, cli.filter), [&trace](const SweepPoint &p) {
+            DeviceJob job;
+            job.cfg = bench::evalConfig(p.scheduler);
+            job.cfg.decisionWindow =
+                std::stoull(p.variant) * kMicrosecond;
+            job.trace = trace;
+            return job;
+        });
+    bench::runSweep(sweep, cli, suffixed(cli.csv, ".decision"));
+
     std::printf("\n(2) transaction decision window (SPK3, 64 chips)\n");
     std::printf("%12s %12s %12s %10s\n", "window us", "BW KB/s",
                 "latency us", "txns");
-    for (const Tick window :
-         {Tick{0}, 1 * kMicrosecond, 3 * kMicrosecond, 5 * kMicrosecond,
-          10 * kMicrosecond}) {
-        SsdConfig cfg = bench::evalConfig(SchedulerKind::SPK3);
-        cfg.decisionWindow = window;
-        const auto m = bench::runOnce(cfg, workload(cfg, 72));
+    for (const auto &v : sweep.axes().variants) {
+        const auto &m = sweep.at("", SchedulerKind::SPK3, 72, v);
         std::printf("%12.1f %12.0f %12.0f %10llu\n",
-                    static_cast<double>(window) / 1000.0,
+                    static_cast<double>(std::stoull(v)),
                     m.bandwidthKBps, m.avgLatencyNs / 1000.0,
                     static_cast<unsigned long long>(m.transactions));
     }
 }
 
 void
-queueDepthSweep()
+queueDepthSweep(const bench::BenchCli &cli)
 {
+    SweepAxes axes;
+    axes.schedulers = {SchedulerKind::VAS, SchedulerKind::SPK3};
+    axes.seeds = {73};
+    axes.variants = {"8", "16", "32", "64", "128"};
+
+    const Trace trace =
+        workload(bench::evalConfig(SchedulerKind::VAS), 73);
+    SweepRunner sweep(filterAxes(axes, cli.filter),
+                      [&trace](const SweepPoint &p) {
+                          DeviceJob job;
+                          job.cfg = bench::evalConfig(p.scheduler);
+                          job.cfg.nvmhc.queueDepth =
+                              static_cast<std::uint32_t>(
+                                  std::stoul(p.variant));
+                          job.trace = trace;
+                          return job;
+                      });
+    bench::runSweep(sweep, cli, suffixed(cli.csv, ".depth"));
+
+    const bool has_vas = bench::hasScheduler(sweep, SchedulerKind::VAS);
+    const bool has_spk3 =
+        bench::hasScheduler(sweep, SchedulerKind::SPK3);
+
     std::printf("\n(3) device-level queue depth (64 chips)\n");
     std::printf("%8s %12s %12s %12s\n", "depth", "VAS KB/s",
                 "SPK3 KB/s", "SPK3/VAS");
-    for (const std::uint32_t depth : {8u, 16u, 32u, 64u, 128u}) {
-        double bw[2] = {};
-        int i = 0;
-        for (const auto kind :
-             {SchedulerKind::VAS, SchedulerKind::SPK3}) {
-            SsdConfig cfg = bench::evalConfig(kind);
-            cfg.nvmhc.queueDepth = depth;
-            bw[i++] = bench::runOnce(cfg, workload(cfg, 73)).bandwidthKBps;
-        }
-        std::printf("%8u %12.0f %12.0f %12.2f\n", depth, bw[0], bw[1],
-                    bw[1] / bw[0]);
+    for (const auto &v : sweep.axes().variants) {
+        const double vas =
+            has_vas
+                ? sweep.at("", SchedulerKind::VAS, 73, v).bandwidthKBps
+                : 0.0;
+        const double spk3 =
+            has_spk3 ? sweep.at("", SchedulerKind::SPK3, 73, v)
+                           .bandwidthKBps
+                     : 0.0;
+        std::printf("%8lu %12.0f %12.0f %12.2f\n", std::stoul(v), vas,
+                    spk3, vas > 0.0 ? spk3 / vas : 0.0);
     }
 }
 
 void
-allocationSweep()
+allocationSweep(const bench::BenchCli &cli)
 {
+    SweepAxes axes;
+    axes.schedulers = bench::allSchedulers();
+    axes.seeds = {74};
+    axes.variants = {"channel-stripe", "plane-first"};
+
+    const Trace trace =
+        workload(bench::evalConfig(SchedulerKind::VAS), 74);
+    SweepRunner sweep(
+        filterAxes(axes, cli.filter), [&trace](const SweepPoint &p) {
+            DeviceJob job;
+            job.cfg = bench::evalConfig(p.scheduler);
+            job.cfg.ftl.allocation =
+                p.variant == "plane-first"
+                    ? AllocationPolicy::PlaneFirst
+                    : AllocationPolicy::ChannelStripe;
+            job.trace = trace;
+            return job;
+        });
+    bench::runSweep(sweep, cli, suffixed(cli.csv, ".alloc"));
+
     std::printf("\n(4) page allocation policy x scheduler (64 chips)\n");
-    std::printf("%-6s %16s %16s\n", "sched", "channel-stripe",
-                "plane-first");
-    for (const auto kind : bench::allSchedulers()) {
-        double bw[2] = {};
-        int i = 0;
-        for (const auto policy : {AllocationPolicy::ChannelStripe,
-                                  AllocationPolicy::PlaneFirst}) {
-            SsdConfig cfg = bench::evalConfig(kind);
-            cfg.ftl.allocation = policy;
-            bw[i++] = bench::runOnce(cfg, workload(cfg, 74)).bandwidthKBps;
-        }
-        std::printf("%-6s %16.0f %16.0f\n", schedulerKindName(kind),
-                    bw[0], bw[1]);
+    // Column headers are the surviving variant labels, so --filter
+    // never shows one policy's numbers under the other's name.
+    std::printf("%-6s", "sched");
+    for (const auto &v : sweep.axes().variants)
+        std::printf(" %16s", v.c_str());
+    std::printf("\n");
+    for (const auto kind : sweep.axes().schedulers) {
+        std::printf("%-6s", schedulerKindName(kind));
+        for (const auto &v : sweep.axes().variants)
+            std::printf(" %16.0f",
+                        sweep.at("", kind, 74, v).bandwidthKBps);
+        std::printf("\n");
     }
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const bench::BenchCli cli = bench::parseCli(argc, argv);
     bench::printHeader("Ablations", "design-choice sensitivity");
-    faroWindowSweep();
-    decisionWindowSweep();
-    queueDepthSweep();
-    allocationSweep();
+    faroWindowSweep(cli);
+    decisionWindowSweep(cli);
+    queueDepthSweep(cli);
+    allocationSweep(cli);
     bench::printShapeNote(
         "expected: window=1 degenerates SPK3 toward SPK2; deeper queues "
         "widen the SPK3/VAS gap; plane-first allocation boosts "

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Common command line for every exhibit bench.
+ *
+ *   --threads N    worker threads for the sweep (default: all
+ *                  hardware threads). Results are bit-identical at
+ *                  any value; only wall-clock changes.
+ *   --filter S     keep only axis values whose label contains S
+ *                  (case-insensitive; see spk::filterAxes).
+ *   --csv PATH     also dump every sweep cell as CSV.
+ *
+ * Ctrl-C sets the sweep stop flag: in-flight cells finish, the bench
+ * reports how far it got and exits 130 without printing tables built
+ * from incomplete grids.
+ */
+
+#ifndef SPK_BENCH_BENCH_CLI_HH
+#define SPK_BENCH_BENCH_CLI_HH
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "sim/sweep.hh"
+
+namespace spk
+{
+namespace bench
+{
+
+/** Parsed common options. */
+struct BenchCli
+{
+    unsigned threads = 1;
+    std::string filter;
+    std::string csv;
+};
+
+inline unsigned
+defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+[[noreturn]] inline void
+usage(const char *prog, int exit_code)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--threads N] [--filter SUBSTR] [--csv PATH]\n"
+        "  --threads N   sweep worker threads (default: %u);\n"
+        "                results are identical at any thread count\n"
+        "  --filter S    keep axis values containing S "
+        "(case-insensitive)\n"
+        "  --csv PATH    also write every sweep cell as CSV\n",
+        prog, defaultThreads());
+    std::exit(exit_code);
+}
+
+inline BenchCli
+parseCli(int argc, char **argv)
+{
+    BenchCli cli;
+    cli.threads = defaultThreads();
+    for (int i = 1; i < argc; ++i) {
+        const auto needsValue = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n", argv[0],
+                             flag);
+                usage(argv[0], 2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--threads") == 0) {
+            const long n = std::atol(needsValue("--threads"));
+            if (n < 1) {
+                std::fprintf(stderr, "%s: --threads must be >= 1\n",
+                             argv[0]);
+                usage(argv[0], 2);
+            }
+            cli.threads = static_cast<unsigned>(n);
+        } else if (std::strcmp(argv[i], "--filter") == 0) {
+            cli.filter = needsValue("--filter");
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+            cli.csv = needsValue("--csv");
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            usage(argv[0], 0);
+        } else {
+            std::fprintf(stderr, "%s: unknown option %s\n", argv[0],
+                         argv[i]);
+            usage(argv[0], 2);
+        }
+    }
+    return cli;
+}
+
+/** SIGINT-driven stop flag for clean sweep cancellation. */
+inline std::atomic<bool> &
+stopFlag()
+{
+    static std::atomic<bool> stop{false};
+    return stop;
+}
+
+inline void
+installSigintStop()
+{
+    // Touch the flag first: the function-local static must finish
+    // its (guarded) initialization before a handler could run it
+    // from signal context.
+    stopFlag();
+    std::signal(SIGINT, [](int) {
+        stopFlag().store(true, std::memory_order_relaxed);
+    });
+}
+
+/**
+ * Run a SweepRunner under the common CLI policy: SIGINT cancels,
+ * progress goes to stderr when it is a terminal, cancellation exits
+ * 130 before any table is printed, and the CSV dump (when requested)
+ * goes to @p csv_path — benches with several sub-sweeps pass distinct
+ * suffixed paths per sweep.
+ */
+inline void
+runSweep(SweepRunner &sweep, const BenchCli &cli,
+         const std::string &csv_path)
+{
+    installSigintStop();
+    SweepRunner::Progress progress;
+    progress.stop = &stopFlag();
+    const bool show_progress = isatty(fileno(stderr)) != 0;
+    if (show_progress) {
+        progress.onCellDone = [](std::size_t done, std::size_t total,
+                                 const SweepPoint &) {
+            std::fprintf(stderr, "\rsweep: %zu/%zu cells", done,
+                         total);
+            if (done == total)
+                std::fprintf(stderr, "\n");
+        };
+    }
+    sweep.run(cli.threads, progress);
+    if (stopFlag().load(std::memory_order_relaxed)) {
+        if (show_progress)
+            std::fprintf(stderr, "\n");
+        std::fprintf(stderr, "sweep cancelled after %zu/%zu cells\n",
+                     sweep.completedCount(), sweep.cellCount());
+        if (!csv_path.empty()) {
+            // Completed cells are valid and final; keep them. The
+            // completed column marks the skipped ones.
+            sweep.writeCsvFile(csv_path);
+            std::fprintf(stderr, "kept partial results in %s\n",
+                         csv_path.c_str());
+        }
+        std::exit(130);
+    }
+    if (!csv_path.empty()) {
+        sweep.writeCsvFile(csv_path);
+        std::fprintf(stderr, "wrote %zu cells to %s\n",
+                     sweep.cellCount(), csv_path.c_str());
+    }
+}
+
+inline void
+runSweep(SweepRunner &sweep, const BenchCli &cli)
+{
+    runSweep(sweep, cli, cli.csv);
+}
+
+} // namespace bench
+} // namespace spk
+
+#endif // SPK_BENCH_BENCH_CLI_HH

@@ -5,47 +5,41 @@
  *
  * (a) bandwidth, (b) IOPS, (c) average device-level latency,
  * (d) queue stall time normalized to VAS.
+ *
+ * Sweep axes: sixteen paper traces x all five schedulers (the largest
+ * exhibit grid, 80 cells), sharded through SweepRunner.
  */
 
 #include <cstdio>
-#include <map>
-#include <vector>
+#include <string>
 
+#include "bench/bench_cli.hh"
 #include "bench/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace spk;
+    const bench::BenchCli cli = bench::parseCli(argc, argv);
     bench::printHeader("Figure 10", "bandwidth / IOPS / latency / stall");
 
-    struct Row
-    {
-        std::map<SchedulerKind, MetricsSnapshot> metrics;
-    };
-    std::vector<Row> rows;
+    const auto sweep =
+        bench::paperTraceSweep(bench::allSchedulers(), 31, cli.filter);
+    bench::runSweep(*sweep, cli);
 
-    for (const auto &info : paperTraces()) {
-        Row row;
-        for (const auto kind : bench::allSchedulers()) {
-            SsdConfig cfg = bench::evalConfig(kind);
-            const Trace trace = generatePaperTrace(
-                info.name, 1200, bench::spanFor(cfg), 31);
-            row.metrics[kind] = bench::runOnce(cfg, trace);
-        }
-        rows.push_back(std::move(row));
-    }
+    const auto &names = sweep->axes().traces;
+    const auto &kinds = sweep->axes().schedulers;
 
     const auto print_metric =
         [&](const char *title, auto getter, const char *fmt) {
             std::printf("\n(%s)\n%-8s", title, "trace");
-            for (const auto kind : bench::allSchedulers())
+            for (const auto kind : kinds)
                 std::printf(" %10s", schedulerKindName(kind));
             std::printf("\n");
-            for (std::size_t i = 0; i < rows.size(); ++i) {
-                std::printf("%-8s", paperTraces()[i].name);
-                for (const auto kind : bench::allSchedulers())
-                    std::printf(fmt, getter(rows[i].metrics.at(kind)));
+            for (const auto &name : names) {
+                std::printf("%-8s", name.c_str());
+                for (const auto kind : kinds)
+                    std::printf(fmt, getter(sweep->at(name, kind)));
                 std::printf("\n");
             }
         };
@@ -62,35 +56,46 @@ main()
         [](const MetricsSnapshot &m) { return m.avgLatencyNs / 1000.0; },
         " %10.0f");
 
-    std::printf("\n(d: queue stall time, normalized to VAS)\n%-8s",
-                "trace");
-    for (const auto kind : bench::allSchedulers())
-        std::printf(" %10s", schedulerKindName(kind));
-    std::printf("\n");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-        const double vas = static_cast<double>(
-            rows[i].metrics.at(SchedulerKind::VAS).queueStallTime);
-        std::printf("%-8s", paperTraces()[i].name);
-        for (const auto kind : bench::allSchedulers()) {
-            const double stall = static_cast<double>(
-                rows[i].metrics.at(kind).queueStallTime);
-            std::printf(" %10.3f", vas > 0.0 ? stall / vas : 0.0);
-        }
+    const bool have_vas = bench::hasScheduler(*sweep, SchedulerKind::VAS);
+    if (have_vas) {
+        std::printf("\n(d: queue stall time, normalized to VAS)\n%-8s",
+                    "trace");
+        for (const auto kind : kinds)
+            std::printf(" %10s", schedulerKindName(kind));
         std::printf("\n");
+        for (const auto &name : names) {
+            const double vas = static_cast<double>(
+                sweep->at(name, SchedulerKind::VAS).queueStallTime);
+            std::printf("%-8s", name.c_str());
+            for (const auto kind : kinds) {
+                const double stall = static_cast<double>(
+                    sweep->at(name, kind).queueStallTime);
+                std::printf(" %10.3f", vas > 0.0 ? stall / vas : 0.0);
+            }
+            std::printf("\n");
+        }
     }
 
     // Aggregate shape check.
-    double bw_gain_vas = 0.0;
-    double bw_gain_pas = 0.0;
-    for (const auto &row : rows) {
-        const auto &spk3 = row.metrics.at(SchedulerKind::SPK3);
-        bw_gain_vas += spk3.bandwidthKBps /
-                       row.metrics.at(SchedulerKind::VAS).bandwidthKBps;
-        bw_gain_pas += spk3.bandwidthKBps /
-                       row.metrics.at(SchedulerKind::PAS).bandwidthKBps;
+    const bool have_all =
+        have_vas && bench::hasScheduler(*sweep, SchedulerKind::PAS) &&
+        bench::hasScheduler(*sweep, SchedulerKind::SPK3);
+    if (have_all && !names.empty()) {
+        double bw_gain_vas = 0.0;
+        double bw_gain_pas = 0.0;
+        for (const auto &name : names) {
+            const auto &spk3 = sweep->at(name, SchedulerKind::SPK3);
+            bw_gain_vas +=
+                spk3.bandwidthKBps /
+                sweep->at(name, SchedulerKind::VAS).bandwidthKBps;
+            bw_gain_pas +=
+                spk3.bandwidthKBps /
+                sweep->at(name, SchedulerKind::PAS).bandwidthKBps;
+        }
+        std::printf(
+            "\nSPK3 mean bandwidth gain: %.2fx vs VAS, %.2fx vs PAS\n",
+            bw_gain_vas / names.size(), bw_gain_pas / names.size());
     }
-    std::printf("\nSPK3 mean bandwidth gain: %.2fx vs VAS, %.2fx vs PAS\n",
-                bw_gain_vas / rows.size(), bw_gain_pas / rows.size());
     bench::printShapeNote(
         "paper: SPK3 >= 2.2x VAS and >= 1.8x PAS bandwidth, 59-92% "
         "latency reduction vs VAS, ~86% less queue stall");

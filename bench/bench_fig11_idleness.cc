@@ -5,58 +5,65 @@
  * (a) inter-chip idleness -- chips idle while work is pending;
  * (b) intra-chip idleness -- die/plane capacity idle inside busy
  *     chips -- for all five schedulers across the sixteen workloads.
+ *
+ * Sweep axes: sixteen paper traces x five schedulers, sharded.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench/bench_cli.hh"
 #include "bench/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace spk;
+    const bench::BenchCli cli = bench::parseCli(argc, argv);
     bench::printHeader("Figure 11", "inter- and intra-chip idleness");
 
+    const auto sweep =
+        bench::paperTraceSweep(bench::allSchedulers(), 37, cli.filter);
+    bench::runSweep(*sweep, cli);
+
+    const auto &names = sweep->axes().traces;
+    const auto &kinds = sweep->axes().schedulers;
+    const std::size_t nk = kinds.size();
+
     std::printf("%-8s |", "trace");
-    for (const auto kind : bench::allSchedulers())
+    for (const auto kind : kinds)
         std::printf(" %9s", schedulerKindName(kind));
     std::printf(" |");
-    for (const auto kind : bench::allSchedulers())
+    for (const auto kind : kinds)
         std::printf(" %9s", schedulerKindName(kind));
     std::printf("\n%-8s |%45s |%45s\n", "", "(a) inter-chip idle %",
                 "(b) intra-chip idle %");
 
-    double inter_sum[5] = {};
-    double intra_sum[5] = {};
-    for (const auto &info : paperTraces()) {
-        double inter[5];
-        double intra[5];
-        int i = 0;
-        for (const auto kind : bench::allSchedulers()) {
-            SsdConfig cfg = bench::evalConfig(kind);
-            const Trace trace = generatePaperTrace(
-                info.name, 1200, bench::spanFor(cfg), 37);
-            const auto m = bench::runOnce(cfg, trace);
-            inter[i] = m.interChipIdlenessPct;
-            intra[i] = m.intraChipIdlenessPct;
-            inter_sum[i] += inter[i];
-            intra_sum[i] += intra[i];
-            ++i;
+    std::vector<double> inter_sum(nk, 0.0);
+    std::vector<double> intra_sum(nk, 0.0);
+    for (const auto &name : names) {
+        std::printf("%-8s |", name.c_str());
+        for (std::size_t k = 0; k < nk; ++k) {
+            const auto &m = sweep->at(name, kinds[k]);
+            inter_sum[k] += m.interChipIdlenessPct;
+            std::printf(" %9.1f", m.interChipIdlenessPct);
         }
-        std::printf("%-8s |", info.name);
-        for (int k = 0; k < 5; ++k)
-            std::printf(" %9.1f", inter[k]);
         std::printf(" |");
-        for (int k = 0; k < 5; ++k)
-            std::printf(" %9.1f", intra[k]);
+        for (std::size_t k = 0; k < nk; ++k) {
+            const auto &m = sweep->at(name, kinds[k]);
+            intra_sum[k] += m.intraChipIdlenessPct;
+            std::printf(" %9.1f", m.intraChipIdlenessPct);
+        }
         std::printf("\n");
     }
+    const double n = static_cast<double>(names.size());
     std::printf("%-8s |", "mean");
-    for (int k = 0; k < 5; ++k)
-        std::printf(" %9.1f", inter_sum[k] / 16.0);
+    for (std::size_t k = 0; k < nk; ++k)
+        std::printf(" %9.1f", inter_sum[k] / n);
     std::printf(" |");
-    for (int k = 0; k < 5; ++k)
-        std::printf(" %9.1f", intra_sum[k] / 16.0);
+    for (std::size_t k = 0; k < nk; ++k)
+        std::printf(" %9.1f", intra_sum[k] / n);
     std::printf("\n");
 
     bench::printShapeNote(

@@ -5,27 +5,27 @@
  * Replays the first 3000 I/Os of msnfs1 and prints per-I/O
  * device-level latency for VAS vs PAS (12a) and VAS vs SPK3 (12b),
  * sampled every 50 completions to keep the table readable.
+ *
+ * Sweep axes: one trace x {VAS, PAS, SPK3}, with per-I/O results
+ * captured through DeviceArray (captureIoResults).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_cli.hh"
 #include "bench/bench_util.hh"
 
 namespace
 {
 
 std::vector<double>
-latencySeries(spk::SchedulerKind kind, const spk::Trace &trace)
+latencySeriesMs(const std::vector<spk::IoResult> &results)
 {
-    using namespace spk;
-    SsdConfig cfg = bench::evalConfig(kind);
-    Ssd ssd(cfg);
-    ssd.replay(trace);
-    ssd.run();
     std::vector<double> out;
-    out.reserve(ssd.results().size());
-    for (const auto &res : ssd.results())
+    out.reserve(results.size());
+    for (const auto &res : results)
         out.push_back(static_cast<double>(res.latency()) / 1e6); // ms
     return out;
 }
@@ -33,23 +33,50 @@ latencySeries(spk::SchedulerKind kind, const spk::Trace &trace)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace spk;
+    const bench::BenchCli cli = bench::parseCli(argc, argv);
     bench::printHeader("Figure 12", "latency time series, msnfs1");
 
-    SsdConfig probe = bench::evalConfig(SchedulerKind::VAS);
+    SweepAxes axes;
+    axes.traces = {"msnfs1"};
+    axes.schedulers = {SchedulerKind::VAS, SchedulerKind::PAS,
+                       SchedulerKind::SPK3};
+    axes.seeds = {41};
+
+    const SsdConfig probe = bench::evalConfig(SchedulerKind::VAS);
     const Trace trace = generatePaperTrace("msnfs1", 3000,
                                            bench::spanFor(probe), 41);
 
-    const auto vas = latencySeries(SchedulerKind::VAS, trace);
-    const auto pas = latencySeries(SchedulerKind::PAS, trace);
-    const auto spk3 = latencySeries(SchedulerKind::SPK3, trace);
+    SweepRunner sweep(filterAxes(axes, cli.filter),
+                      [&trace](const SweepPoint &p) {
+                          DeviceJob job;
+                          job.cfg = bench::evalConfig(p.scheduler);
+                          job.trace = trace;
+                          job.captureIoResults = true;
+                          return job;
+                      });
+    bench::runSweep(sweep, cli);
+
+    // --filter may narrow the scheduler axis; filtered-out columns
+    // print as zeros instead of faulting the lookup.
+    const auto series = [&sweep](SchedulerKind kind) {
+        return bench::hasScheduler(sweep, kind)
+                   ? latencySeriesMs(sweep.ioResultsAt("msnfs1", kind))
+                   : std::vector<double>{};
+    };
+    const auto vas = series(SchedulerKind::VAS);
+    const auto pas = series(SchedulerKind::PAS);
+    const auto spk3 = series(SchedulerKind::SPK3);
+    const std::size_t rows =
+        std::max({vas.size(), pas.size(), spk3.size()});
 
     std::printf("%8s %12s %12s %12s\n", "io#", "VAS ms", "PAS ms",
                 "SPK3 ms");
-    for (std::size_t i = 0; i < vas.size(); i += 50) {
-        std::printf("%8zu %12.3f %12.3f %12.3f\n", i, vas[i],
+    for (std::size_t i = 0; i < rows; i += 50) {
+        std::printf("%8zu %12.3f %12.3f %12.3f\n", i,
+                    i < vas.size() ? vas[i] : 0.0,
                     i < pas.size() ? pas[i] : 0.0,
                     i < spk3.size() ? spk3[i] : 0.0);
     }
@@ -65,8 +92,10 @@ main()
     const double ms = mean(spk3);
     std::printf("\nmean latency: VAS %.3f ms, PAS %.3f ms, SPK3 %.3f ms\n",
                 mv, mp, ms);
-    std::printf("SPK3 reduction: %.0f%% vs VAS, %.0f%% vs PAS\n",
-                100.0 * (1.0 - ms / mv), 100.0 * (1.0 - ms / mp));
+    if (mv > 0.0 && mp > 0.0 && !spk3.empty()) {
+        std::printf("SPK3 reduction: %.0f%% vs VAS, %.0f%% vs PAS\n",
+                    100.0 * (1.0 - ms / mv), 100.0 * (1.0 - ms / mp));
+    }
     bench::printShapeNote(
         "paper: PAS smoother/lower than VAS; SPK3 ~80% below VAS and "
         "~64% below PAS on this trace");

@@ -5,45 +5,55 @@
  * Splits chip-time capacity into bus operation, bus contention,
  * memory (cell) operation and idle shares, for PAS (13a) and SPK3
  * (13b) across the sixteen workloads.
+ *
+ * Sweep axes: sixteen paper traces x {PAS, SPK3}, sharded; traces
+ * are generated once per workload (not once per cell).
  */
 
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_cli.hh"
 #include "bench/bench_util.hh"
 
 namespace
 {
 
 void
-table(spk::SchedulerKind kind)
+table(const spk::SweepRunner &sweep, spk::SchedulerKind kind)
 {
     using namespace spk;
     std::printf("\n(%s)\n%-8s %8s %12s %10s %8s\n",
                 schedulerKindName(kind), "trace", "bus %", "contention %",
                 "cell %", "idle %");
     double idle_sum = 0.0;
-    for (const auto &info : paperTraces()) {
-        SsdConfig cfg = bench::evalConfig(kind);
-        const Trace trace = generatePaperTrace(info.name, 1200,
-                                               bench::spanFor(cfg), 43);
-        const auto m = bench::runOnce(cfg, trace);
+    const auto &names = sweep.axes().traces;
+    for (const auto &name : names) {
+        const auto &m = sweep.at(name, kind);
         idle_sum += m.execIdlePct;
-        std::printf("%-8s %8.1f %12.1f %10.1f %8.1f\n", info.name,
+        std::printf("%-8s %8.1f %12.1f %10.1f %8.1f\n", name.c_str(),
                     m.execBusPct, m.execContentionPct, m.execCellPct,
                     m.execIdlePct);
     }
-    std::printf("%-8s %40.1f\n", "mean idle", idle_sum / 16.0);
+    std::printf("%-8s %40.1f\n", "mean idle",
+                idle_sum / static_cast<double>(names.size()));
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace spk;
+    const bench::BenchCli cli = bench::parseCli(argc, argv);
     bench::printHeader("Figure 13", "execution time breakdown");
-    table(SchedulerKind::PAS);
-    table(SchedulerKind::SPK3);
+
+    const auto sweep = bench::paperTraceSweep(
+        {SchedulerKind::PAS, SchedulerKind::SPK3}, 43, cli.filter);
+    bench::runSweep(*sweep, cli);
+
+    for (const auto kind : sweep->axes().schedulers)
+        table(*sweep, kind);
     bench::printShapeNote(
         "paper: SPK3 raises the memory-operation share and cuts system "
         "idle by ~40% vs PAS; bus contention grows slightly in "

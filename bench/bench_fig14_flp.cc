@@ -5,56 +5,67 @@
  * Share of memory requests served at each FLP level (NON-PAL, PAL1 =
  * plane sharing, PAL2 = die interleaving, PAL3 = both) for PAS, SPK1,
  * SPK2 and SPK3 across the sixteen workloads.
+ *
+ * Sweep axes: sixteen paper traces x {PAS, SPK1, SPK2, SPK3}.
  */
 
 #include <cstdio>
+#include <map>
+#include <string>
 
+#include "bench/bench_cli.hh"
 #include "bench/bench_util.hh"
 
 namespace
 {
 
-void
-table(spk::SchedulerKind kind, double &pal3_mean)
+double
+table(const spk::SweepRunner &sweep, spk::SchedulerKind kind)
 {
     using namespace spk;
     std::printf("\n(%s)\n%-8s %9s %7s %7s %7s\n", schedulerKindName(kind),
                 "trace", "NON-PAL", "PAL1", "PAL2", "PAL3");
     double sums[4] = {};
-    for (const auto &info : paperTraces()) {
-        SsdConfig cfg = bench::evalConfig(kind);
-        const Trace trace = generatePaperTrace(info.name, 1200,
-                                               bench::spanFor(cfg), 47);
-        const auto m = bench::runOnce(cfg, trace);
-        std::printf("%-8s %9.1f %7.1f %7.1f %7.1f\n", info.name,
+    const auto &names = sweep.axes().traces;
+    for (const auto &name : names) {
+        const auto &m = sweep.at(name, kind);
+        std::printf("%-8s %9.1f %7.1f %7.1f %7.1f\n", name.c_str(),
                     m.flpPct[0], m.flpPct[1], m.flpPct[2], m.flpPct[3]);
         for (int i = 0; i < 4; ++i)
             sums[i] += m.flpPct[i];
     }
-    std::printf("%-8s %9.1f %7.1f %7.1f %7.1f\n", "mean", sums[0] / 16,
-                sums[1] / 16, sums[2] / 16, sums[3] / 16);
-    pal3_mean = sums[3] / 16;
+    const double n = static_cast<double>(names.size());
+    std::printf("%-8s %9.1f %7.1f %7.1f %7.1f\n", "mean", sums[0] / n,
+                sums[1] / n, sums[2] / n, sums[3] / n);
+    return sums[3] / n;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace spk;
+    const bench::BenchCli cli = bench::parseCli(argc, argv);
     bench::printHeader("Figure 14", "FLP breakdown per scheduler");
-    double pas_pal3 = 0.0;
-    double spk1_pal3 = 0.0;
-    double spk2_pal3 = 0.0;
-    double spk3_pal3 = 0.0;
-    table(SchedulerKind::PAS, pas_pal3);
-    table(SchedulerKind::SPK1, spk1_pal3);
-    table(SchedulerKind::SPK2, spk2_pal3);
-    table(SchedulerKind::SPK3, spk3_pal3);
 
-    std::printf("\nPAL3 means: PAS %.1f%%, SPK1 %.1f%%, SPK2 %.1f%%, "
-                "SPK3 %.1f%%\n",
-                pas_pal3, spk1_pal3, spk2_pal3, spk3_pal3);
+    const auto sweep = bench::paperTraceSweep(
+        {SchedulerKind::PAS, SchedulerKind::SPK1, SchedulerKind::SPK2,
+         SchedulerKind::SPK3},
+        47, cli.filter);
+    bench::runSweep(*sweep, cli);
+
+    std::map<SchedulerKind, double> pal3;
+    for (const auto kind : sweep->axes().schedulers)
+        pal3[kind] = table(*sweep, kind);
+
+    if (pal3.size() == 4) {
+        std::printf("\nPAL3 means: PAS %.1f%%, SPK1 %.1f%%, SPK2 %.1f%%, "
+                    "SPK3 %.1f%%\n",
+                    pal3[SchedulerKind::PAS], pal3[SchedulerKind::SPK1],
+                    pal3[SchedulerKind::SPK2],
+                    pal3[SchedulerKind::SPK3]);
+    }
     bench::printShapeNote(
         "paper: PAS shows no PAL3; SPK1 maximizes FLP; SPK3 balances "
         "(lower than SPK1, far above PAS/SPK2)");

@@ -4,11 +4,15 @@
  *
  * Sweeps transfer sizes 4 KB .. 4 MB at 64 / 256 / 1024 flash chips
  * for VAS, SPK1, SPK2 and SPK3 (the paper's Fig. 15a-c).
+ *
+ * Sweep axes: transfer size (trace axis) x scheduler x chip count
+ * (variant axis) — 132 cells, the widest sharded fan-out.
  */
 
 #include <cstdio>
-#include <vector>
+#include <string>
 
+#include "bench/bench_cli.hh"
 #include "bench/bench_util.hh"
 
 namespace
@@ -28,45 +32,58 @@ scaled(spk::SchedulerKind kind, std::uint32_t chips)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace spk;
+    const bench::BenchCli cli = bench::parseCli(argc, argv);
     bench::printHeader("Figure 15", "chip utilization sweep");
 
-    const std::vector<std::uint32_t> chip_counts = {64, 256, 1024};
-    const std::vector<std::uint64_t> sizes_kb = {4,   8,   16,  32,  64,
-                                                 128, 256, 512, 1024,
-                                                 2048, 4096};
-    const std::vector<SchedulerKind> kinds = {
-        SchedulerKind::VAS, SchedulerKind::SPK1, SchedulerKind::SPK2,
-        SchedulerKind::SPK3};
+    SweepAxes axes;
+    axes.traces = {"4",   "8",   "16",  "32",  "64",  "128",
+                   "256", "512", "1024", "2048", "4096"}; // xfer KB
+    axes.schedulers = {SchedulerKind::VAS, SchedulerKind::SPK1,
+                       SchedulerKind::SPK2, SchedulerKind::SPK3};
+    axes.seeds = {53};
+    axes.variants = {"64", "256", "1024"}; // chips
 
-    for (const auto chips : chip_counts) {
-        std::printf("\n(%u flash chips)\n%8s", chips, "xfer-KB");
+    SweepRunner sweep(
+        filterAxes(axes, cli.filter), [](const SweepPoint &p) {
+            const auto size_kb = std::stoull(p.trace);
+            const auto chips =
+                static_cast<std::uint32_t>(std::stoul(p.variant));
+            DeviceJob job;
+            job.cfg = scaled(p.scheduler, chips);
+            const std::uint64_t span = bench::spanFor(job.cfg, 0.5);
+            // Saturating burst: enough bytes to keep every chip
+            // fed, delivered back-to-back (queue always full).
+            const std::uint64_t budget = std::min<std::uint64_t>(
+                192ull << 20, (16ull << 20) * (chips / 64));
+            const std::uint64_t n_ios = std::max<std::uint64_t>(
+                48, budget / (size_kb << 10));
+            job.trace = fixedSizeStream(n_ios, size_kb << 10, 0.6,
+                                        span, 0, p.seed);
+            return job;
+        });
+    bench::runSweep(sweep, cli);
+
+    const auto &sizes = sweep.axes().traces;
+    const auto &kinds = sweep.axes().schedulers;
+
+    for (const auto &chip_label : sweep.axes().variants) {
+        std::printf("\n(%lu flash chips)\n%8s",
+                    std::stoul(chip_label), "xfer-KB");
         for (const auto kind : kinds)
             std::printf(" %8s", schedulerKindName(kind));
         std::printf("\n");
 
         double spk3_sum = 0.0;
         double vas_sum = 0.0;
-        for (const auto size_kb : sizes_kb) {
-            std::printf("%8llu",
-                        static_cast<unsigned long long>(size_kb));
+        for (const auto &size_label : sizes) {
+            std::printf("%8llu", static_cast<unsigned long long>(
+                                     std::stoull(size_label)));
             for (const auto kind : kinds) {
-                SsdConfig cfg = scaled(kind, chips);
-                const std::uint64_t span = bench::spanFor(cfg, 0.5);
-                // Saturating burst: enough bytes to keep every chip
-                // fed, delivered back-to-back (queue always full).
-                const std::uint64_t budget =
-                    std::min<std::uint64_t>(192ull << 20,
-                                            (16ull << 20) *
-                                                (chips / 64));
-                const std::uint64_t n_ios = std::max<std::uint64_t>(
-                    48, budget / (size_kb << 10));
-                const Trace trace =
-                    fixedSizeStream(n_ios, size_kb << 10, 0.6, span,
-                                    0, 53);
-                const auto m = bench::runOnce(cfg, trace);
+                const auto &m =
+                    sweep.at(size_label, kind, 53, chip_label);
                 std::printf(" %8.1f", m.flashLevelUtilizationPct);
                 if (kind == SchedulerKind::SPK3)
                     spk3_sum += m.flashLevelUtilizationPct;
@@ -75,9 +92,14 @@ main()
             }
             std::printf("\n");
         }
-        std::printf("mean over sizes: VAS %.1f%%, SPK3 %.1f%%\n",
-                    vas_sum / sizes_kb.size(),
-                    spk3_sum / sizes_kb.size());
+        // Only meaningful when both ends of the comparison survived
+        // the --filter.
+        if (bench::hasScheduler(sweep, SchedulerKind::VAS) &&
+            bench::hasScheduler(sweep, SchedulerKind::SPK3)) {
+            std::printf("mean over sizes: VAS %.1f%%, SPK3 %.1f%%\n",
+                        vas_sum / sizes.size(),
+                        spk3_sum / sizes.size());
+        }
     }
 
     bench::printShapeNote(

@@ -5,11 +5,15 @@
  * Total flash transactions vs transfer size at 64 and 1024 chips for
  * VAS, SPK1, SPK2 and SPK3. FARO's over-commitment should roughly
  * halve the transaction count by coalescing.
+ *
+ * Sweep axes: transfer size (trace axis) x scheduler x chip count
+ * (variant axis), sharded.
  */
 
 #include <cstdio>
-#include <vector>
+#include <string>
 
+#include "bench/bench_cli.hh"
 #include "bench/bench_util.hh"
 
 namespace
@@ -29,57 +33,84 @@ scaled(spk::SchedulerKind kind, std::uint32_t chips)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace spk;
+    const bench::BenchCli cli = bench::parseCli(argc, argv);
     bench::printHeader("Figure 16", "flash transaction counts");
 
-    const std::vector<std::uint32_t> chip_counts = {64, 1024};
-    const std::vector<std::uint64_t> sizes_kb = {4,  16,  64, 256,
-                                                 1024, 4096};
-    const std::vector<SchedulerKind> kinds = {
-        SchedulerKind::VAS, SchedulerKind::SPK1, SchedulerKind::SPK2,
-        SchedulerKind::SPK3};
+    SweepAxes axes;
+    axes.traces = {"4", "16", "64", "256", "1024", "4096"}; // xfer KB
+    axes.schedulers = {SchedulerKind::VAS, SchedulerKind::SPK1,
+                       SchedulerKind::SPK2, SchedulerKind::SPK3};
+    axes.seeds = {59};
+    axes.variants = {"64", "1024"}; // chips
 
-    for (const auto chips : chip_counts) {
-        std::printf("\n(%u flash chips)\n%8s", chips, "xfer-KB");
+    SweepRunner sweep(
+        filterAxes(axes, cli.filter), [](const SweepPoint &p) {
+            const auto size_kb = std::stoull(p.trace);
+            const auto chips =
+                static_cast<std::uint32_t>(std::stoul(p.variant));
+            DeviceJob job;
+            job.cfg = scaled(p.scheduler, chips);
+            const std::uint64_t span = bench::spanFor(job.cfg, 0.5);
+            const std::uint64_t budget = 16ull << 20;
+            const std::uint64_t n_ios = std::max<std::uint64_t>(
+                24, budget / (size_kb << 10));
+            job.trace = fixedSizeStream(n_ios, size_kb << 10, 0.6,
+                                        span, 2 * kMicrosecond,
+                                        p.seed);
+            return job;
+        });
+    bench::runSweep(sweep, cli);
+
+    const auto &sizes = sweep.axes().traces;
+    const auto &kinds = sweep.axes().schedulers;
+    const bool have_pair =
+        bench::hasScheduler(sweep, SchedulerKind::VAS) &&
+        bench::hasScheduler(sweep, SchedulerKind::SPK3);
+
+    for (const auto &chip_label : sweep.axes().variants) {
+        std::printf("\n(%lu flash chips)\n%8s",
+                    std::stoul(chip_label), "xfer-KB");
         for (const auto kind : kinds)
             std::printf(" %10s", schedulerKindName(kind));
         std::printf("\n");
 
         double reduction_sum = 0.0;
-        for (const auto size_kb : sizes_kb) {
-            std::printf("%8llu",
-                        static_cast<unsigned long long>(size_kb));
-            std::uint64_t vas_txns = 0;
-            std::uint64_t spk3_txns = 0;
+        for (const auto &size_label : sizes) {
+            std::printf("%8llu", static_cast<unsigned long long>(
+                                     std::stoull(size_label)));
             for (const auto kind : kinds) {
-                SsdConfig cfg = scaled(kind, chips);
-                const std::uint64_t span = bench::spanFor(cfg, 0.5);
-                const std::uint64_t budget = 16ull << 20;
-                const std::uint64_t n_ios = std::max<std::uint64_t>(
-                    24, budget / (size_kb << 10));
-                const Trace trace =
-                    fixedSizeStream(n_ios, size_kb << 10, 0.6, span,
-                                    2 * kMicrosecond, 59);
-                const auto m = bench::runOnce(cfg, trace);
+                const auto &m =
+                    sweep.at(size_label, kind, 59, chip_label);
                 std::printf(" %10llu",
                             static_cast<unsigned long long>(
                                 m.transactions));
-                if (kind == SchedulerKind::VAS)
-                    vas_txns = m.transactions;
-                if (kind == SchedulerKind::SPK3)
-                    spk3_txns = m.transactions;
             }
             std::printf("\n");
-            if (vas_txns > 0) {
-                reduction_sum +=
-                    100.0 * (1.0 - static_cast<double>(spk3_txns) /
-                                       static_cast<double>(vas_txns));
+            if (have_pair) {
+                const auto vas_txns =
+                    sweep.at(size_label, SchedulerKind::VAS, 59,
+                             chip_label)
+                        .transactions;
+                const auto spk3_txns =
+                    sweep.at(size_label, SchedulerKind::SPK3, 59,
+                             chip_label)
+                        .transactions;
+                if (vas_txns > 0) {
+                    reduction_sum +=
+                        100.0 *
+                        (1.0 - static_cast<double>(spk3_txns) /
+                                   static_cast<double>(vas_txns));
+                }
             }
         }
-        std::printf("mean SPK3 transaction reduction vs VAS: %.1f%%\n",
-                    reduction_sum / sizes_kb.size());
+        if (have_pair) {
+            std::printf(
+                "mean SPK3 transaction reduction vs VAS: %.1f%%\n",
+                reduction_sum / sizes.size());
+        }
     }
 
     bench::printShapeNote(

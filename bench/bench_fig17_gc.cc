@@ -5,11 +5,18 @@
  * Bandwidth vs transfer size for VAS, PAS and SPK3 on pristine
  * devices and on 95%-full fragmented devices (suffix -GC), at 64 and
  * 256 chips. Write-heavy sweep so GC actually fires.
+ *
+ * Sweep axes: transfer size (trace axis) x scheduler x variant,
+ * where the variant axis crosses chip count with GC preconditioning
+ * ("64", "64-GC", "256", "256-GC").
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench/bench_cli.hh"
 #include "bench/bench_util.hh"
 
 namespace
@@ -27,47 +34,91 @@ scaled(spk::SchedulerKind kind, std::uint32_t chips)
     return cfg;
 }
 
+bool
+isGcVariant(const std::string &variant)
+{
+    return variant.ends_with("-GC");
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace spk;
+    const bench::BenchCli cli = bench::parseCli(argc, argv);
     bench::printHeader("Figure 17", "GC impact on bandwidth");
 
-    const std::vector<std::uint32_t> chip_counts = {64, 256};
-    const std::vector<std::uint64_t> sizes_kb = {4, 16, 64, 256, 1024};
-    const std::vector<SchedulerKind> kinds = {
-        SchedulerKind::VAS, SchedulerKind::PAS, SchedulerKind::SPK3};
+    SweepAxes axes;
+    axes.traces = {"4", "16", "64", "256", "1024"}; // xfer KB
+    axes.schedulers = {SchedulerKind::VAS, SchedulerKind::PAS,
+                       SchedulerKind::SPK3};
+    axes.seeds = {61};
+    axes.variants = {"64", "64-GC", "256", "256-GC"};
 
-    for (const auto chips : chip_counts) {
-        std::printf("\n(%u flash chips, bandwidth KB/s)\n%8s", chips,
-                    "xfer-KB");
+    SweepRunner sweep(
+        filterAxes(axes, cli.filter), [](const SweepPoint &p) {
+            const auto size_kb = std::stoull(p.trace);
+            const auto chips =
+                static_cast<std::uint32_t>(std::stoul(p.variant));
+            DeviceJob job;
+            job.cfg = scaled(p.scheduler, chips);
+            job.preconditionGc = isGcVariant(p.variant);
+            const std::uint64_t span = bench::spanFor(job.cfg, 0.6);
+            const std::uint64_t budget = 8ull << 20;
+            const std::uint64_t n_ios = std::max<std::uint64_t>(
+                16, budget / (size_kb << 10));
+            // Write-dominated random stream (the paper uses 1 MB
+            // random writes to fragment; the sweep keeps writing).
+            job.trace = fixedSizeStream(n_ios, size_kb << 10, 0.9,
+                                        span, 5 * kMicrosecond,
+                                        p.seed);
+            return job;
+        });
+    bench::runSweep(sweep, cli);
+
+    const auto &sizes = sweep.axes().traces;
+    const auto &kinds = sweep.axes().schedulers;
+    const auto &variants = sweep.axes().variants;
+
+    // One table per chip count: group the surviving variants by their
+    // numeric prefix, preserving axis order.
+    std::vector<std::string> chip_groups;
+    for (const auto &v : variants) {
+        const std::string base = std::to_string(std::stoul(v));
+        if (std::find(chip_groups.begin(), chip_groups.end(), base) ==
+            chip_groups.end())
+            chip_groups.push_back(base);
+    }
+
+    for (const auto &chips : chip_groups) {
+        std::printf("\n(%lu flash chips, bandwidth KB/s)\n%8s",
+                    std::stoul(chips), "xfer-KB");
+        std::vector<std::string> cols; // variants of this group, in
+                                       // pristine-then-GC order
+        for (const std::string &v : {chips, chips + "-GC"}) {
+            if (std::find(variants.begin(), variants.end(), v) !=
+                variants.end())
+                cols.push_back(v);
+        }
         for (const auto kind : kinds) {
-            std::printf(" %10s %10s", schedulerKindName(kind),
-                        (std::string(schedulerKindName(kind)) + "-GC")
-                            .c_str());
+            for (const auto &v : cols) {
+                std::printf(" %10s",
+                            (std::string(schedulerKindName(kind)) +
+                             (isGcVariant(v) ? "-GC" : ""))
+                                .c_str());
+            }
         }
         std::printf("\n");
 
-        for (const auto size_kb : sizes_kb) {
-            std::printf("%8llu",
-                        static_cast<unsigned long long>(size_kb));
+        for (const auto &size_label : sizes) {
+            std::printf("%8llu", static_cast<unsigned long long>(
+                                     std::stoull(size_label)));
             for (const auto kind : kinds) {
-                for (const bool gc : {false, true}) {
-                    SsdConfig cfg = scaled(kind, chips);
-                    const std::uint64_t span = bench::spanFor(cfg, 0.6);
-                    const std::uint64_t budget = 8ull << 20;
-                    const std::uint64_t n_ios = std::max<std::uint64_t>(
-                        16, budget / (size_kb << 10));
-                    // Write-dominated random stream (the paper uses
-                    // 1 MB random writes to fragment; the sweep keeps
-                    // writing).
-                    const Trace trace =
-                        fixedSizeStream(n_ios, size_kb << 10, 0.9, span,
-                                        5 * kMicrosecond, 61);
-                    const auto m = bench::runOnce(cfg, trace, gc);
-                    std::printf(" %10.0f", m.bandwidthKBps);
+                for (const auto &v : cols) {
+                    std::printf(" %10.0f",
+                                sweep.at(size_label, kind, 61, v)
+                                    .bandwidthKBps);
                 }
             }
             std::printf("\n");

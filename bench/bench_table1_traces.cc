@@ -5,26 +5,58 @@
  * Regenerates the sixteen workloads and prints the same columns the
  * paper tabulates, verifying that the synthetic generators reproduce
  * the reported statistics (direction mix, mean sizes, randomness).
+ *
+ * This exhibit summarizes traces without simulating a device, so it
+ * uses SweepRunner only for axis expansion (trace generation) and the
+ * common CLI; --threads is accepted but has nothing to parallelize.
+ * --csv emits the summary columns instead of device metrics.
  */
 
 #include <cstdio>
+#include <fstream>
 
+#include "bench/bench_cli.hh"
 #include "bench/bench_util.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace spk;
+    const bench::BenchCli cli = bench::parseCli(argc, argv);
     bench::printHeader("Table 1", "trace characteristics");
+
+    SweepAxes axes;
+    axes.traces.clear();
+    for (const auto &info : paperTraces())
+        axes.traces.push_back(info.name);
+    axes.schedulers = {SchedulerKind::VAS}; // unused: no simulation
+    axes.seeds = {7};
+
+    SweepRunner sweep(filterAxes(axes, cli.filter),
+                      [](const SweepPoint &p) {
+                          DeviceJob job;
+                          job.trace = generatePaperTrace(
+                              p.trace, 3000, 1ull << 30, p.seed);
+                          return job;
+                      });
 
     std::printf("%-8s %10s %10s %8s %8s %9s %9s %8s\n", "trace",
                 "readKB", "writeKB", "reads", "writes", "rand-r%",
                 "rand-w%", "locality");
 
-    for (const auto &info : paperTraces()) {
-        const Trace trace =
-            generatePaperTrace(info.name, 3000, 1ull << 30, 7);
-        const auto s = summarize(trace);
+    std::ofstream csv;
+    if (!cli.csv.empty()) {
+        csv.open(cli.csv);
+        if (!csv)
+            fatal("cannot open CSV file " + cli.csv);
+        csv << "trace,read_kb,write_kb,reads,writes,rand_read_pct,"
+               "rand_write_pct,locality\n";
+    }
+
+    for (const auto &name : sweep.axes().traces) {
+        const auto &info = paperTrace(name);
+        const auto s =
+            summarize(sweep.jobAt(name, SchedulerKind::VAS).trace);
         std::printf("%-8s %10llu %10llu %8llu %8llu %9.2f %9.2f %8s\n",
                     info.name,
                     static_cast<unsigned long long>(s.readBytes / 1024),
@@ -32,6 +64,12 @@ main()
                     static_cast<unsigned long long>(s.readCount),
                     static_cast<unsigned long long>(s.writeCount),
                     s.readRandomness, s.writeRandomness, info.locality);
+        if (csv.is_open()) {
+            csv << info.name << ',' << s.readBytes / 1024 << ','
+                << s.writeBytes / 1024 << ',' << s.readCount << ','
+                << s.writeCount << ',' << s.readRandomness << ','
+                << s.writeRandomness << ',' << info.locality << '\n';
+        }
     }
 
     bench::printShapeNote(

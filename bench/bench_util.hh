@@ -10,11 +10,15 @@
 #ifndef SPK_BENCH_BENCH_UTIL_HH
 #define SPK_BENCH_BENCH_UTIL_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/sweep.hh"
 #include "ssd/ssd.hh"
 #include "workload/paper_traces.hh"
 #include "workload/synthetic.hh"
@@ -65,17 +69,49 @@ spanFor(const SsdConfig &cfg, double fraction = 0.5)
     return static_cast<std::uint64_t>(logical * fraction);
 }
 
-/** Run one trace through one configuration. */
-inline MetricsSnapshot
-runOnce(const SsdConfig &cfg, const Trace &trace,
-        bool precondition_gc = false)
+/**
+ * The sweep shared by the Table 1-workload exhibits (Figures 6 and
+ * 10-14): the sixteen paper traces (1200 I/Os each) crossed with
+ * @p schedulers on the evaluation geometry. Traces are generated once
+ * per surviving workload (evalConfig only varies in the scheduler
+ * field, so the span — and hence the trace — is
+ * scheduler-independent), with @p filter applied before expansion so
+ * filtered-out cells cost nothing.
+ */
+inline std::unique_ptr<SweepRunner>
+paperTraceSweep(std::vector<SchedulerKind> schedulers,
+                std::uint64_t seed, const std::string &filter)
 {
-    Ssd ssd(cfg);
-    if (precondition_gc)
-        ssd.preconditionForGc();
-    ssd.replay(trace);
-    ssd.run();
-    return ssd.metrics();
+    SweepAxes axes;
+    axes.traces.clear();
+    for (const auto &info : paperTraces())
+        axes.traces.push_back(info.name);
+    axes.schedulers = std::move(schedulers);
+    axes.seeds = {seed};
+    const SweepAxes filtered = filterAxes(axes, filter);
+
+    const std::uint64_t span =
+        spanFor(evalConfig(SchedulerKind::VAS));
+    std::map<std::string, Trace> traces;
+    for (const auto &name : filtered.traces)
+        traces[name] = generatePaperTrace(name, 1200, span, seed);
+
+    return std::make_unique<SweepRunner>(
+        filtered,
+        [traces = std::move(traces)](const SweepPoint &p) {
+            DeviceJob job;
+            job.cfg = evalConfig(p.scheduler);
+            job.trace = traces.at(p.trace);
+            return job;
+        });
+}
+
+/** True when @p kind survived the sweep's scheduler filter. */
+inline bool
+hasScheduler(const SweepRunner &sweep, SchedulerKind kind)
+{
+    const auto &kinds = sweep.axes().schedulers;
+    return std::find(kinds.begin(), kinds.end(), kind) != kinds.end();
 }
 
 /** Print a header line for an exhibit. */

@@ -26,12 +26,23 @@ main(int argc, char **argv)
     using namespace spk;
     using Clock = std::chrono::steady_clock;
 
-    const unsigned devices =
-        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 8;
-    const unsigned threads =
-        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : devices;
-    const std::uint64_t n_ios =
-        argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2000;
+    // Parse signed so negative arguments fail validation instead of
+    // wrapping to huge unsigned values.
+    const long devices_arg = argc > 1 ? std::atol(argv[1]) : 8;
+    const long threads_arg =
+        argc > 2 ? std::atol(argv[2]) : devices_arg;
+    const long long n_ios_arg =
+        argc > 3 ? std::atoll(argv[3]) : 2000;
+    if (devices_arg < 1 || threads_arg < 1 || n_ios_arg < 1) {
+        std::fprintf(stderr,
+                     "usage: %s [num-devices] [threads] [num-ios] "
+                     "(all >= 1)\n",
+                     argv[0]);
+        return 2;
+    }
+    const auto devices = static_cast<unsigned>(devices_arg);
+    const auto threads = static_cast<unsigned>(threads_arg);
+    const auto n_ios = static_cast<std::uint64_t>(n_ios_arg);
 
     std::printf("%u devices, %u threads (%u hardware), %llu I/Os each\n",
                 devices, threads, std::thread::hardware_concurrency(),

@@ -1,21 +1,17 @@
 #include "sim/device_array.hh"
 
 #include <algorithm>
-#include <atomic>
+#include <mutex>
 #include <thread>
 #include <utility>
-
-#include "sim/logging.hh"
-#include "ssd/ssd.hh"
 
 namespace spk
 {
 
 DeviceArray::DeviceArray(std::vector<DeviceJob> jobs)
-    : jobs_(std::move(jobs))
+    : jobs_(std::move(jobs)),
+      completed_(new std::atomic<std::uint8_t>[jobs_.size()]())
 {
-    if (jobs_.empty())
-        fatal("DeviceArray: no jobs");
 }
 
 void
@@ -28,41 +24,76 @@ DeviceArray::runOne(std::size_t index)
     ssd.replay(job.trace);
     ssd.run();
     results_[index] = ssd.metrics();
+    if (job.captureIoResults)
+        ioResults_[index] = ssd.results();
+    // Release pairs with the acquire in completed(): a concurrent
+    // poller that sees the flag also sees the snapshot stores above.
+    completed_[index].store(1, std::memory_order_release);
 }
 
 const std::vector<MetricsSnapshot> &
-DeviceArray::run(unsigned threads)
+DeviceArray::run(unsigned threads, const DeviceArrayHooks &hooks)
 {
     results_.assign(jobs_.size(), MetricsSnapshot{});
+    ioResults_.assign(jobs_.size(), {});
+    for (std::size_t i = 0; i < jobs_.size(); ++i)
+        completed_[i].store(0, std::memory_order_relaxed);
+
+    const auto stopped = [&hooks] {
+        return hooks.stop &&
+               hooks.stop->load(std::memory_order_relaxed);
+    };
+
     const unsigned workers = std::max(
         1u, std::min(threads, static_cast<unsigned>(jobs_.size())));
 
-    if (workers == 1) {
-        for (std::size_t i = 0; i < jobs_.size(); ++i)
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < jobs_.size(); ++i) {
+            if (stopped())
+                break;
             runOne(i);
+            if (hooks.onDeviceDone)
+                hooks.onDeviceDone(i, results_[i]);
+        }
         return results_;
     }
 
     // Fixed pool; each worker claims the next unstarted device from
     // an atomic cursor. Devices share nothing mutable, so the claim
-    // order cannot influence any result.
+    // order cannot influence any result. The callback mutex only
+    // serializes observation.
     std::atomic<std::size_t> cursor{0};
+    std::mutex done_mutex;
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([this, &cursor] {
-            while (true) {
+        pool.emplace_back([this, &cursor, &hooks, &stopped,
+                           &done_mutex] {
+            while (!stopped()) {
                 const std::size_t i =
                     cursor.fetch_add(1, std::memory_order_relaxed);
                 if (i >= jobs_.size())
                     return;
                 runOne(i);
+                if (hooks.onDeviceDone) {
+                    std::lock_guard<std::mutex> lock(done_mutex);
+                    hooks.onDeviceDone(i, results_[i]);
+                }
             }
         });
     }
     for (auto &t : pool)
         t.join();
     return results_;
+}
+
+std::size_t
+DeviceArray::completedCount() const
+{
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < jobs_.size(); ++i)
+        count += completed(i) ? 1 : 0;
+    return count;
 }
 
 MetricsSnapshot

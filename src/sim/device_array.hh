@@ -14,11 +14,15 @@
 #ifndef SPK_SIM_DEVICE_ARRAY_HH
 #define SPK_SIM_DEVICE_ARRAY_HH
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "ssd/config.hh"
 #include "ssd/metrics.hh"
+#include "ssd/ssd.hh"
 #include "workload/trace.hh"
 
 namespace spk
@@ -30,6 +34,31 @@ struct DeviceJob
     SsdConfig cfg;
     Trace trace;
     bool preconditionGc = false; //!< fill + fragment before replay
+    /** Keep the per-I/O completion series (time-series exhibits).
+     *  Off by default: a long sweep does not need N full IoResult
+     *  vectors resident at once. */
+    bool captureIoResults = false;
+};
+
+/** Optional per-run observation and control hooks. */
+struct DeviceArrayHooks
+{
+    /**
+     * Called once per device, right after its snapshot is stored.
+     * Invoked under an internal mutex (callbacks never overlap), from
+     * whichever worker finished the device — completion order is not
+     * deterministic across runs, only the results are.
+     */
+    std::function<void(std::size_t index, const MetricsSnapshot &)>
+        onDeviceDone;
+
+    /**
+     * Cooperative cancellation: set to true (from the callback or any
+     * other thread) and workers stop claiming new devices. Devices
+     * already in flight run to completion, so every result for which
+     * completed(i) is true is valid and final.
+     */
+    const std::atomic<bool> *stop = nullptr;
 };
 
 /**
@@ -46,6 +75,8 @@ struct DeviceJob
 class DeviceArray
 {
   public:
+    /** An empty job list is allowed: run() completes immediately with
+     *  no results (a fully filtered-out sweep is not an error). */
     explicit DeviceArray(std::vector<DeviceJob> jobs);
 
     DeviceArray(const DeviceArray &) = delete;
@@ -57,15 +88,40 @@ class DeviceArray
      * @param threads worker threads; 1 runs inline on the caller
      *        (clamped to the job count). Thread count affects only
      *        wall-clock time, never results.
+     * @param hooks optional progress callback + stop flag.
      * @return per-job snapshots, indexed like the jobs vector.
      */
-    const std::vector<MetricsSnapshot> &run(unsigned threads);
+    const std::vector<MetricsSnapshot> &
+    run(unsigned threads, const DeviceArrayHooks &hooks = {});
 
     /** Per-job snapshots from the last run() (empty before it). */
     const std::vector<MetricsSnapshot> &results() const
     {
         return results_;
     }
+
+    /** True once job @p index finished in the last run(). After an
+     *  uncancelled run this holds for every index. Safe to poll from
+     *  another thread while run() is in flight: the flag is an
+     *  acquire-load over the worker's release-store, so observing
+     *  true guarantees the corresponding results()/ioResults() entry
+     *  is fully written. */
+    bool completed(std::size_t index) const
+    {
+        return completed_[index].load(std::memory_order_acquire) != 0;
+    }
+
+    /** Devices finished during the last run(). */
+    std::size_t completedCount() const;
+
+    /** Per-I/O completion series of job @p index; empty unless the
+     *  job set captureIoResults and completed. */
+    const std::vector<IoResult> &ioResults(std::size_t index) const
+    {
+        return ioResults_[index];
+    }
+
+    const std::vector<DeviceJob> &jobs() const { return jobs_; }
 
     std::size_t deviceCount() const { return jobs_.size(); }
 
@@ -88,6 +144,11 @@ class DeviceArray
 
     std::vector<DeviceJob> jobs_;
     std::vector<MetricsSnapshot> results_;
+    std::vector<std::vector<IoResult>> ioResults_;
+    /** Per-job done flags; atomic so completed()/completedCount()
+     *  may be polled concurrently with a run (array form because
+     *  std::atomic is not movable inside a vector). */
+    std::unique_ptr<std::atomic<std::uint8_t>[]> completed_;
 };
 
 } // namespace spk

@@ -1,0 +1,261 @@
+#include "sim/sweep.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <limits>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace spk
+{
+
+namespace
+{
+
+bool
+containsNoCase(const std::string &haystack, const std::string &needle)
+{
+    if (needle.empty())
+        return true;
+    const auto it = std::search(
+        haystack.begin(), haystack.end(), needle.begin(), needle.end(),
+        [](char a, char b) {
+            return std::tolower(static_cast<unsigned char>(a)) ==
+                   std::tolower(static_cast<unsigned char>(b));
+        });
+    return it != haystack.end();
+}
+
+/** Keep matching values; leave the axis untouched when nothing
+ *  matches (the needle is aimed at some other axis). */
+template <typename T, typename LabelFn>
+void
+filterAxis(std::vector<T> &values, const std::string &needle,
+           LabelFn label)
+{
+    std::vector<T> kept;
+    for (const auto &v : values) {
+        if (containsNoCase(label(v), needle))
+            kept.push_back(v);
+    }
+    if (!kept.empty() && kept.size() < values.size())
+        values = std::move(kept);
+}
+
+std::vector<SweepPoint>
+expandPoints(const SweepAxes &axes)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(axes.cellCount());
+    for (const auto &trace : axes.traces) {
+        for (const auto scheduler : axes.schedulers) {
+            for (const auto seed : axes.seeds) {
+                for (const auto &variant : axes.variants) {
+                    SweepPoint p;
+                    p.trace = trace;
+                    p.scheduler = scheduler;
+                    p.seed = seed;
+                    p.variant = variant;
+                    p.index = points.size();
+                    points.push_back(std::move(p));
+                }
+            }
+        }
+    }
+    return points;
+}
+
+std::vector<DeviceJob>
+buildJobs(const std::vector<SweepPoint> &points,
+          const SweepRunner::JobBuilder &build)
+{
+    std::vector<DeviceJob> jobs;
+    jobs.reserve(points.size());
+    for (const auto &p : points)
+        jobs.push_back(build(p));
+    return jobs;
+}
+
+} // namespace
+
+SweepAxes
+filterAxes(SweepAxes axes, const std::string &needle)
+{
+    if (needle.empty())
+        return axes;
+    filterAxis(axes.traces, needle,
+               [](const std::string &s) { return s; });
+    filterAxis(axes.schedulers, needle, [](SchedulerKind k) {
+        return std::string(schedulerKindName(k));
+    });
+    filterAxis(axes.variants, needle,
+               [](const std::string &s) { return s; });
+    return axes;
+}
+
+SweepRunner::SweepRunner(SweepAxes axes, const JobBuilder &build)
+    : axes_(std::move(axes)), points_(expandPoints(axes_)),
+      array_(buildJobs(points_, build))
+{
+}
+
+const std::vector<MetricsSnapshot> &
+SweepRunner::run(unsigned threads, const Progress &progress)
+{
+    DeviceArrayHooks hooks;
+    hooks.stop = progress.stop;
+    std::size_t done = 0;
+    if (progress.onCellDone) {
+        // DeviceArray already serializes onDeviceDone, so the counter
+        // needs no further synchronization.
+        hooks.onDeviceDone = [this, &progress,
+                              &done](std::size_t index,
+                                     const MetricsSnapshot &) {
+            progress.onCellDone(++done, points_.size(),
+                                points_[index]);
+        };
+    }
+    return array_.run(threads, hooks);
+}
+
+std::size_t
+SweepRunner::indexOf(const std::string &trace, SchedulerKind scheduler,
+                     std::uint64_t seed,
+                     const std::string &variant) const
+{
+    const auto axisIndex = [](const auto &values, const auto &value,
+                              const char *axis) {
+        const auto it =
+            std::find(values.begin(), values.end(), value);
+        if (it == values.end())
+            fatal(std::string("SweepRunner: value not on the ") +
+                  axis + " axis");
+        return static_cast<std::size_t>(it - values.begin());
+    };
+    // The defaulted seed (0) and variant ("") arguments address a
+    // single-value axis without naming its value; anything else must
+    // match exactly.
+    const std::size_t t = axisIndex(axes_.traces, trace, "trace");
+    const std::size_t s =
+        axisIndex(axes_.schedulers, scheduler, "scheduler");
+    const std::size_t e = seed == 0 && axes_.seeds.size() == 1
+                              ? 0
+                              : axisIndex(axes_.seeds, seed, "seed");
+    const std::size_t v =
+        variant.empty() && axes_.variants.size() == 1
+            ? 0
+            : axisIndex(axes_.variants, variant, "variant");
+    return ((t * axes_.schedulers.size() + s) * axes_.seeds.size() +
+            e) *
+               axes_.variants.size() +
+           v;
+}
+
+const MetricsSnapshot &
+SweepRunner::at(const std::string &trace, SchedulerKind scheduler,
+                std::uint64_t seed, const std::string &variant) const
+{
+    const std::size_t index = indexOf(trace, scheduler, seed, variant);
+    if (array_.results().size() != points_.size())
+        fatal("SweepRunner: results accessed before run()");
+    return array_.results()[index];
+}
+
+const std::vector<IoResult> &
+SweepRunner::ioResultsAt(const std::string &trace,
+                         SchedulerKind scheduler, std::uint64_t seed,
+                         const std::string &variant) const
+{
+    const std::size_t index = indexOf(trace, scheduler, seed, variant);
+    if (array_.results().size() != points_.size())
+        fatal("SweepRunner: results accessed before run()");
+    return array_.ioResults(index);
+}
+
+const DeviceJob &
+SweepRunner::jobAt(const std::string &trace, SchedulerKind scheduler,
+                   std::uint64_t seed, const std::string &variant) const
+{
+    return array_.jobs()[indexOf(trace, scheduler, seed, variant)];
+}
+
+bool
+SweepRunner::cellCompleted(const std::string &trace,
+                           SchedulerKind scheduler, std::uint64_t seed,
+                           const std::string &variant) const
+{
+    return array_.completed(indexOf(trace, scheduler, seed, variant));
+}
+
+MetricsSnapshot
+SweepRunner::aggregate() const
+{
+    std::vector<MetricsSnapshot> completed;
+    completed.reserve(points_.size());
+    for (const auto &p : points_) {
+        if (array_.completed(p.index))
+            completed.push_back(array_.results()[p.index]);
+    }
+    return DeviceArray::aggregate(completed);
+}
+
+void
+SweepRunner::writeCsv(std::ostream &os) const
+{
+    if (array_.results().size() != points_.size() &&
+        !points_.empty())
+        fatal("SweepRunner: CSV requested before run()");
+    os << "trace,scheduler,seed,variant,completed,ios,bytes_read,"
+          "bytes_written,bandwidth_kbps,iops,avg_latency_ns,p50_ns,"
+          "p95_ns,p99_ns,max_ns,avg_read_ns,avg_write_ns,"
+          "queue_stall_ns,makespan_ns,device_active_ns,"
+          "chip_util_pct,flash_util_pct,"
+          "inter_idle_pct,intra_idle_pct,flp_non,flp_pal1,flp_pal2,"
+          "flp_pal3,exec_bus_pct,exec_cont_pct,exec_cell_pct,"
+          "exec_idle_pct,transactions,requests,stale_retries,"
+          "gc_batches,pages_migrated\n";
+    // max_digits10: doubles must round-trip so a CSV diff catches
+    // the same drift the golden bit-pattern digests do.
+    const auto old_precision =
+        os.precision(std::numeric_limits<double>::max_digits10);
+    for (const auto &p : points_) {
+        const MetricsSnapshot &m = array_.results()[p.index];
+        os << p.trace << ',' << schedulerKindName(p.scheduler) << ','
+           << p.seed << ',' << p.variant << ','
+           << (array_.completed(p.index) ? 1 : 0) << ','
+           << m.iosCompleted << ',' << m.bytesRead << ','
+           << m.bytesWritten << ',' << m.bandwidthKBps << ','
+           << m.iops << ',' << m.avgLatencyNs << ','
+           << m.p50LatencyNs << ',' << m.p95LatencyNs << ','
+           << m.p99LatencyNs << ',' << m.maxLatencyNs << ','
+           << m.avgReadLatencyNs << ',' << m.avgWriteLatencyNs << ','
+           << m.queueStallTime << ',' << m.makespan << ','
+           << m.deviceActiveTime << ','
+           << m.chipUtilizationPct << ','
+           << m.flashLevelUtilizationPct << ','
+           << m.interChipIdlenessPct << ','
+           << m.intraChipIdlenessPct << ',' << m.flpPct[0] << ','
+           << m.flpPct[1] << ',' << m.flpPct[2] << ',' << m.flpPct[3]
+           << ',' << m.execBusPct << ',' << m.execContentionPct << ','
+           << m.execCellPct << ',' << m.execIdlePct << ','
+           << m.transactions << ',' << m.requestsServed << ','
+           << m.staleRetries << ',' << m.gcBatches << ','
+           << m.pagesMigrated << '\n';
+    }
+    os.precision(old_precision);
+}
+
+void
+SweepRunner::writeCsvFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("SweepRunner: cannot open CSV file " + path);
+    writeCsv(os);
+}
+
+} // namespace spk

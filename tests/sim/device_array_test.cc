@@ -142,9 +142,109 @@ TEST(DeviceArray, MixedSchedulersReportMixed)
               "mixed");
 }
 
-TEST(DeviceArray, EmptyJobListDies)
+TEST(DeviceArray, ZeroJobsRunsToEmptyResults)
 {
-    EXPECT_DEATH(DeviceArray(std::vector<DeviceJob>{}), "no jobs");
+    // A fully filtered-out sweep expands to zero jobs; that must be
+    // a no-op, not an error.
+    DeviceArray array(std::vector<DeviceJob>{});
+    EXPECT_TRUE(array.run(4).empty());
+    EXPECT_EQ(array.completedCount(), 0u);
+    EXPECT_TRUE(DeviceArray::aggregate(array.results()) ==
+                MetricsSnapshot{});
+}
+
+TEST(DeviceArray, ProgressCallbackFiresOncePerDevice)
+{
+    const auto jobs = makeJobs(6);
+    DeviceArray reference(jobs);
+    reference.run(1);
+
+    DeviceArray array(jobs);
+    std::vector<int> seen(jobs.size(), 0);
+    std::size_t calls = 0;
+    DeviceArrayHooks hooks;
+    // DeviceArray serializes the callback, so plain counters suffice.
+    // Compare against an independent sequential run: the callback
+    // must hand over the fully-written snapshot of its device.
+    hooks.onDeviceDone = [&](std::size_t index,
+                             const MetricsSnapshot &m) {
+        ++calls;
+        ++seen[index];
+        EXPECT_TRUE(m == reference.results()[index])
+            << "callback for device " << index
+            << " saw a snapshot differing from the sequential run";
+    };
+    array.run(3, hooks);
+
+    EXPECT_EQ(calls, jobs.size());
+    for (std::size_t d = 0; d < jobs.size(); ++d) {
+        EXPECT_EQ(seen[d], 1) << "device " << d;
+        EXPECT_TRUE(array.completed(d));
+    }
+    EXPECT_EQ(array.completedCount(), jobs.size());
+}
+
+TEST(DeviceArray, CancellationKeepsCompletedResultsValid)
+{
+    const auto jobs = makeJobs(8);
+    DeviceArray reference(jobs);
+    reference.run(1);
+
+    constexpr unsigned kThreads = 2;
+    constexpr std::size_t kStopAfter = 3;
+    std::atomic<bool> stop{false};
+    std::size_t done = 0;
+    DeviceArrayHooks hooks;
+    hooks.stop = &stop;
+    hooks.onDeviceDone = [&](std::size_t, const MetricsSnapshot &) {
+        if (++done == kStopAfter)
+            stop.store(true, std::memory_order_relaxed);
+    };
+
+    DeviceArray cancelled(jobs);
+    cancelled.run(kThreads, hooks);
+
+    // Workers stop claiming once the flag is set; devices already in
+    // flight still finish.
+    EXPECT_GE(cancelled.completedCount(), kStopAfter);
+    EXPECT_LE(cancelled.completedCount(), kStopAfter + kThreads - 1);
+    EXPECT_LT(cancelled.completedCount(), jobs.size());
+
+    for (std::size_t d = 0; d < jobs.size(); ++d) {
+        if (cancelled.completed(d)) {
+            EXPECT_EQ(cancelled.results()[d], reference.results()[d])
+                << "completed device " << d
+                << " diverged under cancellation";
+        } else {
+            EXPECT_TRUE(cancelled.results()[d] == MetricsSnapshot{})
+                << "uncompleted device " << d
+                << " should hold the default snapshot";
+        }
+    }
+}
+
+TEST(DeviceArray, CancellationBeforeStartRunsNothing)
+{
+    const auto jobs = makeJobs(2);
+    std::atomic<bool> stop{true};
+    DeviceArrayHooks hooks;
+    hooks.stop = &stop;
+    DeviceArray array(jobs);
+    array.run(2, hooks);
+    EXPECT_EQ(array.completedCount(), 0u);
+}
+
+TEST(DeviceArray, CapturesIoResultsOnRequest)
+{
+    auto jobs = makeJobs(2);
+    jobs[0].captureIoResults = true;
+    DeviceArray array(std::move(jobs));
+    array.run(2);
+    const auto &series = array.ioResults(0);
+    ASSERT_EQ(series.size(), array.results()[0].iosCompleted);
+    for (const auto &io : series)
+        EXPECT_GE(io.completed, io.arrival);
+    EXPECT_TRUE(array.ioResults(1).empty());
 }
 
 } // namespace
