@@ -15,6 +15,7 @@
 #define SPK_BENCH_COUNT_ALLOCS
 #include "bench/bench_util.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -39,6 +40,10 @@ struct Result
     std::uint64_t items = 0;
     double seconds = 0.0;
     std::uint64_t allocs = 0; //!< heap allocations in the window
+    /** Events that transited the calendar queue's overflow heap in
+     *  the window (the ROADMAP measurement for second-wheel work). */
+    std::uint64_t overflowTransits = 0;
+    std::uint64_t overflowPeak = 0; //!< heap population high-water
 };
 
 using Clock = std::chrono::steady_clock;
@@ -73,6 +78,8 @@ benchEventLoopBatch()
     run_once(q);
 
     bench::AllocWindow window;
+    const std::uint64_t transits0 = q.overflowTransits();
+    q.resetOverflowPeak();
     const auto t0 = Clock::now();
     for (int rep = 0; rep < kReps; ++rep)
         run_once(q);
@@ -86,6 +93,8 @@ benchEventLoopBatch()
     r.seconds = sec;
     r.rate = static_cast<double>(r.items) / sec;
     r.allocs = allocs;
+    r.overflowTransits = q.overflowTransits() - transits0;
+    r.overflowPeak = q.overflowPeak();
     return r;
 }
 
@@ -118,6 +127,8 @@ benchEventLoopSteadyState()
     q.run(20'000); // warm up pool + heap storage
 
     bench::AllocWindow window;
+    const std::uint64_t transits0 = q.overflowTransits();
+    q.resetOverflowPeak();
     const auto t0 = Clock::now();
     q.run();
     const double sec = secondsSince(t0);
@@ -130,6 +141,8 @@ benchEventLoopSteadyState()
     r.seconds = sec;
     r.rate = static_cast<double>(count) / sec;
     r.allocs = allocs;
+    r.overflowTransits = q.overflowTransits() - transits0;
+    r.overflowPeak = q.overflowPeak();
     return r;
 }
 
@@ -179,6 +192,8 @@ benchFullDeviceRun(SchedulerKind kind)
 
     constexpr int kReps = 5;
     std::uint64_t events = 0;
+    std::uint64_t transits = 0;
+    std::size_t peak = 0;
     bench::AllocWindow window;
     const auto t0 = Clock::now();
     for (int rep = 0; rep < kReps; ++rep) {
@@ -192,6 +207,8 @@ benchFullDeviceRun(SchedulerKind kind)
         ssd.replay(trace);
         ssd.run();
         events += ssd.events().dispatched();
+        transits += ssd.events().overflowTransits();
+        peak = std::max(peak, ssd.events().overflowPeak());
     }
     const double sec = secondsSince(t0);
     const std::uint64_t allocs = window.count();
@@ -203,6 +220,77 @@ benchFullDeviceRun(SchedulerKind kind)
     r.seconds = sec;
     r.rate = static_cast<double>(events) / sec;
     r.allocs = allocs;
+    r.overflowTransits = transits;
+    r.overflowPeak = peak;
+    return r;
+}
+
+/**
+ * GC-heavy steady state: the Figure 17 stress shape (preconditioned
+ * device, write-dominated random stream) measured after a warmup run
+ * has established every high-water mark. Guards the request-arena GC
+ * path: the measurement window must stay at exactly zero heap
+ * allocations (the perf gate hard-fails otherwise), and the overflow
+ * counters quantify how much of the cell-latency event traffic
+ * bypasses the calendar ring (ROADMAP "window tuning" measurement).
+ */
+Result
+benchGcHeavySteadyState()
+{
+    SsdConfig cfg = SsdConfig::withChips(8);
+    cfg.geometry.blocksPerPlane = 16;
+    cfg.geometry.pagesPerBlock = 32;
+    cfg.scheduler = SchedulerKind::SPK3;
+    cfg.ftl.overprovision = 0.15;
+
+    Ssd ssd(cfg);
+    ssd.preconditionForGc(); // 95% full, 30% churned
+    const auto span = static_cast<std::uint64_t>(
+        static_cast<double>(cfg.geometry.totalPages()) *
+        (1.0 - cfg.ftl.overprovision) *
+        static_cast<double>(cfg.geometry.pageSizeBytes) * 0.6);
+
+    // Warmup with the exact probe stream (shifted in time): identical
+    // backlog and GC-pressure shape means warmup establishes the
+    // high-water marks the measured run needs. Two passes: the live
+    // GC-batch backlog peaks a little higher on a re-fragmented
+    // device than on the freshly preconditioned one.
+    for (int seg = 0; seg < 2; ++seg) {
+        Trace warmup = fixedSizeStream(2000, 16384, 0.9, span,
+                                       5 * kMicrosecond, 62);
+        const Tick base = ssd.events().now();
+        for (auto &rec : warmup)
+            rec.arrival += base;
+        ssd.replay(warmup);
+        ssd.run();
+    }
+
+    Trace probe =
+        fixedSizeStream(2000, 16384, 0.9, span, 5 * kMicrosecond, 62);
+    const Tick start = ssd.events().now();
+    for (auto &rec : probe)
+        rec.arrival += start;
+    ssd.replay(probe);
+
+    const std::uint64_t events0 = ssd.events().dispatched();
+    const std::uint64_t transits0 = ssd.events().overflowTransits();
+    ssd.events().resetOverflowPeak(); // exclude warmup from the peak
+    bench::AllocWindow window;
+    const auto t0 = Clock::now();
+    ssd.run();
+    const double sec = secondsSince(t0);
+    // Read the window before Result's strings allocate.
+    const std::uint64_t allocs = window.count();
+
+    Result r;
+    r.name = "gc_heavy_steady_state";
+    r.unit = "sim-events/sec";
+    r.items = ssd.events().dispatched() - events0;
+    r.seconds = sec;
+    r.rate = static_cast<double>(r.items) / sec;
+    r.allocs = allocs;
+    r.overflowTransits = ssd.events().overflowTransits() - transits0;
+    r.overflowPeak = ssd.events().overflowPeak();
     return r;
 }
 
@@ -220,10 +308,14 @@ writeJson(const std::vector<Result> &results, const char *path)
         std::fprintf(f,
                      "    {\"name\": \"%s\", \"unit\": \"%s\", "
                      "\"rate\": %.6g, \"items\": %llu, "
-                     "\"seconds\": %.6g, \"allocs\": %llu}%s\n",
+                     "\"seconds\": %.6g, \"allocs\": %llu, "
+                     "\"overflow_transits\": %llu, "
+                     "\"overflow_peak\": %llu}%s\n",
                      r.name.c_str(), r.unit.c_str(), r.rate,
                      static_cast<unsigned long long>(r.items), r.seconds,
                      static_cast<unsigned long long>(r.allocs),
+                     static_cast<unsigned long long>(r.overflowTransits),
+                     static_cast<unsigned long long>(r.overflowPeak),
                      i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -242,13 +334,19 @@ main()
     results.push_back(benchFullDeviceRun(SchedulerKind::VAS));
     results.push_back(benchFullDeviceRun(SchedulerKind::PAS));
     results.push_back(benchFullDeviceRun(SchedulerKind::SPK3));
+    results.push_back(benchGcHeavySteadyState());
 
-    std::printf("%-28s %14s %18s %12s\n", "benchmark", "rate", "unit",
-                "allocs");
+    std::printf("%-28s %14s %18s %12s %9s %8s\n", "benchmark", "rate",
+                "unit", "allocs", "ovf-trans", "(share)");
     for (const auto &r : results) {
-        std::printf("%-28s %14.4g %18s %12llu\n", r.name.c_str(), r.rate,
-                    r.unit.c_str(),
-                    static_cast<unsigned long long>(r.allocs));
+        std::printf("%-28s %14.4g %18s %12llu %9llu (%5.1f%%)\n",
+                    r.name.c_str(), r.rate, r.unit.c_str(),
+                    static_cast<unsigned long long>(r.allocs),
+                    static_cast<unsigned long long>(r.overflowTransits),
+                    r.items > 0
+                        ? 100.0 * static_cast<double>(r.overflowTransits) /
+                              static_cast<double>(r.items)
+                        : 0.0);
     }
 
     writeJson(results, "BENCH_microbench.json");

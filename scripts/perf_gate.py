@@ -9,34 +9,104 @@ Exit status is non-zero when a gated metric regresses by more than the
 tolerance, or when an allocation-free benchmark starts allocating.
 
 Two classes of checks:
-  * allocation counts: event_loop_batch and event_loop_steady_state
-    must stay at 0 allocations. This is machine-independent and always
-    a hard failure.
-  * events/sec rates: compared ratio-wise against the committed
-    previous run. Wall-clock rates are machine-dependent, so this
-    check is meaningful on hardware comparable to the baseline's;
-    --warn-only downgrades rate failures (use it when the runner
-    fleet is heterogeneous). event_loop_steady_state is warn-only by
-    default: the reschedule-chain microbench is the noisiest metric.
+  * allocation counts: the event-loop and GC-heavy steady-state
+    benchmarks must stay at 0 allocations. This is machine-independent
+    and always a hard failure.
+  * events/sec rates: wall-clock rates are machine-relative, so the
+    baseline file stores one benchmark set per *hardware fingerprint*
+    (cpu model + logical core count; override with
+    SPK_PERF_FINGERPRINT). When the machine running the gate matches
+    a pinned fingerprint, rate regressions beyond the tolerance
+    hard-fail — including on hosted CI, once a baseline for that
+    runner class is committed. On an unknown fingerprint the gate
+    still compares warn-only against some pinned entry (absolute
+    numbers are wrong cross-hardware, but order-of-magnitude drift
+    stays visible) and says how to pin. event_loop_steady_state is
+    warn-only even on a matching fingerprint: the reschedule-chain
+    microbench is the noisiest metric. --warn-only downgrades every
+    rate failure regardless.
 
---update rewrites the baseline from the current run after the checks
-pass (used when intentionally re-pinning after a perf-affecting PR).
+--update rewrites (or adds) this machine's fingerprint entry in the
+baseline from the current run after the checks pass (used when
+intentionally re-pinning after a perf-affecting PR).
+
+Legacy baselines (a top-level "benchmarks" list with no fingerprint
+map) are still accepted and compared warn-only, since nothing records
+which machine produced them; --update migrates to the keyed format.
 """
 
 import argparse
 import json
+import os
+import platform
 import sys
 
 # Benchmarks whose measurement windows must not allocate, ever.
-ZERO_ALLOC = ("event_loop_batch", "event_loop_steady_state")
+ZERO_ALLOC = (
+    "event_loop_batch",
+    "event_loop_steady_state",
+    "gc_heavy_steady_state",
+)
 
 # Rate regressions on these names only warn (noisy measurements).
 WARN_ONLY_RATES = ("event_loop_steady_state",)
 
 
-def load(path):
+def fingerprint():
+    """Hardware fingerprint: cpu model + logical core count.
+
+    SPK_PERF_FINGERPRINT overrides the detected value. Use it on
+    virtualized hosts: hypervisors often report a generic model
+    string (e.g. 'Intel(R) Xeon(R) Processor @ 2.10GHz'), under
+    which two different physical machines would collide and gate
+    each other's wall-clock rates.
+    """
+    override = os.environ.get("SPK_PERF_FINGERPRINT")
+    if override:
+        return override
+    model = ""
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.lower().startswith("model name"):
+                    model = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    if not model:
+        model = platform.processor() or platform.machine() or "unknown"
+    return f"{model} x{os.cpu_count()}"
+
+
+def by_name(benchmarks):
+    return {b["name"]: b for b in benchmarks}
+
+
+def load_current(path):
     with open(path) as f:
-        return {b["name"]: b for b in json.load(f)["benchmarks"]}
+        return by_name(json.load(f)["benchmarks"])
+
+
+def load_baseline(path, fp):
+    """Return (benchmarks-by-name, matched: bool, ref_name, blob).
+
+    When no entry matches this machine's fingerprint, fall back to an
+    arbitrary (alphabetically first) pinned entry so rate drift still
+    produces warn-level signal — cross-hardware numbers are wrong in
+    absolute terms but a 10x regression is visible on any machine.
+    """
+    with open(path) as f:
+        blob = json.load(f)
+    if "fingerprints" in blob:
+        entry = blob["fingerprints"].get(fp)
+        if entry is not None:
+            return by_name(entry["benchmarks"]), True, fp, blob
+        for name in sorted(blob["fingerprints"]):
+            entry = blob["fingerprints"][name]
+            return by_name(entry["benchmarks"]), False, name, blob
+        return {}, False, None, blob
+    # Legacy flat format: usable, but machine unknown -> never matched.
+    return by_name(blob.get("benchmarks", [])), False, "legacy", blob
 
 
 def main():
@@ -48,26 +118,41 @@ def main():
     ap.add_argument("--warn-only", action="store_true",
                     help="downgrade all rate regressions to warnings")
     ap.add_argument("--update", metavar="PATH",
-                    help="rewrite the baseline from the current run")
+                    help="re-pin this machine's fingerprint entry")
     args = ap.parse_args()
 
-    current = load(args.current)
-    baseline = load(args.baseline)
+    fp = fingerprint()
+    current = load_current(args.current)
+    baseline, matched, ref_name, blob = load_baseline(args.baseline, fp)
     failures = []
 
+    reported_missing = set()
     for name in ZERO_ALLOC:
         bench = current.get(name)
         if bench is None:
             failures.append(f"{name}: missing from current run")
+            reported_missing.add(name)
         elif bench["allocs"] != 0:
             failures.append(
                 f"{name}: {bench['allocs']} allocations in the "
                 "measurement window (must be 0)")
 
+    rates_enforced = matched and not args.warn_only
+    if not baseline:
+        print("note  baseline has no pinned entries; rate checks "
+              "skipped (pin one with --update)")
+    elif not rates_enforced:
+        reason = ("--warn-only" if args.warn_only else
+                  f"comparing against '{ref_name}' numbers, but this "
+                  f"machine is '{fp}' (pin it with --update to "
+                  "enforce)")
+        print(f"note  rate regressions only warn: {reason}")
+
     for name, base in sorted(baseline.items()):
         bench = current.get(name)
         if bench is None:
-            failures.append(f"{name}: missing from current run")
+            if name not in reported_missing:
+                failures.append(f"{name}: missing from current run")
             continue
         if base["rate"] <= 0:
             continue
@@ -76,7 +161,7 @@ def main():
                 f"{base['rate']:.3g} {bench['unit']} "
                 f"({100 * (ratio - 1):+.1f}%)")
         if ratio < 1.0 - args.tolerance:
-            if args.warn_only or name in WARN_ONLY_RATES:
+            if not rates_enforced or name in WARN_ONLY_RATES:
                 print(f"WARN  {line}")
             else:
                 failures.append(line + " regression beyond "
@@ -91,10 +176,14 @@ def main():
 
     if args.update:
         with open(args.current) as f:
-            blob = f.read()
+            run = json.load(f)
+        if "fingerprints" not in blob:
+            blob = {"fingerprints": {}}
+        blob["fingerprints"][fp] = {"benchmarks": run["benchmarks"]}
         with open(args.update, "w") as f:
-            f.write(blob)
-        print(f"baseline updated: {args.update}")
+            json.dump(blob, f, indent=2)
+            f.write("\n")
+        print(f"baseline updated for '{fp}': {args.update}")
     return 0
 
 

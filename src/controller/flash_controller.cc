@@ -148,8 +148,15 @@ FlashController::tryLaunch(std::uint32_t chip_offset)
 
     const TransactionPlan plan = txn.plan(timing_, pageBytes_);
 
-    // Phase 1: command/address (+ data-in for programs).
-    const Tick start = channel_.acquire(now, plan.cmdPhase);
+    // One batched arbitration call books the command/data-in phase
+    // and (for reads) the data-out phase: the data-out slot starts no
+    // earlier than the cells finish, and command phases of other
+    // chips first-fit into the cell-latency gap it leaves open
+    // (channel pipelining) — so no mid-transaction re-arbitration
+    // event is needed.
+    const ChannelGrant grant = channel_.acquirePlan(
+        now, plan.cmdPhase, plan.cellEnd, plan.dataOutPhase);
+    const Tick start = grant.cmdStart;
     const Tick cell_end_abs = start + plan.cellEnd;
 
     const FlpClass flp = txn.classify();
@@ -169,21 +176,14 @@ FlashController::tryLaunch(std::uint32_t chip_offset)
         req->startedAt = start;
 
     if (plan.dataOutPhase > 0) {
-        // Phase 2 (reads): arbitrate for the bus when the cells are
-        // done -- not earlier, so other chips can use the channel
-        // during our tR (channel pipelining).
-        const Tick data_out = plan.dataOutPhase;
-        FlashChip *chip_ptr = chip;
-        events_.schedule(
-            cell_end_abs, [this, chip_ptr, chip_offset, data_out] {
-                const Tick out_start =
-                    channel_.acquire(events_.now(), data_out);
-                const Tick end = out_start + data_out;
-                chip_ptr->extendBusy(end);
-                events_.schedule(end, [this, chip_offset, end] {
-                    finishTransaction(chip_offset, end);
-                });
-            });
+        // Reads: the data-out grant is already known, so the chip's
+        // busy window extends now and the transaction completes in a
+        // single end event (~2 events per transaction instead of ~3).
+        const Tick end = grant.dataOutStart + plan.dataOutPhase;
+        chip->extendBusy(end);
+        events_.schedule(end, [this, chip_offset, end] {
+            finishTransaction(chip_offset, end);
+        });
     } else {
         events_.schedule(provisional_end,
                          [this, chip_offset, provisional_end] {

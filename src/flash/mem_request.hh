@@ -12,6 +12,7 @@
 #define SPK_FLASH_MEM_REQUEST_HH
 
 #include <cstdint>
+#include <limits>
 
 #include "flash/geometry.hh"
 #include "sim/types.hh"
@@ -21,6 +22,10 @@ namespace spk
 
 /** Flash operation kinds a transaction can execute. */
 enum class FlashOp : std::uint8_t { Read, Program, Erase };
+
+/** Sentinel for "not owned by any GC batch". */
+inline constexpr std::uint32_t kInvalidGcBatch =
+    std::numeric_limits<std::uint32_t>::max();
 
 /** Printable name of a flash operation. */
 const char *flashOpName(FlashOp op);
@@ -56,6 +61,22 @@ struct MemoryRequest
 
     /** Intrusive link for the NVMHC's per-LPN hazard chain. */
     MemoryRequest *lpnNext = nullptr;
+
+    /** Intrusive free-list link while recycled in a Slab arena. */
+    MemoryRequest *slabNext = nullptr;
+
+    /**
+     * Owning GC batch slot in the GcManager's flat batch table;
+     * kInvalidGcBatch for host requests. Replaces the old
+     * request -> batch unordered_map.
+     */
+    std::uint32_t gcBatch = kInvalidGcBatch;
+
+    /**
+     * Destination PPN of the paired migration program (GC migration
+     * reads only). Replaces the old read -> program unordered_map.
+     */
+    Ppn gcPairPpn = kInvalidPage;
 };
 
 } // namespace spk

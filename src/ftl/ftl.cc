@@ -28,6 +28,10 @@ Ftl::Ftl(const FlashGeometry &geo, const FtlConfig &cfg)
       blocks_(geo, cfg.endurance, cfg.allocation)
 {
     geo_.validate();
+    // One batch per plane per collection round (plus one wear-level
+    // slot), at most a block's worth of migrations each: pre-carving
+    // the scratch here makes steady-state collection allocation-free.
+    batchScratch_.reserve(blocks_.numPlanes() + 1, geo_.pagesPerBlock);
 }
 
 void
@@ -83,10 +87,10 @@ Ftl::gcNeeded() const
     return false;
 }
 
-std::optional<GcBatch>
-Ftl::migrateAndErase(std::uint64_t plane, std::uint32_t block)
+bool
+Ftl::migrateAndErase(std::uint64_t plane, std::uint32_t block,
+                     GcBatch &batch)
 {
-    GcBatch batch;
     batch.planeIdx = plane;
     batch.victimBlock = block;
 
@@ -122,16 +126,16 @@ Ftl::migrateAndErase(std::uint64_t plane, std::uint32_t block)
 
     // The victim holds no live data unless migration aborted.
     if (blocks_.block(plane, block).validPages != 0)
-        return std::nullopt;
+        return false;
     blocks_.eraseBlock(plane, block);
     ++stats_.blocksErased;
-    return batch;
+    return true;
 }
 
-std::vector<GcBatch>
+const GcBatchList &
 Ftl::collectGc()
 {
-    std::vector<GcBatch> batches;
+    batchScratch_.reset();
     const std::uint64_t n_planes = blocks_.numPlanes();
 
     for (std::uint64_t plane = 0; plane < n_planes; ++plane) {
@@ -140,12 +144,13 @@ Ftl::collectGc()
         const auto victim = blocks_.pickGcVictim(plane);
         if (!victim)
             continue;
-        if (auto batch = migrateAndErase(plane, *victim)) {
+        GcBatch &batch = batchScratch_.append();
+        if (migrateAndErase(plane, *victim, batch))
             ++stats_.gcInvocations;
-            batches.push_back(std::move(*batch));
-        }
+        else
+            batchScratch_.dropLast();
     }
-    return batches;
+    return batchScratch_;
 }
 
 bool
@@ -157,22 +162,23 @@ Ftl::wearLevelNeeded() const
     return spread.second - spread.first > cfg_.wearLevelThreshold;
 }
 
-std::vector<GcBatch>
+const GcBatchList &
 Ftl::collectWearLevel()
 {
-    std::vector<GcBatch> batches;
+    batchScratch_.reset();
     if (!wearLevelNeeded())
-        return batches;
+        return batchScratch_;
     // The coldest full block pins cold data on a low-wear block:
     // moving it lets the block re-enter the hot allocation rotation.
     const auto victim = blocks_.pickColdestFull();
     if (!victim)
-        return batches;
-    if (auto batch = migrateAndErase(victim->first, victim->second)) {
+        return batchScratch_;
+    GcBatch &batch = batchScratch_.append();
+    if (migrateAndErase(victim->first, victim->second, batch))
         ++stats_.wearLevelMoves;
-        batches.push_back(std::move(*batch));
-    }
-    return batches;
+    else
+        batchScratch_.dropLast();
+    return batchScratch_;
 }
 
 void

@@ -11,6 +11,7 @@
 #ifndef SPK_FTL_FTL_HH
 #define SPK_FTL_FTL_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -72,6 +73,64 @@ struct GcBatch
     std::vector<GcMigration> migrations;
 };
 
+/**
+ * Recycled GcBatch sequence used for the FTL -> GC-engine handoff.
+ *
+ * Batches are reused in place across collection rounds: append()
+ * resets an existing slot (keeping its migrations capacity) instead
+ * of constructing a new one, so steady-state collection performs no
+ * heap allocation once every slot has reached its migration
+ * high-water mark. The list is only valid until the next collect
+ * call on the owning FTL.
+ */
+class GcBatchList
+{
+  public:
+    /** Reusable batch slot; migrations cleared, capacity kept. */
+    GcBatch &
+    append()
+    {
+        if (used_ == storage_.size())
+            storage_.emplace_back();
+        GcBatch &batch = storage_[used_++];
+        batch.planeIdx = 0;
+        batch.victimBlock = 0;
+        batch.victimBasePpn = kInvalidPage;
+        batch.migrations.clear();
+        return batch;
+    }
+
+    /** Drop the most recent append() (aborted collection). */
+    void
+    dropLast()
+    {
+        if (used_ > 0)
+            --used_;
+    }
+
+    /** Forget all batches; storage and capacities are retained. */
+    void reset() { used_ = 0; }
+
+    /** Pre-carve @p n slots of @p migrations capacity each. */
+    void
+    reserve(std::size_t n, std::size_t migrations)
+    {
+        storage_.resize(std::max(storage_.size(), n));
+        for (auto &batch : storage_)
+            batch.migrations.reserve(migrations);
+    }
+
+    std::size_t size() const { return used_; }
+    bool empty() const { return used_ == 0; }
+    const GcBatch &operator[](std::size_t i) const { return storage_[i]; }
+    const GcBatch *begin() const { return storage_.data(); }
+    const GcBatch *end() const { return storage_.data() + used_; }
+
+  private:
+    std::vector<GcBatch> storage_;
+    std::size_t used_ = 0;
+};
+
 /** Counters exported by the FTL. */
 struct FtlStats
 {
@@ -118,17 +177,21 @@ class Ftl
      * threshold. Mapping state changes immediately; the returned
      * batches let the device charge flash-time for the work. Fires
      * the readdressing callback per migrated page.
+     *
+     * The returned list references recycled internal storage: it is
+     * valid only until the next collectGc()/collectWearLevel() call.
      */
-    std::vector<GcBatch> collectGc();
+    const GcBatchList &collectGc();
 
     /** True when the erase-count spread exceeds the threshold. */
     bool wearLevelNeeded() const;
 
     /**
      * Migrate the coldest full block (static wear leveling). Same
-     * batch semantics as collectGc(); empty when nothing qualifies.
+     * batch semantics (and storage lifetime) as collectGc(); empty
+     * when nothing qualifies.
      */
-    std::vector<GcBatch> collectWearLevel();
+    const GcBatchList &collectWearLevel();
 
     /** Register the scheduler's readdressing callback. */
     void setReaddressCallback(ReaddressCallback cb)
@@ -155,12 +218,13 @@ class Ftl
     std::optional<Ppn> allocateRotating(bool gc_reserve);
 
     /**
-     * Migrate every live page out of (plane, block) and erase it.
-     * @return the batch, or std::nullopt if migration could not
-     *         complete (no destination space).
+     * Migrate every live page out of (plane, block) and erase it,
+     * recording the work in @p batch.
+     * @return false if migration could not complete (no destination
+     *         space); partial migrations remain applied either way.
      */
-    std::optional<GcBatch> migrateAndErase(std::uint64_t plane,
-                                           std::uint32_t block);
+    bool migrateAndErase(std::uint64_t plane, std::uint32_t block,
+                         GcBatch &batch);
 
     /** Decrement valid count for the block owning @p ppn. */
     void noteInvalidated(Ppn ppn);
@@ -175,6 +239,9 @@ class Ftl
     std::uint64_t allocCursor_ = 0;
     FtlStats stats_;
     ReaddressCallback readdress_;
+    /** Recycled collectGc/collectWearLevel output (pre-carved in the
+     *  constructor so steady-state collection never allocates). */
+    GcBatchList batchScratch_;
 };
 
 } // namespace spk

@@ -9,6 +9,7 @@ namespace spk
 
 Nvmhc::Nvmhc(EventQueue &events, const FlashGeometry &geo, Ftl &ftl,
              std::vector<FlashController *> controllers,
+             Slab<MemoryRequest> &arena,
              std::unique_ptr<IoScheduler> sched, const NvmhcConfig &cfg,
              IoCompleteFn on_io_complete)
     : events_(events),
@@ -17,7 +18,8 @@ Nvmhc::Nvmhc(EventQueue &events, const FlashGeometry &geo, Ftl &ftl,
       controllers_(std::move(controllers)),
       sched_(std::move(sched)),
       cfg_(cfg),
-      onIoComplete_(std::move(on_io_complete))
+      onIoComplete_(std::move(on_io_complete)),
+      arena_(arena)
 {
     if (controllers_.size() != geo_.numChannels)
         fatal("Nvmhc: need one flash controller per channel");
@@ -44,29 +46,15 @@ Nvmhc::Nvmhc(EventQueue &events, const FlashGeometry &geo, Ftl &ftl,
         ctrlByChip_.push_back(controllers_[geo_.channelOfChip(chip)]);
         offsetByChip_.push_back(geo_.chipOffsetOfChip(chip));
     }
-}
 
-MemoryRequest *
-Nvmhc::acquireRequest()
-{
-    if (freeReqs_.empty()) {
-        constexpr std::size_t kChunk = 64;
-        auto chunk = std::make_unique<MemoryRequest[]>(kChunk);
-        freeReqs_.reserve(freeReqs_.capacity() + kChunk);
-        for (std::size_t i = 0; i < kChunk; ++i)
-            freeReqs_.push_back(&chunk[i]);
-        reqChunks_.push_back(std::move(chunk));
-    }
-    MemoryRequest *req = freeReqs_.back();
-    freeReqs_.pop_back();
-    return req;
+    // Let the strategy pre-size its per-chip state (warm start).
+    sched_->prepare(n_chips, cfg_.queueDepth);
 }
 
 void
 Nvmhc::releaseRequest(MemoryRequest *req)
 {
-    *req = MemoryRequest{}; // scrub recycled state
-    freeReqs_.push_back(req);
+    arena_.releaseScrubbed(req); // the arena is shared with GC
 }
 
 std::uint32_t
@@ -169,7 +157,7 @@ Nvmhc::enqueue(const PendingSubmission &sub)
     io->pages.clear();
     io->pages.reserve(sub.pageCount);
     for (std::uint32_t i = 0; i < sub.pageCount; ++i) {
-        MemoryRequest *req = acquireRequest();
+        MemoryRequest *req = arena_.acquire();
         req->id = nextReqId_++;
         req->tag = tag;
         req->idxInIo = i;

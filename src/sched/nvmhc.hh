@@ -23,6 +23,7 @@
 #include "sched/lpn_chain.hh"
 #include "sched/scheduler.hh"
 #include "sim/event_queue.hh"
+#include "sim/slab.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -80,12 +81,15 @@ class Nvmhc : private SchedulerView
      * @param ftl translation layer (translation happens at enqueue --
      *        the paper's core.preprocess step)
      * @param controllers one per channel, indexed by channel
+     * @param arena device-wide MemoryRequest arena (shared with the
+     *        GC engine; must outlive the NVMHC)
      * @param sched scheduling strategy
      * @param cfg tuning knobs
      * @param on_io_complete invoked once per completed host I/O
      */
     Nvmhc(EventQueue &events, const FlashGeometry &geo, Ftl &ftl,
           std::vector<FlashController *> controllers,
+          Slab<MemoryRequest> &arena,
           std::unique_ptr<IoScheduler> sched, const NvmhcConfig &cfg,
           IoCompleteFn on_io_complete);
 
@@ -104,6 +108,16 @@ class Nvmhc : private SchedulerView
 
     /** Re-poll the scheduler (e.g. after GC frees a chip). */
     void kick();
+
+    /**
+     * Pre-size the arrival backlog: at most @p total submissions can
+     * ever wait for a tag at once (the device calls this from
+     * replay() so a saturating trace never grows the queue mid-run).
+     */
+    void reserveBacklog(std::size_t total)
+    {
+        waiting_.reserve(total);
+    }
 
     /** True when no host I/O is queued, waiting or composing. */
     bool idle() const;
@@ -160,10 +174,7 @@ class Nvmhc : private SchedulerView
     /** Secure a tag and preprocess (translate + bucket) an I/O. */
     void enqueue(const PendingSubmission &sub);
 
-    /** Pull a recycled memory request from the slab (grows by chunk). */
-    MemoryRequest *acquireRequest();
-
-    /** Return a retired memory request to the slab. */
+    /** Scrub and return a retired memory request to the arena. */
     void releaseRequest(MemoryRequest *req);
 
     /** Admit waiting submissions into freed tags. */
@@ -205,10 +216,10 @@ class Nvmhc : private SchedulerView
     RingDeque<PendingSubmission> waiting_;
     std::uint64_t nextReqId_ = 0;
 
-    /** Memory-request slab: chunk storage plus the free list. The
-     *  high-water mark is bounded by queueDepth x pages-per-I/O. */
-    std::vector<std::unique_ptr<MemoryRequest[]>> reqChunks_;
-    std::vector<MemoryRequest *> freeReqs_;
+    /** Device-wide MemoryRequest arena (owned by the Ssd, shared with
+     *  the GC engine). The host-side high-water mark is bounded by
+     *  queueDepth x pages-per-I/O. */
+    Slab<MemoryRequest> &arena_;
 
     /** Per-global-chip controller / chip-offset lookup tables. */
     std::vector<FlashController *> ctrlByChip_;

@@ -91,6 +91,19 @@ class IoScheduler
     /** Pick the next memory request to compose, or nullptr. */
     virtual MemoryRequest *next(SchedulerContext &ctx) = 0;
 
+    /**
+     * One-time warm-start called by the NVMHC before traffic starts:
+     * @p num_chips chips exist and at most @p queue_depth I/Os are
+     * queued at once. Strategies keeping per-chip state pre-size it
+     * here so steady-state scheduling never touches the heap.
+     */
+    virtual void
+    prepare(std::uint32_t num_chips, std::uint32_t queue_depth)
+    {
+        (void)num_chips;
+        (void)queue_depth;
+    }
+
     /** A new I/O entered the device-level queue (tags secured). */
     virtual void onEnqueue(IoRequest &io) { (void)io; }
 

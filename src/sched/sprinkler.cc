@@ -32,6 +32,22 @@ SprinklerScheduler::ensureBuckets(std::uint32_t chip)
 }
 
 void
+SprinklerScheduler::prepare(std::uint32_t num_chips,
+                            std::uint32_t queue_depth)
+{
+    if (num_chips == 0)
+        return;
+    ensureBuckets(num_chips - 1);
+    // A bucket holds uncomposed requests, bounded by the queued I/Os'
+    // page totals. Pre-carving queue_depth * 8 covers I/Os of up to 8
+    // pages each even when every queued request lands on one chip, so
+    // steady-state bucketing stays off the heap for the paper's trace
+    // shapes (larger I/Os fall back to amortized growth).
+    for (auto &bucket : buckets_)
+        bucket.reserve(std::size_t{queue_depth} * 8);
+}
+
+void
 SprinklerScheduler::onEnqueue(IoRequest &io)
 {
     // Securing tags: identify physical layout and bucket per chip

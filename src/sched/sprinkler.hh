@@ -50,6 +50,9 @@ class SprinklerScheduler : public IoScheduler
 
     MemoryRequest *next(SchedulerContext &ctx) override;
 
+    void prepare(std::uint32_t num_chips,
+                 std::uint32_t queue_depth) override;
+
     void onEnqueue(IoRequest &io) override;
 
     void onRetarget(MemoryRequest &req, std::uint32_t old_chip) override;

@@ -34,32 +34,11 @@ EventQueue::EventQueue()
     overflow_.reserve(kPoolChunk);
 }
 
-EventQueue::Event *
-EventQueue::acquireEvent()
-{
-    if (freeList_ == nullptr) {
-        auto chunk = std::make_unique<Event[]>(kPoolChunk);
-        for (std::size_t i = 0; i < kPoolChunk; ++i) {
-            chunk[i].next = freeList_;
-            freeList_ = &chunk[i];
-        }
-        chunks_.push_back(std::move(chunk));
-        poolCapacity_ += kPoolChunk;
-        poolFreeCount_ += kPoolChunk;
-    }
-    Event *ev = freeList_;
-    freeList_ = ev->next;
-    --poolFreeCount_;
-    return ev;
-}
-
 void
 EventQueue::releaseEvent(Event *ev)
 {
     ev->cb.reset();
-    ev->next = freeList_;
-    freeList_ = ev;
-    ++poolFreeCount_;
+    pool_.release(ev);
 }
 
 namespace
@@ -140,7 +119,7 @@ EventQueue::schedule(Tick when, Callback cb)
 {
     if (when < now_)
         panic("EventQueue::schedule into the past");
-    Event *ev = acquireEvent();
+    Event *ev = pool_.acquire();
     ev->cb = std::move(cb);
     ev->when = when;
     if (when - base_ < kBuckets) {
@@ -148,6 +127,8 @@ EventQueue::schedule(Tick when, Callback cb)
     } else {
         overflow_.push_back(HeapEntry{when, nextSeq_++, ev});
         std::push_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+        ++overflowTransits_;
+        overflowPeak_ = std::max(overflowPeak_, overflow_.size());
     }
     ++size_;
 }

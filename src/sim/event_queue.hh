@@ -27,10 +27,10 @@
 
 #include <array>
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "sim/event_callback.hh"
+#include "sim/slab.hh"
 #include "sim/types.hh"
 
 namespace spk
@@ -95,16 +95,32 @@ class EventQueue
     std::uint64_t dispatched() const { return dispatched_; }
 
     /** Event nodes owned by the pool (its high-water mark). */
-    std::size_t poolCapacity() const { return poolCapacity_; }
+    std::size_t poolCapacity() const { return pool_.capacity(); }
 
     /** Pool nodes currently on the free list. */
-    std::size_t poolFree() const { return poolFreeCount_; }
+    std::size_t poolFree() const { return pool_.freeCount(); }
 
     /** Events currently parked in the near-future ring. */
     std::size_t ringSize() const { return ringCount_; }
 
     /** Events currently parked in the far-future overflow heap. */
     std::size_t overflowSize() const { return overflow_.size(); }
+
+    /**
+     * Events that transited the overflow heap: scheduled beyond the
+     * ring window, parked in the heap, refilled into the ring later.
+     * Together with dispatched() this measures how much traffic a
+     * second (coarser) wheel could take off the heap — the ROADMAP
+     * measurement gating any hierarchical-wheel work.
+     */
+    std::uint64_t overflowTransits() const { return overflowTransits_; }
+
+    /** High-water mark of the overflow heap's population. */
+    std::size_t overflowPeak() const { return overflowPeak_; }
+
+    /** Restart the peak tracking from the current population, so a
+     *  measurement window can exclude warmup traffic. */
+    void resetOverflowPeak() { overflowPeak_ = overflow_.size(); }
 
     /** Ring window width in ticks (one bucket per tick). */
     static constexpr Tick windowTicks() { return kBuckets; }
@@ -144,7 +160,6 @@ class EventQueue
         Event *tail = nullptr;
     };
 
-    Event *acquireEvent();
     void releaseEvent(Event *ev);
 
     /** Append @p ev to its ring bucket (when within the window). */
@@ -161,10 +176,9 @@ class EventQueue
     std::uint64_t summary_ = 0; //!< one bit per occupancy word
 
     std::vector<HeapEntry> overflow_; //!< min-heap by (when, seq)
-    std::vector<std::unique_ptr<Event[]>> chunks_;
-    Event *freeList_ = nullptr;
-    std::size_t poolCapacity_ = 0;
-    std::size_t poolFreeCount_ = 0;
+    /** Node arena; the Event's bucket link doubles as the free-list
+     *  link (a node is never queued and recycled at the same time). */
+    Slab<Event, &Event::next> pool_{kPoolChunk};
 
     Tick base_ = 0; //!< window start; ring holds [base_, base_+kBuckets)
     std::size_t ringCount_ = 0;
@@ -173,6 +187,8 @@ class EventQueue
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t dispatched_ = 0;
+    std::uint64_t overflowTransits_ = 0;
+    std::size_t overflowPeak_ = 0;
 };
 
 } // namespace spk

@@ -195,20 +195,29 @@ class RingDeque
     /** Backing-buffer capacity (its high-water mark). */
     std::size_t capacity() const { return buf_.size(); }
 
-  private:
+    /** Grow the buffer to hold at least @p n elements up front. */
     void
-    reserveOne()
+    reserve(std::size_t n)
     {
-        if (count_ < buf_.size())
+        if (n <= buf_.size())
             return;
-        // Grow to the next power of two, linearizing front-to-back.
-        const std::size_t fresh_size =
-            buf_.empty() ? kMinCapacity : buf_.size() * 2;
+        std::size_t fresh_size =
+            buf_.empty() ? kMinCapacity : buf_.size();
+        while (fresh_size < n)
+            fresh_size *= 2;
         std::vector<T> fresh(fresh_size);
         for (std::size_t i = 0; i < count_; ++i)
             fresh[i] = (*this)[i];
         buf_ = std::move(fresh);
         head_ = 0;
+    }
+
+  private:
+    void
+    reserveOne()
+    {
+        if (count_ == buf_.size())
+            reserve(count_ + 1);
     }
 
     static constexpr std::size_t kMinCapacity = 8;

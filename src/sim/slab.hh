@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Reusable chunked-slab object arena with an intrusive free list.
+ *
+ * This is the allocation discipline behind every steady-state-zero-
+ * allocation pool in the simulator (event nodes, host memory requests,
+ * GC memory requests): storage grows in fixed-size chunks that are
+ * never freed or moved, so object addresses stay stable for the arena
+ * lifetime; recycled objects are threaded through an intrusive free
+ * list, so acquire/release are two pointer moves and the arena stops
+ * allocating once the live high-water mark is reached.
+ *
+ * T must be default-constructible and expose a `T *` member used as
+ * the free-list link while the object is recycled (by default
+ * `T::slabNext`; pass another member pointer when the type already has
+ * a spare link, e.g. `Slab<Event, &Event::next>`). The arena does NOT
+ * scrub objects on release: the owner decides how much state must be
+ * reset for reuse (a full `*p = T{}` assignment, or resetting only the
+ * fields its reuse path reads) — scrubbing in the arena would force
+ * the most expensive option on every pool.
+ */
+
+#ifndef SPK_SIM_SLAB_HH
+#define SPK_SIM_SLAB_HH
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace spk
+{
+
+template <typename T, T *T::*NextPtr = &T::slabNext>
+class Slab
+{
+  public:
+    /** @param chunk objects carved per growth step. */
+    explicit Slab(std::size_t chunk = 64) : chunk_(chunk == 0 ? 1 : chunk)
+    {
+    }
+
+    Slab(const Slab &) = delete;
+    Slab &operator=(const Slab &) = delete;
+
+    /** Pull a recycled object, growing by one chunk when empty. */
+    T *
+    acquire()
+    {
+        if (freeList_ == nullptr)
+            grow();
+        T *obj = freeList_;
+        freeList_ = obj->*NextPtr;
+        obj->*NextPtr = nullptr;
+        --freeCount_;
+        return obj;
+    }
+
+    /**
+     * Return @p obj to the free list. The object is NOT scrubbed; the
+     * caller resets whatever state its reuse path requires before (or
+     * after) releasing.
+     */
+    void
+    release(T *obj)
+    {
+        obj->*NextPtr = freeList_;
+        freeList_ = obj;
+        ++freeCount_;
+    }
+
+    /**
+     * Reset @p obj to a default-constructed state, then release it.
+     * Use this whenever the arena is shared between subsystems: a
+     * full scrub is the cross-subsystem invariant that keeps one
+     * path's intrusive state (batch ids, hazard links, ...) from
+     * leaking into the other's freshly acquired objects.
+     */
+    void
+    releaseScrubbed(T *obj)
+    {
+        *obj = T{};
+        release(obj);
+    }
+
+    /** Grow the arena until it owns at least @p n objects. */
+    void
+    reserve(std::size_t n)
+    {
+        while (capacity_ < n)
+            grow();
+    }
+
+    /** Objects owned by the arena (its high-water mark). */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Objects currently on the free list. */
+    std::size_t freeCount() const { return freeCount_; }
+
+    /** Objects currently acquired (live). */
+    std::size_t liveCount() const { return capacity_ - freeCount_; }
+
+  private:
+    void
+    grow()
+    {
+        // Checked here (not at class scope) so the arena can be a
+        // member of the very class whose nested type it pools: a
+        // nested T with default member initializers only becomes
+        // default-constructible once the enclosing class is complete.
+        static_assert(std::is_default_constructible_v<T>,
+                      "Slab<T>: T must be default-constructible");
+        auto chunk = std::make_unique<T[]>(chunk_);
+        for (std::size_t i = 0; i < chunk_; ++i) {
+            chunk[i].*NextPtr = freeList_;
+            freeList_ = &chunk[i];
+        }
+        chunks_.push_back(std::move(chunk));
+        capacity_ += chunk_;
+        freeCount_ += chunk_;
+    }
+
+    std::size_t chunk_;
+    std::vector<std::unique_ptr<T[]>> chunks_;
+    T *freeList_ = nullptr;
+    std::size_t capacity_ = 0;
+    std::size_t freeCount_ = 0;
+};
+
+} // namespace spk
+
+#endif // SPK_SIM_SLAB_HH

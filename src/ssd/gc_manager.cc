@@ -7,12 +7,20 @@ namespace spk
 
 GcManager::GcManager(EventQueue &events, const FlashGeometry &geo,
                      std::vector<FlashController *> controllers,
+                     Slab<MemoryRequest> &arena,
                      std::function<void()> on_all_done)
     : events_(events),
       geo_(geo),
       controllers_(std::move(controllers)),
+      arena_(arena),
       onAllDone_(std::move(on_all_done))
 {
+    // One slot per plane covers a full collection round; the table
+    // still grows on demand when rounds overlap under heavy pressure.
+    const std::size_t planes = std::size_t{geo_.numChips()} *
+                               geo_.diesPerChip * geo_.planesPerDie;
+    batches_.reserve(planes + 1);
+    freeSlots_.reserve(planes + 1);
 }
 
 FlashController &
@@ -21,10 +29,22 @@ GcManager::controllerFor(std::uint32_t chip)
     return *controllers_[geo_.channelOfChip(chip)];
 }
 
-MemoryRequest *
-GcManager::issue(FlashOp op, Ppn ppn, std::uint64_t batch_id)
+std::uint32_t
+GcManager::acquireBatchSlot()
 {
-    auto req = std::make_unique<MemoryRequest>();
+    if (freeSlots_.empty()) {
+        batches_.emplace_back();
+        return static_cast<std::uint32_t>(batches_.size() - 1);
+    }
+    const std::uint32_t slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    return slot;
+}
+
+MemoryRequest *
+GcManager::issue(FlashOp op, Ppn ppn, std::uint32_t slot)
+{
+    MemoryRequest *req = arena_.acquire();
     req->id = nextReqId_++;
     req->tag = kInvalidTag;
     req->op = op;
@@ -36,36 +56,35 @@ GcManager::issue(FlashOp op, Ppn ppn, std::uint64_t batch_id)
     req->composed = true;
     req->isGc = true;
     req->composedAt = events_.now();
+    req->gcBatch = slot;
 
-    MemoryRequest *raw = req.get();
-    owner_[raw] = batch_id;
-    requests_.push_back(std::move(req));
-    controllerFor(raw->chip).commit(raw, /*front=*/true);
-    return raw;
+    controllerFor(req->chip).commit(req, /*front=*/true);
+    return req;
 }
 
 void
-GcManager::launch(std::vector<GcBatch> batches)
+GcManager::launch(const GcBatchList &batches)
 {
-    for (auto &batch : batches) {
-        const std::uint64_t id = nextBatchId_++;
-        ActiveBatch active;
+    for (const GcBatch &batch : batches) {
+        const std::uint32_t slot = acquireBatchSlot();
+        BatchSlot &active = batches_[slot];
+        active.victimBasePpn = batch.victimBasePpn;
         active.remainingPrograms = batch.migrations.size();
-        active.batch = std::move(batch);
-        const auto &ref =
-            active_.emplace(id, std::move(active)).first->second;
+        active.eraseIssued = false;
+        active.live = true;
+        ++liveBatches_;
         ++stats_.batches;
 
-        if (ref.batch.migrations.empty()) {
+        if (batch.migrations.empty()) {
             // Nothing live to move: erase right away.
-            active_.at(id).eraseIssued = true;
+            active.eraseIssued = true;
             ++stats_.erases;
-            issue(FlashOp::Erase, ref.batch.victimBasePpn, id);
+            issue(FlashOp::Erase, batch.victimBasePpn, slot);
             continue;
         }
-        for (const auto &mig : ref.batch.migrations) {
-            MemoryRequest *read = issue(FlashOp::Read, mig.from, id);
-            pairedProgram_[read] = mig.to;
+        for (const auto &mig : batch.migrations) {
+            MemoryRequest *read = issue(FlashOp::Read, mig.from, slot);
+            read->gcPairPpn = mig.to;
             ++stats_.migrationReads;
         }
     }
@@ -74,26 +93,25 @@ GcManager::launch(std::vector<GcBatch> batches)
 void
 GcManager::onRequestFinished(MemoryRequest *req)
 {
-    const auto owner_it = owner_.find(req);
-    if (owner_it == owner_.end())
+    const std::uint32_t slot = req->gcBatch;
+    if (slot == kInvalidGcBatch || slot >= batches_.size() ||
+        !batches_[slot].live) {
         panic("GcManager: completion for unknown GC request");
-    const std::uint64_t id = owner_it->second;
-    owner_.erase(owner_it);
+    }
+    BatchSlot &batch = batches_[slot];
+    const FlashOp op = req->op;
+    const Ppn pair = req->gcPairPpn;
 
-    auto batch_it = active_.find(id);
-    if (batch_it == active_.end())
-        panic("GcManager: completion for retired batch");
-    ActiveBatch &batch = batch_it->second;
+    // Reclaim the request before issuing follow-up work so the arena
+    // can hand the hot object straight back.
+    arena_.releaseScrubbed(req);
 
-    switch (req->op) {
+    switch (op) {
       case FlashOp::Read: {
-        const auto pair_it = pairedProgram_.find(req);
-        if (pair_it == pairedProgram_.end())
+        if (pair == kInvalidPage)
             panic("GcManager: migration read without paired program");
-        const Ppn to = pair_it->second;
-        pairedProgram_.erase(pair_it);
         ++stats_.migrationPrograms;
-        issue(FlashOp::Program, to, id);
+        issue(FlashOp::Program, pair, slot);
         break;
       }
       case FlashOp::Program:
@@ -103,20 +121,14 @@ GcManager::onRequestFinished(MemoryRequest *req)
         if (batch.remainingPrograms == 0 && !batch.eraseIssued) {
             batch.eraseIssued = true;
             ++stats_.erases;
-            issue(FlashOp::Erase, batch.batch.victimBasePpn, id);
+            issue(FlashOp::Erase, batch.victimBasePpn, slot);
         }
         break;
       case FlashOp::Erase:
-        active_.erase(batch_it);
+        batch.live = false;
+        freeSlots_.push_back(slot);
+        --liveBatches_;
         break;
-    }
-
-    // Reclaim the request object.
-    for (auto it = requests_.begin(); it != requests_.end(); ++it) {
-        if (it->get() == req) {
-            requests_.erase(it);
-            break;
-        }
     }
 
     // A chip just freed up: let the host scheduler re-poll.

@@ -8,6 +8,12 @@
  * reclaimed block. GC requests are committed ahead of host requests
  * (they hold the chip hostage exactly as the paper's Section 5.9
  * stress test intends).
+ *
+ * Steady-state execution is allocation-free: requests come from the
+ * device-wide MemoryRequest arena and carry their batch membership
+ * and paired-program destination as intrusive fields, and batches
+ * live in a flat table of recycled slots — there are no per-request
+ * maps and no per-batch heap nodes.
  */
 
 #ifndef SPK_SSD_GC_MANAGER_HH
@@ -15,8 +21,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "controller/flash_controller.hh"
@@ -24,6 +28,7 @@
 #include "flash/mem_request.hh"
 #include "ftl/ftl.hh"
 #include "sim/event_queue.hh"
+#include "sim/slab.hh"
 
 namespace spk
 {
@@ -51,47 +56,57 @@ class GcManager
      * @param events shared event queue
      * @param geo device geometry
      * @param controllers per-channel controllers
-     * @param on_all_done called whenever the last active batch drains
+     * @param arena device-wide MemoryRequest arena (shared with the
+     *        host path; must outlive the manager)
+     * @param on_all_done called whenever a GC request completes
      *        (used to re-poll the scheduler)
      */
     GcManager(EventQueue &events, const FlashGeometry &geo,
               std::vector<FlashController *> controllers,
+              Slab<MemoryRequest> &arena,
               std::function<void()> on_all_done);
 
     /** Begin executing a set of batches produced by Ftl::collectGc. */
-    void launch(std::vector<GcBatch> batches);
+    void launch(const GcBatchList &batches);
 
     /** Flash-level completion upcall for GC requests. */
     void onRequestFinished(MemoryRequest *req);
 
     /** True when no GC work is outstanding. */
-    bool idle() const { return active_.empty(); }
+    bool idle() const { return liveBatches_ == 0; }
 
     const GcManagerStats &stats() const { return stats_; }
 
   private:
-    struct ActiveBatch
+    /**
+     * In-flight batch state, indexed by the recycled slot id that
+     * every member request carries in MemoryRequest::gcBatch.
+     */
+    struct BatchSlot
     {
-        GcBatch batch;
+        Ppn victimBasePpn = kInvalidPage;
         std::uint64_t remainingPrograms = 0;
         bool eraseIssued = false;
+        bool live = false;
     };
 
-    /** Create+commit a GC memory request. */
-    MemoryRequest *issue(FlashOp op, Ppn ppn, std::uint64_t batch_id);
+    /** Acquire a free batch slot, growing the flat table if needed. */
+    std::uint32_t acquireBatchSlot();
+
+    /** Arena-acquire + commit a GC memory request for @p slot. */
+    MemoryRequest *issue(FlashOp op, Ppn ppn, std::uint32_t slot);
 
     FlashController &controllerFor(std::uint32_t chip);
 
     EventQueue &events_;
     FlashGeometry geo_;
     std::vector<FlashController *> controllers_;
+    Slab<MemoryRequest> &arena_;
     std::function<void()> onAllDone_;
 
-    std::unordered_map<std::uint64_t, ActiveBatch> active_;
-    std::unordered_map<const MemoryRequest *, std::uint64_t> owner_;
-    std::unordered_map<const MemoryRequest *, Ppn> pairedProgram_;
-    std::vector<std::unique_ptr<MemoryRequest>> requests_;
-    std::uint64_t nextBatchId_ = 0;
+    std::vector<BatchSlot> batches_;       //!< flat recycled-slot table
+    std::vector<std::uint32_t> freeSlots_; //!< recycled slot ids (LIFO)
+    std::uint32_t liveBatches_ = 0;
     std::uint64_t nextReqId_ = 1ull << 60; //!< distinct from host ids
     GcManagerStats stats_;
 };

@@ -39,10 +39,11 @@ Ssd::Ssd(const SsdConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
         raw_controllers.push_back(ctrl.get());
 
     gc_ = std::make_unique<GcManager>(events_, geo, raw_controllers,
+                                      requestArena_,
                                       [this] { nvmhc_->kick(); });
 
     nvmhc_ = std::make_unique<Nvmhc>(
-        events_, geo, *ftl_, raw_controllers,
+        events_, geo, *ftl_, raw_controllers, requestArena_,
         makeScheduler(cfg_.scheduler, cfg_.faroWindow), cfg_.nvmhc,
         [this](const IoRequest &io) {
             results_.push_back(IoResult{io.arrival, io.completed,
@@ -51,10 +52,10 @@ Ssd::Ssd(const SsdConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
 
     nvmhc_->setAfterEnqueueHook([this] { maybeCollectGc(); });
     nvmhc_->setReclaimHook([this] {
-        auto batches = ftl_->collectGc();
+        const GcBatchList &batches = ftl_->collectGc();
         if (batches.empty())
             return false;
-        gc_->launch(std::move(batches));
+        gc_->launch(batches);
         return true;
     });
     ftl_->setReaddressCallback([this](Lpn lpn, Ppn from, Ppn to) {
@@ -77,17 +78,17 @@ Ssd::maybeCollectGc()
     // One collectGc round reclaims at most one block per needy plane;
     // loop (bounded) until every plane regains its threshold headroom.
     for (int round = 0; round < 64 && ftl_->gcNeeded(); ++round) {
-        auto batches = ftl_->collectGc();
+        const GcBatchList &batches = ftl_->collectGc();
         if (batches.empty())
             break;
-        gc_->launch(std::move(batches));
+        gc_->launch(batches);
     }
     // Static wear leveling (disabled unless configured): one cold
     // block per trigger keeps the overhead bounded.
     if (ftl_->wearLevelNeeded()) {
-        auto batches = ftl_->collectWearLevel();
+        const GcBatchList &batches = ftl_->collectWearLevel();
         if (!batches.empty())
-            gc_->launch(std::move(batches));
+            gc_->launch(batches);
     }
 }
 
@@ -106,6 +107,7 @@ Ssd::submitAt(Tick when, bool is_write, std::uint64_t offset_bytes,
     const auto pages = static_cast<std::uint32_t>(last - first + 1);
 
     lastArrival_ = std::max(lastArrival_, when);
+    ++submitted_;
     events_.schedule(when, [this, is_write, first, pages, fua, when] {
         nvmhc_->submit(is_write, first, pages, fua, when);
     });
@@ -117,6 +119,25 @@ Ssd::replay(const Trace &trace)
     for (const auto &rec : trace)
         submitAt(rec.arrival, rec.isWrite, rec.offsetBytes,
                  rec.sizeBytes, rec.fua);
+    // Every submitted I/O eventually appends one IoResult; reserving
+    // here keeps the subsequent run() allocation-free. Grow to the
+    // next power of two (the same shape push_back growth would take)
+    // so later direct submitAt() streams keep their doubling slack.
+    std::size_t cap = results_.capacity();
+    if (cap < submitted_) {
+        while (cap < submitted_)
+            cap = cap == 0 ? 1 : cap * 2;
+        results_.reserve(cap);
+    }
+    // Likewise for the tag-wait backlog — capped: the realistic
+    // high-water is the burst depth, not the trace length, and a
+    // multi-million-record trace must not pre-carve hundreds of MB.
+    // Beyond the cap the queue falls back to amortized growth (only
+    // the zero-alloc-gated probes, which are far below it, need the
+    // guarantee).
+    constexpr std::uint64_t kBacklogReserveCap = 1 << 16;
+    nvmhc_->reserveBacklog(static_cast<std::size_t>(
+        std::min(submitted_, kBacklogReserveCap)));
 }
 
 void

@@ -19,10 +19,12 @@
 #include "controller/channel.hh"
 #include "controller/flash_controller.hh"
 #include "flash/chip.hh"
+#include "flash/mem_request.hh"
 #include "ftl/ftl.hh"
 #include "sched/nvmhc.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
+#include "sim/slab.hh"
 #include "sim/stats.hh"
 #include "ssd/config.hh"
 #include "ssd/gc_manager.hh"
@@ -118,6 +120,13 @@ class Ssd
     EventQueue events_;
     Rng rng_;
 
+    /**
+     * Device-wide MemoryRequest arena: host-composed requests and GC
+     * migration requests share one recycled pool (declared before its
+     * users so it outlives them).
+     */
+    Slab<MemoryRequest> requestArena_;
+
     std::vector<std::unique_ptr<FlashChip>> chips_;
     std::vector<std::unique_ptr<Channel>> channels_;
     std::vector<std::unique_ptr<FlashController>> controllers_;
@@ -127,6 +136,7 @@ class Ssd
 
     std::vector<IoResult> results_;
     Tick lastArrival_ = 0;
+    std::uint64_t submitted_ = 0; //!< total I/Os ever submitted
 };
 
 } // namespace spk

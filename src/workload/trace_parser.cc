@@ -39,6 +39,47 @@ parseU64(std::string_view sv, std::uint64_t &out)
     return ec == std::errc{} && ptr == end;
 }
 
+/** Strip ASCII spaces and tabs from both ends (fio pads with ", "). */
+std::string_view
+trimmed(std::string_view sv)
+{
+    while (!sv.empty() && (sv.front() == ' ' || sv.front() == '\t'))
+        sv.remove_prefix(1);
+    while (!sv.empty() && (sv.back() == ' ' || sv.back() == '\t'))
+        sv.remove_suffix(1);
+    return sv;
+}
+
+/** Shared line-loop: parse with @p parse_line, rebase arrivals. */
+template <typename ParseLine>
+ParseResult
+parseStream(std::istream &in, ParseLine parse_line)
+{
+    ParseResult result;
+    std::string line;
+    bool have_base = false;
+    Tick base = 0;
+
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        TraceRecord rec;
+        if (!parse_line(line, rec)) {
+            ++result.skippedLines;
+            continue;
+        }
+        if (!have_base) {
+            base = rec.arrival;
+            have_base = true;
+        }
+        rec.arrival = rec.arrival >= base ? rec.arrival - base : 0;
+        result.trace.push_back(rec);
+    }
+    return result;
+}
+
 } // namespace
 
 bool
@@ -81,29 +122,7 @@ parseMsrLine(const std::string &line, TraceRecord &out)
 ParseResult
 parseMsrTrace(std::istream &in)
 {
-    ParseResult result;
-    std::string line;
-    bool have_base = false;
-    Tick base = 0;
-
-    while (std::getline(in, line)) {
-        if (!line.empty() && line.back() == '\r')
-            line.pop_back();
-        if (line.empty())
-            continue;
-        TraceRecord rec;
-        if (!parseMsrLine(line, rec)) {
-            ++result.skippedLines;
-            continue;
-        }
-        if (!have_base) {
-            base = rec.arrival;
-            have_base = true;
-        }
-        rec.arrival = rec.arrival >= base ? rec.arrival - base : 0;
-        result.trace.push_back(rec);
-    }
-    return result;
+    return parseStream(in, parseMsrLine);
 }
 
 ParseResult
@@ -113,6 +132,59 @@ parseMsrTraceFile(const std::string &path)
     if (!in)
         fatal("cannot open trace file: " + path);
     return parseMsrTrace(in);
+}
+
+bool
+parseFioLogLine(const std::string &line, TraceRecord &out)
+{
+    if (line.empty() || line[0] == '#')
+        return false;
+    const auto fields = splitCsv(line, 6);
+    if (fields.size() < 5)
+        return false;
+
+    std::uint64_t time_ms = 0;
+    std::uint64_t ddir = 0;
+    std::uint64_t size = 0;
+    std::uint64_t offset = 0;
+    if (!parseU64(trimmed(fields[0]), time_ms) ||
+        !parseU64(trimmed(fields[2]), ddir) ||
+        !parseU64(trimmed(fields[3]), size) ||
+        !parseU64(trimmed(fields[4]), offset)) {
+        return false;
+    }
+    // The value column (fields[1]) is the logged metric — latency,
+    // bandwidth or IOPS depending on the log flavor. Replay only
+    // needs it to be numeric so garbage lines don't slip through.
+    std::uint64_t value = 0;
+    if (!parseU64(trimmed(fields[1]), value))
+        return false;
+    if (ddir > 1)
+        return false; // trim (2) and beyond: not replayable
+    if (size == 0)
+        return false;
+
+    out.arrival = time_ms * kMillisecond;
+    out.isWrite = ddir == 1;
+    out.fua = false;
+    out.offsetBytes = offset;
+    out.sizeBytes = size;
+    return true;
+}
+
+ParseResult
+parseFioLogTrace(std::istream &in)
+{
+    return parseStream(in, parseFioLogLine);
+}
+
+ParseResult
+parseFioLogTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file: " + path);
+    return parseFioLogTrace(in);
 }
 
 } // namespace spk

@@ -1,12 +1,22 @@
 /**
  * @file
- * Parser for MSR Cambridge-style block traces (SNIA IOTTA format).
+ * Parsers for on-disk block-trace formats behind the common Trace
+ * type.
  *
- * Record format (CSV, one I/O per line):
+ * MSR Cambridge (SNIA IOTTA format; the paper's cfs/hm/msnfs/proj
+ * traces [28, 33]) — CSV, one I/O per line:
  *   Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
  * Timestamp is in Windows filetime units (100 ns); Type is "Read" or
- * "Write"; Offset and Size are in bytes. The paper's cfs/hm/msnfs/proj
- * traces use this format [28, 33].
+ * "Write"; Offset and Size are in bytes.
+ *
+ * fio per-I/O logs (write_lat_log / write_bw_log / write_iops_log
+ * output) — CSV with optional spaces, one I/O per line:
+ *   time_ms, value, ddir, blocksize, offset[, priority]
+ * time is milliseconds since job start; value is the logged metric
+ * (latency/bandwidth — irrelevant for replay and ignored); ddir is
+ * 0=read, 1=write, 2=trim (trims are skipped); blocksize and offset
+ * are in bytes. Older fio versions omit the offset column — such
+ * lines are rejected since replay needs the target address.
  */
 
 #ifndef SPK_WORKLOAD_TRACE_PARSER_HH
@@ -39,6 +49,22 @@ ParseResult parseMsrTraceFile(const std::string &path);
 
 /** Parse one CSV line; returns false if malformed. */
 bool parseMsrLine(const std::string &line, TraceRecord &out);
+
+/**
+ * Parse a fio per-I/O log from a stream. Arrival times are rebased so
+ * the first replayable record arrives at tick 0. Malformed lines and
+ * trims are skipped and counted.
+ */
+ParseResult parseFioLogTrace(std::istream &in);
+
+/** Parse from a file path; fatal() if the file cannot be opened. */
+ParseResult parseFioLogTraceFile(const std::string &path);
+
+/**
+ * Parse one fio log line; returns false if malformed or a trim
+ * (direction 2 — not replayable as a read/write).
+ */
+bool parseFioLogLine(const std::string &line, TraceRecord &out);
 
 } // namespace spk
 

@@ -60,5 +60,64 @@ TEST(Channel, ZeroDurationAcquireIsNoop)
     EXPECT_EQ(ch.index(), 1u);
 }
 
+TEST(Channel, AcquirePlanReservesBothPhases)
+{
+    Channel ch(0);
+    const ChannelGrant g = ch.acquirePlan(0, 10, 100, 20);
+    EXPECT_EQ(g.cmdStart, 0u);
+    EXPECT_EQ(g.dataOutStart, 100u); // no earlier than cells done
+    EXPECT_EQ(ch.stats().grants, 2u);
+    EXPECT_EQ(ch.stats().busHeldTime, 30u);
+    EXPECT_EQ(ch.stats().contentionTime, 0u);
+    EXPECT_EQ(ch.busyUntil(), 120u);
+}
+
+TEST(Channel, CommandPhaseFirstFitsIntoCellLatencyGap)
+{
+    Channel ch(0);
+    ch.acquirePlan(0, 10, 100, 20); // books [0,10) and [100,120)
+    // Channel pipelining: another chip's command phase lands inside
+    // the cell-latency gap without waiting for the data-out slot.
+    EXPECT_EQ(ch.acquire(15, 30), 15u);
+    EXPECT_EQ(ch.stats().contentionTime, 0u);
+    // A phase that cannot fit before the booked data-out slides past.
+    EXPECT_EQ(ch.acquire(90, 20), 120u);
+    EXPECT_EQ(ch.stats().contentionTime, 30u);
+}
+
+TEST(Channel, DataOutWaitsBehindExistingTraffic)
+{
+    Channel ch(0);
+    ch.acquire(0, 50);
+    const ChannelGrant g = ch.acquirePlan(0, 10, 20, 5);
+    EXPECT_EQ(g.cmdStart, 50u); // behind the in-flight phase
+    // Cells end at 70, after every booking: data-out is immediate.
+    EXPECT_EQ(g.dataOutStart, 70u);
+    EXPECT_EQ(ch.busyUntil(), 75u);
+}
+
+TEST(Channel, PlanWithoutDataOutIsPlainAcquire)
+{
+    Channel ch(0);
+    const ChannelGrant g = ch.acquirePlan(7, 10, 1000, 0);
+    EXPECT_EQ(g.cmdStart, 7u);
+    EXPECT_EQ(g.dataOutStart, 0u);
+    EXPECT_EQ(ch.stats().grants, 1u);
+    EXPECT_EQ(ch.busyUntil(), 17u);
+}
+
+TEST(Channel, ExpiredReservationsRetireButFutureOnesHold)
+{
+    Channel ch(0);
+    ch.acquirePlan(0, 10, 100, 20); // [0,10) and [100,120)
+    // Event time has moved past the command phase; the far data-out
+    // booking must still deflect this overlapping request.
+    EXPECT_EQ(ch.acquire(95, 10), 120u);
+    // A short phase still first-fits into the remaining pre-data-out
+    // gap ([95, 100) is exactly five ticks wide).
+    EXPECT_EQ(ch.acquire(95, 5), 95u);
+    EXPECT_EQ(ch.busyUntil(), 130u);
+}
+
 } // namespace
 } // namespace spk

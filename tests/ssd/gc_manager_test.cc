@@ -24,6 +24,7 @@ struct Fixture
     std::vector<std::unique_ptr<FlashChip>> chips;
     std::vector<std::unique_ptr<FlashController>> controllers;
     std::vector<FlashController *> raw;
+    Slab<MemoryRequest> arena;
     std::unique_ptr<GcManager> gc;
     int drainedCalls = 0;
 
@@ -53,14 +54,14 @@ struct Fixture
                 }));
             raw.push_back(controllers.back().get());
         }
-        gc = std::make_unique<GcManager>(events, geo, raw,
+        gc = std::make_unique<GcManager>(events, geo, raw, arena,
                                          [this] { ++drainedCalls; });
     }
 
-    GcBatch
-    makeBatch(std::uint32_t migrations)
+    GcBatch &
+    makeBatch(GcBatchList &list, std::uint32_t migrations)
     {
-        GcBatch batch;
+        GcBatch &batch = list.append();
         batch.planeIdx = 0;
         batch.victimBlock = 0;
         // Victim pages in chip 0, block 0; destinations in block 1.
@@ -83,9 +84,9 @@ struct Fixture
 TEST(GcManager, EmptyBatchGoesStraightToErase)
 {
     Fixture f;
-    std::vector<GcBatch> batches;
-    batches.push_back(f.makeBatch(0));
-    f.gc->launch(std::move(batches));
+    GcBatchList batches;
+    f.makeBatch(batches, 0);
+    f.gc->launch(batches);
     EXPECT_FALSE(f.gc->idle());
     f.events.run();
     EXPECT_TRUE(f.gc->idle());
@@ -98,9 +99,9 @@ TEST(GcManager, EmptyBatchGoesStraightToErase)
 TEST(GcManager, MigrationsSequenceReadProgramErase)
 {
     Fixture f;
-    std::vector<GcBatch> batches;
-    batches.push_back(f.makeBatch(3));
-    f.gc->launch(std::move(batches));
+    GcBatchList batches;
+    f.makeBatch(batches, 3);
+    f.gc->launch(batches);
     f.events.run();
 
     ASSERT_EQ(f.completedOps.size(), 7u); // 3 reads + 3 programs + 1 erase
@@ -124,10 +125,10 @@ TEST(GcManager, MigrationsSequenceReadProgramErase)
 TEST(GcManager, MultipleBatchesRunConcurrently)
 {
     Fixture f;
-    std::vector<GcBatch> batches;
-    batches.push_back(f.makeBatch(2));
+    GcBatchList batches;
+    f.makeBatch(batches, 2);
     // Second batch on the other chip (channel 1).
-    GcBatch other = f.makeBatch(2);
+    GcBatch &other = f.makeBatch(batches, 2);
     for (auto &mig : other.migrations) {
         PhysAddr a = f.geo.decompose(mig.from);
         a.channel = 1;
@@ -141,9 +142,7 @@ TEST(GcManager, MultipleBatchesRunConcurrently)
         v.channel = 1;
         other.victimBasePpn = f.geo.compose(v);
     }
-    batches.push_back(std::move(other));
-
-    f.gc->launch(std::move(batches));
+    f.gc->launch(batches);
     f.events.run();
     EXPECT_TRUE(f.gc->idle());
     EXPECT_EQ(f.gc->stats().batches, 2u);
@@ -154,9 +153,9 @@ TEST(GcManager, MultipleBatchesRunConcurrently)
 TEST(GcManager, ProgressCallbackFiresPerCompletion)
 {
     Fixture f;
-    std::vector<GcBatch> batches;
-    batches.push_back(f.makeBatch(2));
-    f.gc->launch(std::move(batches));
+    GcBatchList batches;
+    f.makeBatch(batches, 2);
+    f.gc->launch(batches);
     f.events.run();
     // One callback per finished GC request (2R + 2P + 1E).
     EXPECT_EQ(f.drainedCalls, 5);

@@ -98,6 +98,84 @@ TEST(TraceParser, MissingFileDies)
                  "cannot open");
 }
 
+TEST(FioLogParser, ParsesWellFormedLine)
+{
+    TraceRecord rec;
+    ASSERT_TRUE(
+        parseFioLogLine("12, 524288, 1, 16384, 1048576, 0", rec));
+    EXPECT_TRUE(rec.isWrite);
+    EXPECT_EQ(rec.arrival, 12u * kMillisecond);
+    EXPECT_EQ(rec.sizeBytes, 16384u);
+    EXPECT_EQ(rec.offsetBytes, 1048576u);
+    EXPECT_FALSE(rec.fua);
+}
+
+TEST(FioLogParser, ParsesReadsAndUnpaddedLines)
+{
+    TraceRecord rec;
+    ASSERT_TRUE(parseFioLogLine("3,100,0,4096,8192", rec));
+    EXPECT_FALSE(rec.isWrite);
+    EXPECT_EQ(rec.arrival, 3u * kMillisecond);
+    // The optional sixth (priority) column is tolerated either way.
+    ASSERT_TRUE(parseFioLogLine("3,100,0,4096,8192,1", rec));
+    EXPECT_FALSE(rec.isWrite);
+}
+
+TEST(FioLogParser, SkipsTrimsAndMalformedLines)
+{
+    TraceRecord rec;
+    EXPECT_FALSE(parseFioLogLine("5, 100, 2, 4096, 0, 0", rec)); // trim
+    EXPECT_FALSE(parseFioLogLine("", rec));
+    EXPECT_FALSE(parseFioLogLine("# header", rec));
+    EXPECT_FALSE(parseFioLogLine("x, 100, 0, 4096, 0", rec));
+    EXPECT_FALSE(parseFioLogLine("5, abc, 0, 4096, 0", rec));
+    EXPECT_FALSE(parseFioLogLine("5, 100, 0, 0, 0", rec)); // zero size
+    EXPECT_FALSE(parseFioLogLine("5, 100, 0, 4096", rec)); // no offset
+}
+
+TEST(FioLogParser, StreamRebasesAndCountsSkips)
+{
+    std::istringstream in(
+        "100, 9, 0, 4096, 0, 0\n"
+        "105, 9, 2, 4096, 4096, 0\n" // trim: skipped
+        "110, 9, 1, 8192, 8192, 0\n");
+    const auto result = parseFioLogTrace(in);
+    ASSERT_EQ(result.trace.size(), 2u);
+    EXPECT_EQ(result.skippedLines, 1u);
+    EXPECT_EQ(result.trace[0].arrival, 0u);
+    EXPECT_EQ(result.trace[1].arrival, 10u * kMillisecond);
+    EXPECT_TRUE(result.trace[1].isWrite);
+}
+
+TEST(FioLogParser, ParsesCheckedInSampleLog)
+{
+    // data/traces/fio_sample.log: 64 replayable records, 3 trims and
+    // 2 comment lines (trims and comments both count as skipped).
+    const auto result = parseFioLogTraceFile(
+        std::string(SPK_DATA_DIR) + "/traces/fio_sample.log");
+    EXPECT_EQ(result.skippedLines, 5u);
+    ASSERT_EQ(result.trace.size(), 64u);
+    EXPECT_EQ(result.trace.front().arrival, 0u); // rebased
+
+    const auto s = summarize(result.trace);
+    EXPECT_EQ(s.readCount + s.writeCount, 64u);
+    EXPECT_GT(s.readCount, 0u);
+    EXPECT_GT(s.writeCount, 0u);
+    Tick prev = 0;
+    for (const auto &rec : result.trace) {
+        EXPECT_GE(rec.arrival, prev); // fio timestamps monotonic
+        prev = rec.arrival;
+        EXPECT_GT(rec.sizeBytes, 0u);
+        EXPECT_EQ(rec.offsetBytes % 4096, 0u);
+    }
+}
+
+TEST(FioLogParser, MissingFileDies)
+{
+    EXPECT_DEATH((void)parseFioLogTraceFile("/nonexistent/fio.log"),
+                 "cannot open");
+}
+
 TEST(TraceSummary, CountsDirectionsAndRandomness)
 {
     Trace trace{
