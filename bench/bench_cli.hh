@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <thread>
 #include <unistd.h>
@@ -126,11 +127,16 @@ installSigintStop()
  * progress goes to stderr when it is a terminal, cancellation exits
  * 130 before any table is printed, and the CSV dump (when requested)
  * goes to @p csv_path — benches with several sub-sweeps pass distinct
- * suffixed paths per sweep.
+ * suffixed paths per sweep. @p extra_csv, when set, is invoked with
+ * the CSV path right after every writeCsvFile — cancellation
+ * included — so companion dumps (e.g. the per-stream CSV) honor the
+ * same partial-results-kept contract as the main file.
  */
 inline void
 runSweep(SweepRunner &sweep, const BenchCli &cli,
-         const std::string &csv_path)
+         const std::string &csv_path,
+         const std::function<void(const std::string &)> &extra_csv =
+             {})
 {
     installSigintStop();
     SweepRunner::Progress progress;
@@ -155,6 +161,8 @@ runSweep(SweepRunner &sweep, const BenchCli &cli,
             // Completed cells are valid and final; keep them. The
             // completed column marks the skipped ones.
             sweep.writeCsvFile(csv_path);
+            if (extra_csv)
+                extra_csv(csv_path);
             std::fprintf(stderr, "kept partial results in %s\n",
                          csv_path.c_str());
         }
@@ -162,6 +170,8 @@ runSweep(SweepRunner &sweep, const BenchCli &cli,
     }
     if (!csv_path.empty()) {
         sweep.writeCsvFile(csv_path);
+        if (extra_csv)
+            extra_csv(csv_path);
         std::fprintf(stderr, "wrote %zu cells to %s\n",
                      sweep.cellCount(), csv_path.c_str());
     }

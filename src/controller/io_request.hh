@@ -36,6 +36,9 @@ struct IoRequest
     bool isWrite = false;
     bool fua = false; //!< force-unit-access: no reordering around it
 
+    /** Submission queue (host stream) this I/O arrived on. */
+    std::uint32_t streamId = 0;
+
     Lpn firstLpn = 0;
     std::uint32_t pageCount = 0;
 

@@ -133,7 +133,7 @@ Ftl::migrateAndErase(std::uint64_t plane, std::uint32_t block,
 }
 
 const GcBatchList &
-Ftl::collectGc()
+Ftl::collectGcImpl(bool respect_admission)
 {
     batchScratch_.reset();
     const std::uint64_t n_planes = blocks_.numPlanes();
@@ -141,6 +141,12 @@ Ftl::collectGc()
     for (std::uint64_t plane = 0; plane < n_planes; ++plane) {
         if (blocks_.freeBlocks(plane) >= cfg_.gcFreeBlockThreshold)
             continue;
+        if (respect_admission && gcAdmit_ && !gcAdmit_(plane)) {
+            // Live-batch bound reached: defer this plane's collection
+            // until a batch retires (the device retries then).
+            ++stats_.gcDeferrals;
+            continue;
+        }
         const auto victim = blocks_.pickGcVictim(plane);
         if (!victim)
             continue;
@@ -151,6 +157,18 @@ Ftl::collectGc()
             batchScratch_.dropLast();
     }
     return batchScratch_;
+}
+
+const GcBatchList &
+Ftl::collectGc()
+{
+    return collectGcImpl(/*respect_admission=*/true);
+}
+
+const GcBatchList &
+Ftl::collectGcUrgent()
+{
+    return collectGcImpl(/*respect_admission=*/false);
 }
 
 bool
@@ -173,6 +191,10 @@ Ftl::collectWearLevel()
     const auto victim = blocks_.pickColdestFull();
     if (!victim)
         return batchScratch_;
+    if (gcAdmit_ && !gcAdmit_(victim->first)) {
+        ++stats_.gcDeferrals;
+        return batchScratch_;
+    }
     GcBatch &batch = batchScratch_.append();
     if (migrateAndErase(victim->first, victim->second, batch))
         ++stats_.wearLevelMoves;

@@ -139,6 +139,9 @@ struct FtlStats
     std::uint64_t pagesMigrated = 0;
     std::uint64_t blocksErased = 0;
     std::uint64_t wearLevelMoves = 0;
+    /** Collections skipped because the plane's live-batch admission
+     *  bound was reached (retried when a batch retires). */
+    std::uint64_t gcDeferrals = 0;
 };
 
 /**
@@ -173,6 +176,19 @@ class Ftl
     bool gcNeeded() const;
 
     /**
+     * Per-plane GC admission gate. When set, collectGc() skips (and
+     * counts as deferred) planes the predicate rejects — the device
+     * wires this to the GC engine's live-batch bound so the flat
+     * batch table stays statically sizable. Deferred planes are
+     * retried when a batch retires (GcManager's retirement hook).
+     */
+    using GcAdmission = std::function<bool(std::uint64_t plane)>;
+    void setGcAdmission(GcAdmission admit)
+    {
+        gcAdmit_ = std::move(admit);
+    }
+
+    /**
      * Run victim selection + mapping migration for every plane below
      * threshold. Mapping state changes immediately; the returned
      * batches let the device charge flash-time for the work. Fires
@@ -182,6 +198,13 @@ class Ftl
      * valid only until the next collectGc()/collectWearLevel() call.
      */
     const GcBatchList &collectGc();
+
+    /**
+     * collectGc() without the admission gate: the emergency reclaim
+     * path (write allocation failed) must make space now even if a
+     * plane is over its live-batch bound.
+     */
+    const GcBatchList &collectGcUrgent();
 
     /** True when the erase-count spread exceeds the threshold. */
     bool wearLevelNeeded() const;
@@ -232,6 +255,9 @@ class Ftl
     /** Increment valid count for the block owning @p ppn. */
     void noteValidated(Ppn ppn);
 
+    /** Shared victim loop behind collectGc/collectGcUrgent. */
+    const GcBatchList &collectGcImpl(bool respect_admission);
+
     FlashGeometry geo_;
     FtlConfig cfg_;
     PageMapping mapping_;
@@ -239,6 +265,7 @@ class Ftl
     std::uint64_t allocCursor_ = 0;
     FtlStats stats_;
     ReaddressCallback readdress_;
+    GcAdmission gcAdmit_;
     /** Recycled collectGc/collectWearLevel output (pre-carved in the
      *  constructor so steady-state collection never allocates). */
     GcBatchList batchScratch_;

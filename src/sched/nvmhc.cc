@@ -30,6 +30,14 @@ Nvmhc::Nvmhc(EventQueue &events, const FlashGeometry &geo, Ftl &ftl,
     ctx_.queue = &queue_;
     ctx_.view = this;
 
+    // Single default submission queue until configureStreams() says
+    // otherwise; every arbitration policy is FIFO over one stream.
+    waiting_.resize(1);
+    streamStates_.resize(1);
+    streamStats_.resize(1);
+    arbiter_ = makeArbiter(cfg_.arbiter);
+    arbiter_->prepare(1);
+
     // Flat NCQ slot slab: tag ids are recycled within [0, queueDepth)
     // so per-tag state everywhere can be a vector, not a map. The
     // slab never resizes after this, so IoRequest pointers are stable.
@@ -55,6 +63,27 @@ void
 Nvmhc::releaseRequest(MemoryRequest *req)
 {
     arena_.releaseScrubbed(req); // the arena is shared with GC
+}
+
+void
+Nvmhc::configureStreams(const std::vector<StreamInfo> &infos)
+{
+    if (infos.empty())
+        fatal("Nvmhc::configureStreams: need at least one stream");
+    if (!queue_.empty() || waitingTotal_ != 0 || engineBusy_ ||
+        stats_.iosSubmitted != 0)
+        fatal("Nvmhc::configureStreams called with traffic in flight");
+
+    const auto n = static_cast<std::uint32_t>(infos.size());
+    waiting_.resize(n);
+    streamStates_.assign(n, QueueArbiter::StreamState{});
+    streamStats_.assign(n, NvmhcStats{});
+    for (std::uint32_t s = 0; s < n; ++s) {
+        streamStates_[s].weight = infos[s].weight;
+        streamStates_[s].priority = infos[s].priority;
+    }
+    arbiter_ = makeArbiter(cfg_.arbiter);
+    arbiter_->prepare(n);
 }
 
 std::uint32_t
@@ -112,17 +141,24 @@ Nvmhc::translate(MemoryRequest &req)
 
 void
 Nvmhc::submit(bool is_write, Lpn first_lpn, std::uint32_t page_count,
-              bool fua, Tick arrival)
+              bool fua, Tick arrival, std::uint32_t stream)
 {
     if (page_count == 0)
         fatal("Nvmhc::submit zero-page I/O");
+    if (stream >= waiting_.size())
+        fatal("Nvmhc::submit on unconfigured stream " +
+              std::to_string(stream));
     ++stats_.iosSubmitted;
+    ++streamStats_[stream].iosSubmitted;
     if (outstandingIos() == 0)
         active_.claim(events_.now());
 
-    PendingSubmission sub{is_write, first_lpn, page_count, fua, arrival};
+    PendingSubmission sub{is_write, first_lpn, page_count,
+                          fua,      arrival,   stream};
     if (queue_.size() >= cfg_.queueDepth) {
-        waiting_.push_back(sub);
+        waiting_[stream].push_back(sub);
+        ++streamStates_[stream].waiting;
+        ++waitingTotal_;
         return;
     }
     enqueue(sub);
@@ -143,6 +179,7 @@ Nvmhc::enqueue(const PendingSubmission &sub)
     io->active = true;
     io->isWrite = sub.isWrite;
     io->fua = sub.fua;
+    io->streamId = sub.stream;
     io->firstLpn = sub.firstLpn;
     io->pageCount = sub.pageCount;
     io->arrival = sub.arrival;
@@ -151,6 +188,8 @@ Nvmhc::enqueue(const PendingSubmission &sub)
     io->composedCount = 0;
     io->finishedCount = 0;
     stats_.queueStallTime += now - sub.arrival;
+    streamStats_[sub.stream].queueStallTime += now - sub.arrival;
+    ++streamStates_[sub.stream].inDevice;
     io->initBitmap(); // reuses the recycled slot's bitmap capacity
 
     const std::uint64_t logical = ftl_.logicalPages();
@@ -179,9 +218,17 @@ Nvmhc::enqueue(const PendingSubmission &sub)
 void
 Nvmhc::admitWaiting()
 {
-    while (!waiting_.empty() && queue_.size() < cfg_.queueDepth) {
-        const PendingSubmission sub = waiting_.front();
-        waiting_.pop_front();
+    // One arbiter decision per freed tag: the policy picks the stream
+    // whose head submission is admitted. With one stream this is the
+    // plain FIFO drain the single-queue NVMHC performed.
+    while (waitingTotal_ > 0 && queue_.size() < cfg_.queueDepth) {
+        const std::uint32_t s = arbiter_->pick(streamStates_);
+        if (s >= waiting_.size() || waiting_[s].empty())
+            panic("Nvmhc::admitWaiting arbiter picked an idle stream");
+        const PendingSubmission sub = waiting_[s].front();
+        waiting_[s].pop_front();
+        --streamStates_[s].waiting;
+        --waitingTotal_;
         enqueue(sub);
     }
 }
@@ -249,6 +296,7 @@ Nvmhc::composeDone(MemoryRequest *req)
 
     if (req->tag >= slots_.size() || !slots_[req->tag].active)
         panic("Nvmhc::composeDone orphan request");
+    ++streamStats_[slots_[req->tag].streamId].requestsComposed;
     slots_[req->tag].composedCount++;
     sched_->onComposed(*req);
 
@@ -271,6 +319,7 @@ Nvmhc::onRequestFinished(MemoryRequest *req)
     if (req->stale) {
         req->stale = false;
         ++stats_.staleRetries;
+        ++streamStats_[io->streamId].staleRetries;
         const Ppn fresh = ftl_.translateRead(req->lpn);
         if (fresh == kInvalidPage)
             panic("Nvmhc: mapping lost for pending read");
@@ -294,12 +343,18 @@ Nvmhc::onRequestFinished(MemoryRequest *req)
     if (io->done()) {
         io->completed = now;
         ++stats_.iosCompleted;
+        NvmhcStats &ss = streamStats_[io->streamId];
+        ++ss.iosCompleted;
         const std::uint64_t bytes =
             std::uint64_t{io->pageCount} * geo_.pageSizeBytes;
-        if (io->isWrite)
+        if (io->isWrite) {
             stats_.bytesWritten += bytes;
-        else
+            ss.bytesWritten += bytes;
+        } else {
             stats_.bytesRead += bytes;
+            ss.bytesRead += bytes;
+        }
+        --streamStates_[io->streamId].inDevice;
         onIoComplete_(*io);
 
         auto qit = std::find(queue_.begin(), queue_.end(), io);
@@ -355,13 +410,13 @@ Nvmhc::kick()
 bool
 Nvmhc::idle() const
 {
-    return queue_.empty() && waiting_.empty() && !engineBusy_;
+    return queue_.empty() && waitingTotal_ == 0 && !engineBusy_;
 }
 
 std::uint32_t
 Nvmhc::outstandingIos() const
 {
-    return static_cast<std::uint32_t>(queue_.size() + waiting_.size());
+    return static_cast<std::uint32_t>(queue_.size()) + waitingTotal_;
 }
 
 } // namespace spk

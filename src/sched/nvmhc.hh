@@ -21,8 +21,10 @@
 #include "controller/io_request.hh"
 #include "ftl/ftl.hh"
 #include "sched/lpn_chain.hh"
+#include "sched/queue_arbiter.hh"
 #include "sched/scheduler.hh"
 #include "sim/event_queue.hh"
+#include "sim/logging.hh"
 #include "sim/slab.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -45,6 +47,21 @@ struct NvmhcConfig
 
     /** Host fabric bandwidth (PCI Express, Section 1: 16 GB/s). */
     std::uint64_t hostBwBytesPerSec = 16'000'000'000ull;
+
+    /**
+     * How the shared device tag space is allocated across submission
+     * queues when more submissions wait than free tags exist. With a
+     * single stream every policy degenerates to FIFO admission (the
+     * pre-multi-queue behavior).
+     */
+    ArbiterKind arbiter = ArbiterKind::RoundRobin;
+};
+
+/** Arbitration attributes of one submission queue (host stream). */
+struct StreamInfo
+{
+    std::uint32_t weight = 1;   //!< WRR share (0 acts as 1)
+    std::uint32_t priority = 0; //!< lower value is more urgent
 };
 
 /** Aggregate NVMHC statistics. */
@@ -94,11 +111,21 @@ class Nvmhc : private SchedulerView
           IoCompleteFn on_io_complete);
 
     /**
-     * Host submits an I/O. If the queue is full the request waits for
-     * a tag; the wait is accounted as queue stall time.
+     * Re-shape the submission-queue front end: @p infos describes one
+     * stream per entry (stream ids are indices into it). Must be
+     * called before any traffic; the NVMHC starts out with a single
+     * default stream, so single-stream users never need to call this.
+     */
+    void configureStreams(const std::vector<StreamInfo> &infos);
+
+    /**
+     * Host submits an I/O on submission queue @p stream. If the
+     * device queue is full the request waits in its stream's queue
+     * for a tag (admission order across streams is the arbiter's
+     * decision); the wait is accounted as queue stall time.
      */
     void submit(bool is_write, Lpn first_lpn, std::uint32_t page_count,
-                bool fua, Tick arrival);
+                bool fua, Tick arrival, std::uint32_t stream = 0);
 
     /** Flash-level completion upcall for host memory requests. */
     void onRequestFinished(MemoryRequest *req);
@@ -110,13 +137,16 @@ class Nvmhc : private SchedulerView
     void kick();
 
     /**
-     * Pre-size the arrival backlog: at most @p total submissions can
-     * ever wait for a tag at once (the device calls this from
-     * replay() so a saturating trace never grows the queue mid-run).
+     * Pre-size one stream's arrival backlog: at most @p total
+     * submissions of @p stream can ever wait for a tag at once (the
+     * device calls this from replay() so a saturating trace never
+     * grows the queue mid-run).
      */
-    void reserveBacklog(std::size_t total)
+    void reserveBacklog(std::size_t total, std::uint32_t stream = 0)
     {
-        waiting_.reserve(total);
+        if (stream >= waiting_.size())
+            fatal("Nvmhc::reserveBacklog on unconfigured stream");
+        waiting_[stream].reserve(total);
     }
 
     /** True when no host I/O is queued, waiting or composing. */
@@ -132,7 +162,21 @@ class Nvmhc : private SchedulerView
     }
 
     const NvmhcStats &stats() const { return stats_; }
+
+    /** Number of configured submission queues (streams). */
+    std::uint32_t streamCount() const
+    {
+        return static_cast<std::uint32_t>(streamStats_.size());
+    }
+
+    /** Per-stream slice of the aggregate statistics. */
+    const NvmhcStats &streamStats(std::uint32_t stream) const
+    {
+        return streamStats_[stream];
+    }
+
     IoScheduler &scheduler() { return *sched_; }
+    const QueueArbiter &arbiter() const { return *arbiter_; }
     const RingDeque<IoRequest *> &queue() const { return queue_; }
 
     /** Hook run after every enqueue (the device's GC trigger check). */
@@ -169,6 +213,7 @@ class Nvmhc : private SchedulerView
         std::uint32_t pageCount = 0;
         bool fua = false;
         Tick arrival = 0;
+        std::uint32_t stream = 0;
     };
 
     /** Secure a tag and preprocess (translate + bucket) an I/O. */
@@ -213,7 +258,19 @@ class Nvmhc : private SchedulerView
     /** Recycled tag ids (LIFO); tags stay in [0, queueDepth). */
     std::vector<TagId> freeTags_;
     RingDeque<IoRequest *> queue_; //!< arrival order, live entries
-    RingDeque<PendingSubmission> waiting_;
+
+    /** Per-stream tag-wait queues (NVMe submission queues), indexed
+     *  by stream id; sized by configureStreams (default: one). */
+    std::vector<RingDeque<PendingSubmission>> waiting_;
+    std::uint32_t waitingTotal_ = 0; //!< sum over waiting_ sizes
+
+    /** Tag-space arbitration across the stream queues. */
+    std::unique_ptr<QueueArbiter> arbiter_;
+    /** Arbiter view, maintained incrementally (waiting/inDevice). */
+    std::vector<QueueArbiter::StreamState> streamStates_;
+    /** Per-stream slices of stats_ (same counters, same points). */
+    std::vector<NvmhcStats> streamStats_;
+
     std::uint64_t nextReqId_ = 0;
 
     /** Device-wide MemoryRequest arena (owned by the Ssd, shared with

@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "sim/logging.hh"
+
 namespace spk
 {
 
@@ -18,10 +20,16 @@ void
 DeviceArray::runOne(std::size_t index)
 {
     const DeviceJob &job = jobs_[index];
+    if (!job.streams.empty() && !job.trace.empty())
+        fatal("DeviceArray: job has both a trace and streams — move "
+              "the trace into a stream");
     Ssd ssd(job.cfg);
     if (job.preconditionGc)
         ssd.preconditionForGc();
-    ssd.replay(job.trace);
+    if (!job.streams.empty())
+        ssd.replayStreams(job.streams);
+    else
+        ssd.replay(job.trace);
     ssd.run();
     results_[index] = ssd.metrics();
     if (job.captureIoResults)
@@ -203,6 +211,50 @@ DeviceArray::aggregate(const std::vector<MetricsSnapshot> &devices)
         for (std::size_t i = 0; i < flp.size(); ++i) {
             agg.flpPct[i] =
                 flp[i] / static_cast<double>(agg.requestsServed);
+        }
+    }
+
+    // Per-stream merge: streams are matched by name across devices
+    // (order of first appearance). Counters and rates sum, mean and
+    // p99 latency are I/O-weighted, max latency takes the maximum.
+    std::vector<double> stream_lat;
+    std::vector<double> stream_p99;
+    for (const auto &m : devices) {
+        for (const auto &s : m.streams) {
+            std::size_t idx = agg.streams.size();
+            for (std::size_t i = 0; i < agg.streams.size(); ++i) {
+                if (agg.streams[i].name == s.name) {
+                    idx = i;
+                    break;
+                }
+            }
+            if (idx == agg.streams.size()) {
+                agg.streams.emplace_back();
+                agg.streams.back().name = s.name;
+                stream_lat.push_back(0.0);
+                stream_p99.push_back(0.0);
+            }
+            StreamMetrics &t = agg.streams[idx];
+            t.iosSubmitted += s.iosSubmitted;
+            t.iosCompleted += s.iosCompleted;
+            t.bytesRead += s.bytesRead;
+            t.bytesWritten += s.bytesWritten;
+            t.queueStallTime += s.queueStallTime;
+            t.bandwidthKBps += s.bandwidthKBps;
+            t.iops += s.iops;
+            t.maxLatencyNs = std::max(t.maxLatencyNs, s.maxLatencyNs);
+            const auto ios = static_cast<double>(s.iosCompleted);
+            stream_lat[idx] += s.avgLatencyNs * ios;
+            stream_p99[idx] +=
+                static_cast<double>(s.p99LatencyNs) * ios;
+        }
+    }
+    for (std::size_t i = 0; i < agg.streams.size(); ++i) {
+        StreamMetrics &t = agg.streams[i];
+        if (t.iosCompleted > 0) {
+            const auto total = static_cast<double>(t.iosCompleted);
+            t.avgLatencyNs = stream_lat[i] / total;
+            t.p99LatencyNs = static_cast<Tick>(stream_p99[i] / total);
         }
     }
     return agg;

@@ -33,6 +33,16 @@ struct DeviceJob
 {
     SsdConfig cfg;
     Trace trace;
+
+    /**
+     * Multi-queue workload: when non-empty, the device replays these
+     * host streams through Ssd::replayStreams, and `trace` must be
+     * empty (runOne fatals on an ambiguous job rather than silently
+     * dropping the trace). Per-stream results land in
+     * MetricsSnapshot::streams.
+     */
+    std::vector<HostStreamConfig> streams;
+
     bool preconditionGc = false; //!< fill + fragment before replay
     /** Keep the per-I/O completion series (time-series exhibits).
      *  Off by default: a long sweep does not need N full IoResult

@@ -55,13 +55,16 @@ expandPoints(const SweepAxes &axes)
         for (const auto scheduler : axes.schedulers) {
             for (const auto seed : axes.seeds) {
                 for (const auto &variant : axes.variants) {
-                    SweepPoint p;
-                    p.trace = trace;
-                    p.scheduler = scheduler;
-                    p.seed = seed;
-                    p.variant = variant;
-                    p.index = points.size();
-                    points.push_back(std::move(p));
+                    for (const auto arbiter : axes.arbiters) {
+                        SweepPoint p;
+                        p.trace = trace;
+                        p.scheduler = scheduler;
+                        p.seed = seed;
+                        p.variant = variant;
+                        p.arbiter = arbiter;
+                        p.index = points.size();
+                        points.push_back(std::move(p));
+                    }
                 }
             }
         }
@@ -94,6 +97,9 @@ filterAxes(SweepAxes axes, const std::string &needle)
     });
     filterAxis(axes.variants, needle,
                [](const std::string &s) { return s; });
+    filterAxis(axes.arbiters, needle, [](ArbiterKind k) {
+        return std::string(arbiterKindName(k));
+    });
     return axes;
 }
 
@@ -124,8 +130,8 @@ SweepRunner::run(unsigned threads, const Progress &progress)
 
 std::size_t
 SweepRunner::indexOf(const std::string &trace, SchedulerKind scheduler,
-                     std::uint64_t seed,
-                     const std::string &variant) const
+                     std::uint64_t seed, const std::string &variant,
+                     ArbiterKind arbiter) const
 {
     const auto axisIndex = [](const auto &values, const auto &value,
                               const char *axis) {
@@ -136,9 +142,9 @@ SweepRunner::indexOf(const std::string &trace, SchedulerKind scheduler,
                   axis + " axis");
         return static_cast<std::size_t>(it - values.begin());
     };
-    // The defaulted seed (0) and variant ("") arguments address a
-    // single-value axis without naming its value; anything else must
-    // match exactly.
+    // The defaulted seed (0), variant ("") and arbiter (RoundRobin)
+    // arguments address a single-value axis without naming its value;
+    // anything else must match exactly.
     const std::size_t t = axisIndex(axes_.traces, trace, "trace");
     const std::size_t s =
         axisIndex(axes_.schedulers, scheduler, "scheduler");
@@ -149,17 +155,26 @@ SweepRunner::indexOf(const std::string &trace, SchedulerKind scheduler,
         variant.empty() && axes_.variants.size() == 1
             ? 0
             : axisIndex(axes_.variants, variant, "variant");
-    return ((t * axes_.schedulers.size() + s) * axes_.seeds.size() +
-            e) *
-               axes_.variants.size() +
-           v;
+    const std::size_t a =
+        arbiter == ArbiterKind::RoundRobin &&
+                axes_.arbiters.size() == 1
+            ? 0
+            : axisIndex(axes_.arbiters, arbiter, "arbiter");
+    return (((t * axes_.schedulers.size() + s) * axes_.seeds.size() +
+             e) *
+                axes_.variants.size() +
+            v) *
+               axes_.arbiters.size() +
+           a;
 }
 
 const MetricsSnapshot &
 SweepRunner::at(const std::string &trace, SchedulerKind scheduler,
-                std::uint64_t seed, const std::string &variant) const
+                std::uint64_t seed, const std::string &variant,
+                ArbiterKind arbiter) const
 {
-    const std::size_t index = indexOf(trace, scheduler, seed, variant);
+    const std::size_t index =
+        indexOf(trace, scheduler, seed, variant, arbiter);
     if (array_.results().size() != points_.size())
         fatal("SweepRunner: results accessed before run()");
     return array_.results()[index];
@@ -168,9 +183,11 @@ SweepRunner::at(const std::string &trace, SchedulerKind scheduler,
 const std::vector<IoResult> &
 SweepRunner::ioResultsAt(const std::string &trace,
                          SchedulerKind scheduler, std::uint64_t seed,
-                         const std::string &variant) const
+                         const std::string &variant,
+                         ArbiterKind arbiter) const
 {
-    const std::size_t index = indexOf(trace, scheduler, seed, variant);
+    const std::size_t index =
+        indexOf(trace, scheduler, seed, variant, arbiter);
     if (array_.results().size() != points_.size())
         fatal("SweepRunner: results accessed before run()");
     return array_.ioResults(index);
@@ -178,17 +195,21 @@ SweepRunner::ioResultsAt(const std::string &trace,
 
 const DeviceJob &
 SweepRunner::jobAt(const std::string &trace, SchedulerKind scheduler,
-                   std::uint64_t seed, const std::string &variant) const
+                   std::uint64_t seed, const std::string &variant,
+                   ArbiterKind arbiter) const
 {
-    return array_.jobs()[indexOf(trace, scheduler, seed, variant)];
+    return array_
+        .jobs()[indexOf(trace, scheduler, seed, variant, arbiter)];
 }
 
 bool
 SweepRunner::cellCompleted(const std::string &trace,
                            SchedulerKind scheduler, std::uint64_t seed,
-                           const std::string &variant) const
+                           const std::string &variant,
+                           ArbiterKind arbiter) const
 {
-    return array_.completed(indexOf(trace, scheduler, seed, variant));
+    return array_.completed(
+        indexOf(trace, scheduler, seed, variant, arbiter));
 }
 
 MetricsSnapshot
@@ -209,7 +230,8 @@ SweepRunner::writeCsv(std::ostream &os) const
     if (array_.results().size() != points_.size() &&
         !points_.empty())
         fatal("SweepRunner: CSV requested before run()");
-    os << "trace,scheduler,seed,variant,completed,ios,bytes_read,"
+    os << "trace,scheduler,seed,variant,arbiter,completed,ios,"
+          "bytes_read,"
           "bytes_written,bandwidth_kbps,iops,avg_latency_ns,p50_ns,"
           "p95_ns,p99_ns,max_ns,avg_read_ns,avg_write_ns,"
           "queue_stall_ns,makespan_ns,device_active_ns,"
@@ -226,6 +248,7 @@ SweepRunner::writeCsv(std::ostream &os) const
         const MetricsSnapshot &m = array_.results()[p.index];
         os << p.trace << ',' << schedulerKindName(p.scheduler) << ','
            << p.seed << ',' << p.variant << ','
+           << arbiterKindName(p.arbiter) << ','
            << (array_.completed(p.index) ? 1 : 0) << ','
            << m.iosCompleted << ',' << m.bytesRead << ','
            << m.bytesWritten << ',' << m.bandwidthKBps << ','
@@ -256,6 +279,42 @@ SweepRunner::writeCsvFile(const std::string &path) const
     if (!os)
         fatal("SweepRunner: cannot open CSV file " + path);
     writeCsv(os);
+}
+
+void
+SweepRunner::writeStreamCsv(std::ostream &os) const
+{
+    if (array_.results().size() != points_.size() && !points_.empty())
+        fatal("SweepRunner: stream CSV requested before run()");
+    os << "trace,scheduler,seed,variant,arbiter,stream,"
+          "ios_submitted,ios,bytes_read,bytes_written,"
+          "bandwidth_kbps,iops,avg_latency_ns,p99_ns,max_ns,"
+          "queue_stall_ns\n";
+    const auto old_precision =
+        os.precision(std::numeric_limits<double>::max_digits10);
+    for (const auto &p : points_) {
+        const MetricsSnapshot &m = array_.results()[p.index];
+        for (const auto &s : m.streams) {
+            os << p.trace << ',' << schedulerKindName(p.scheduler)
+               << ',' << p.seed << ',' << p.variant << ','
+               << arbiterKindName(p.arbiter) << ',' << s.name << ','
+               << s.iosSubmitted << ',' << s.iosCompleted << ','
+               << s.bytesRead << ',' << s.bytesWritten << ','
+               << s.bandwidthKBps << ',' << s.iops << ','
+               << s.avgLatencyNs << ',' << s.p99LatencyNs << ','
+               << s.maxLatencyNs << ',' << s.queueStallTime << '\n';
+        }
+    }
+    os.precision(old_precision);
+}
+
+void
+SweepRunner::writeStreamCsvFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        fatal("SweepRunner: cannot open stream CSV file " + path);
+    writeStreamCsv(os);
 }
 
 } // namespace spk

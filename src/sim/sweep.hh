@@ -31,7 +31,7 @@ namespace spk
  * The axes of a sweep. Labels are free-form strings; an axis left at
  * its one-element default contributes nothing to the cross product.
  * Cell expansion order is fixed: trace (outermost), scheduler, seed,
- * variant (innermost).
+ * variant, arbiter (innermost).
  */
 struct SweepAxes
 {
@@ -39,12 +39,14 @@ struct SweepAxes
     std::vector<SchedulerKind> schedulers{SchedulerKind::SPK3};
     std::vector<std::uint64_t> seeds{1};
     std::vector<std::string> variants{""};
+    /** Tag-space arbitration policy (multi-stream exhibits). */
+    std::vector<ArbiterKind> arbiters{ArbiterKind::RoundRobin};
 
     std::size_t
     cellCount() const
     {
         return traces.size() * schedulers.size() * seeds.size() *
-               variants.size();
+               variants.size() * arbiters.size();
     }
 };
 
@@ -68,6 +70,7 @@ struct SweepPoint
     SchedulerKind scheduler = SchedulerKind::SPK3;
     std::uint64_t seed = 0;
     std::string variant;
+    ArbiterKind arbiter = ArbiterKind::RoundRobin;
     std::size_t index = 0; //!< flat cell index (expansion order)
 };
 
@@ -138,28 +141,32 @@ class SweepRunner
 
     /** Look one cell up by axis values; fatal() on an unknown label
      *  (a typo'd trace name is a usage error, not a soft miss). The
-     *  seed and variant arguments may be left at their defaults when
-     *  that axis holds a single value. */
+     *  seed, variant and arbiter arguments may be left at their
+     *  defaults when that axis holds a single value. */
     const MetricsSnapshot &
     at(const std::string &trace, SchedulerKind scheduler,
-       std::uint64_t seed = 0, const std::string &variant = "") const;
+       std::uint64_t seed = 0, const std::string &variant = "",
+       ArbiterKind arbiter = ArbiterKind::RoundRobin) const;
 
     /** Per-I/O series for cells whose job set captureIoResults. */
     const std::vector<IoResult> &
     ioResultsAt(const std::string &trace, SchedulerKind scheduler,
                 std::uint64_t seed = 0,
-                const std::string &variant = "") const;
+                const std::string &variant = "",
+                ArbiterKind arbiter = ArbiterKind::RoundRobin) const;
 
     /** The expanded job of one cell (e.g. to summarize its trace). */
     const DeviceJob &
     jobAt(const std::string &trace, SchedulerKind scheduler,
-          std::uint64_t seed = 0, const std::string &variant = "") const;
+          std::uint64_t seed = 0, const std::string &variant = "",
+          ArbiterKind arbiter = ArbiterKind::RoundRobin) const;
 
     /** True once the cell ran to completion in the last run(). */
     bool
     cellCompleted(const std::string &trace, SchedulerKind scheduler,
                   std::uint64_t seed = 0,
-                  const std::string &variant = "") const;
+                  const std::string &variant = "",
+                  ArbiterKind arbiter = ArbiterKind::RoundRobin) const;
 
     /** Cells finished during the last run(). */
     std::size_t completedCount() const
@@ -173,7 +180,7 @@ class SweepRunner
     MetricsSnapshot aggregate() const;
 
     /**
-     * Emit one CSV row per cell: the four axis columns, a completed
+     * Emit one CSV row per cell: the five axis columns, a completed
      * flag, then every MetricsSnapshot field. Cancelled (incomplete)
      * cells emit zeros with completed=0.
      */
@@ -182,10 +189,21 @@ class SweepRunner
     /** writeCsv to @p path; fatal() if the file cannot be opened. */
     void writeCsvFile(const std::string &path) const;
 
+    /**
+     * Emit one CSV row per (cell, stream): the axis columns, the
+     * stream name, then every StreamMetrics field. Cells without
+     * streams (single implicit-stream jobs) emit nothing.
+     */
+    void writeStreamCsv(std::ostream &os) const;
+
+    /** writeStreamCsv to @p path; fatal() if it cannot be opened. */
+    void writeStreamCsvFile(const std::string &path) const;
+
   private:
     std::size_t indexOf(const std::string &trace,
                         SchedulerKind scheduler, std::uint64_t seed,
-                        const std::string &variant) const;
+                        const std::string &variant,
+                        ArbiterKind arbiter) const;
 
     SweepAxes axes_;
     std::vector<SweepPoint> points_;

@@ -29,6 +29,8 @@ SsdConfig::validate() const
     geometry.validate();
     if (faroWindow == 0)
         fatal("SsdConfig: faroWindow must be non-zero");
+    if (gcMaxLiveBatchesPerPlane == 0)
+        fatal("SsdConfig: gcMaxLiveBatchesPerPlane must be non-zero");
 }
 
 } // namespace spk

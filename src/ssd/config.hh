@@ -19,6 +19,7 @@
 #include "sched/nvmhc.hh"
 #include "sched/scheduler.hh"
 #include "sim/types.hh"
+#include "ssd/gc_manager.hh"
 
 namespace spk
 {
@@ -43,6 +44,14 @@ struct SsdConfig
      * ready can join the same transaction.
      */
     Tick decisionWindow = 3 * kMicrosecond;
+
+    /**
+     * GC admission bound: at most this many live GC batches per plane
+     * (collection is deferred past it and retried as batches retire;
+     * emergency reclaim may exceed it). Keeps the GC engine's flat
+     * batch table statically sizable. Must be >= 1.
+     */
+    std::uint32_t gcMaxLiveBatchesPerPlane = kDefaultGcBatchesPerPlane;
 
     /** Deterministic seed for anything stochastic inside the device. */
     std::uint64_t seed = 1;

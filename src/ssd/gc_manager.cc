@@ -8,19 +8,25 @@ namespace spk
 GcManager::GcManager(EventQueue &events, const FlashGeometry &geo,
                      std::vector<FlashController *> controllers,
                      Slab<MemoryRequest> &arena,
-                     std::function<void()> on_all_done)
+                     std::function<void()> on_all_done,
+                     std::uint32_t max_live_per_plane)
     : events_(events),
       geo_(geo),
       controllers_(std::move(controllers)),
       arena_(arena),
-      onAllDone_(std::move(on_all_done))
+      onAllDone_(std::move(on_all_done)),
+      maxLivePerPlane_(max_live_per_plane)
 {
-    // One slot per plane covers a full collection round; the table
-    // still grows on demand when rounds overlap under heavy pressure.
+    if (maxLivePerPlane_ == 0)
+        fatal("GcManager: live-batch bound must be >= 1");
+    // The admission bound makes the table statically sizable: at most
+    // planes x bound batches are ever live outside urgent
+    // (emergency-reclaim) launches, which may still grow it.
     const std::size_t planes = std::size_t{geo_.numChips()} *
                                geo_.diesPerChip * geo_.planesPerDie;
-    batches_.reserve(planes + 1);
-    freeSlots_.reserve(planes + 1);
+    batches_.reserve(planes * maxLivePerPlane_);
+    freeSlots_.reserve(planes * maxLivePerPlane_);
+    livePerPlane_.assign(planes, 0);
 }
 
 FlashController &
@@ -63,12 +69,23 @@ GcManager::issue(FlashOp op, Ppn ppn, std::uint32_t slot)
 }
 
 void
-GcManager::launch(const GcBatchList &batches)
+GcManager::launch(const GcBatchList &batches, bool urgent)
 {
     for (const GcBatch &batch : batches) {
+        if (batch.planeIdx >= livePerPlane_.size())
+            panic("GcManager::launch batch for unknown plane");
+        if (livePerPlane_[batch.planeIdx] >= maxLivePerPlane_) {
+            if (!urgent)
+                panic("GcManager::launch admission bound violated on "
+                      "plane " +
+                      std::to_string(batch.planeIdx));
+            ++stats_.overCapLaunches;
+        }
+        ++livePerPlane_[batch.planeIdx];
         const std::uint32_t slot = acquireBatchSlot();
         BatchSlot &active = batches_[slot];
         active.victimBasePpn = batch.victimBasePpn;
+        active.planeIdx = batch.planeIdx;
         active.remainingPrograms = batch.migrations.size();
         active.eraseIssued = false;
         active.live = true;
@@ -124,11 +141,20 @@ GcManager::onRequestFinished(MemoryRequest *req)
             issue(FlashOp::Erase, batch.victimBasePpn, slot);
         }
         break;
-      case FlashOp::Erase:
+      case FlashOp::Erase: {
         batch.live = false;
+        const std::uint64_t plane = batch.planeIdx;
+        if (livePerPlane_[plane] == 0)
+            panic("GcManager: per-plane live count underflow");
+        --livePerPlane_[plane];
         freeSlots_.push_back(slot);
         --liveBatches_;
+        // The plane regained an admission share: let the device retry
+        // any collection the bound deferred.
+        if (onBatchRetired_)
+            onBatchRetired_();
         break;
+      }
     }
 
     // A chip just freed up: let the host scheduler re-poll.

@@ -40,7 +40,13 @@ struct GcManagerStats
     std::uint64_t migrationReads = 0;
     std::uint64_t migrationPrograms = 0;
     std::uint64_t erases = 0;
+    /** Urgent (emergency-reclaim) launches admitted past the
+     *  per-plane live-batch bound. */
+    std::uint64_t overCapLaunches = 0;
 };
+
+/** Default per-plane live-batch admission bound (see GcManager). */
+inline constexpr std::uint32_t kDefaultGcBatchesPerPlane = 8;
 
 /**
  * Executes GcBatch work against the flash controllers.
@@ -60,14 +66,51 @@ class GcManager
      *        host path; must outlive the manager)
      * @param on_all_done called whenever a GC request completes
      *        (used to re-poll the scheduler)
+     * @param max_live_per_plane admission bound: at most this many
+     *        batches of one plane may be live at once, which makes
+     *        the flat batch table statically sizable (planes x bound)
+     *        instead of growing with the GC backlog under overload.
+     *        Must be >= 1.
      */
     GcManager(EventQueue &events, const FlashGeometry &geo,
               std::vector<FlashController *> controllers,
               Slab<MemoryRequest> &arena,
-              std::function<void()> on_all_done);
+              std::function<void()> on_all_done,
+              std::uint32_t max_live_per_plane =
+                  kDefaultGcBatchesPerPlane);
 
-    /** Begin executing a set of batches produced by Ftl::collectGc. */
-    void launch(const GcBatchList &batches);
+    /**
+     * Begin executing a set of batches produced by Ftl::collectGc.
+     *
+     * Non-urgent launches must respect the admission bound — the
+     * device's collection trigger consults planeSaturated() (via the
+     * FTL admission gate) before collecting, and launch() panics on a
+     * violation. Urgent launches (emergency reclaim: a write had no
+     * space) are admitted past the bound and counted.
+     */
+    void launch(const GcBatchList &batches, bool urgent = false);
+
+    /** True when @p plane is at its live-batch admission bound. */
+    bool planeSaturated(std::uint64_t plane) const
+    {
+        return livePerPlane_[plane] >= maxLivePerPlane_;
+    }
+
+    /** Live batches currently executing against @p plane. */
+    std::uint32_t liveBatchesOnPlane(std::uint64_t plane) const
+    {
+        return livePerPlane_[plane];
+    }
+
+    /**
+     * Invoked whenever a batch retires (its erase completed), after
+     * the slot and its admission share are recycled. The device uses
+     * it to retry collection deferred by the admission bound.
+     */
+    void setBatchRetiredHook(std::function<void()> hook)
+    {
+        onBatchRetired_ = std::move(hook);
+    }
 
     /** Flash-level completion upcall for GC requests. */
     void onRequestFinished(MemoryRequest *req);
@@ -85,6 +128,7 @@ class GcManager
     struct BatchSlot
     {
         Ppn victimBasePpn = kInvalidPage;
+        std::uint64_t planeIdx = 0; //!< admission accounting
         std::uint64_t remainingPrograms = 0;
         bool eraseIssued = false;
         bool live = false;
@@ -103,9 +147,13 @@ class GcManager
     std::vector<FlashController *> controllers_;
     Slab<MemoryRequest> &arena_;
     std::function<void()> onAllDone_;
+    std::function<void()> onBatchRetired_;
 
     std::vector<BatchSlot> batches_;       //!< flat recycled-slot table
     std::vector<std::uint32_t> freeSlots_; //!< recycled slot ids (LIFO)
+    /** Live batches per plane (admission accounting). */
+    std::vector<std::uint32_t> livePerPlane_;
+    std::uint32_t maxLivePerPlane_;
     std::uint32_t liveBatches_ = 0;
     std::uint64_t nextReqId_ = 1ull << 60; //!< distinct from host ids
     GcManagerStats stats_;

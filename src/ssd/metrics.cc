@@ -45,6 +45,14 @@ operator<<(std::ostream &os, const MetricsSnapshot &m)
        << m.execIdlePct << '\n'
        << "stale retries        " << m.staleRetries << '\n'
        << "gc batches           " << m.gcBatches << '\n';
+    for (const auto &s : m.streams) {
+        os << "stream " << s.name << ": ios=" << s.iosCompleted
+           << " bw=" << static_cast<std::uint64_t>(s.bandwidthKBps)
+           << "KB/s iops=" << static_cast<std::uint64_t>(s.iops)
+           << " lat="
+           << static_cast<std::uint64_t>(s.avgLatencyNs / 1000.0)
+           << "us p99=" << s.p99LatencyNs / 1000 << "us\n";
+    }
     return os;
 }
 

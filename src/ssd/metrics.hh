@@ -16,11 +16,36 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "sim/types.hh"
 
 namespace spk
 {
+
+/**
+ * Per-stream slice of a run's metrics (multi-queue host front-end).
+ * Empty for single implicit-stream runs; one entry per configured
+ * HostStreamConfig otherwise.
+ */
+struct StreamMetrics
+{
+    std::string name;
+
+    std::uint64_t iosSubmitted = 0;
+    std::uint64_t iosCompleted = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    Tick queueStallTime = 0;
+
+    double bandwidthKBps = 0.0;
+    double iops = 0.0;
+    double avgLatencyNs = 0.0;
+    Tick p99LatencyNs = 0;
+    Tick maxLatencyNs = 0;
+
+    bool operator==(const StreamMetrics &) const = default;
+};
 
 /** Everything measured over one run. */
 struct MetricsSnapshot
@@ -78,6 +103,9 @@ struct MetricsSnapshot
     std::uint64_t staleRetries = 0;
     std::uint64_t gcBatches = 0;
     std::uint64_t pagesMigrated = 0;
+
+    /** Per-stream slices (multi-queue runs; empty otherwise). */
+    std::vector<StreamMetrics> streams;
 
     /** One-line key=value summary. */
     std::string summary() const;

@@ -40,23 +40,46 @@ Ssd::Ssd(const SsdConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
 
     gc_ = std::make_unique<GcManager>(events_, geo, raw_controllers,
                                       requestArena_,
-                                      [this] { nvmhc_->kick(); });
+                                      [this] { nvmhc_->kick(); },
+                                      cfg_.gcMaxLiveBatchesPerPlane);
 
     nvmhc_ = std::make_unique<Nvmhc>(
         events_, geo, *ftl_, raw_controllers, requestArena_,
         makeScheduler(cfg_.scheduler, cfg_.faroWindow), cfg_.nvmhc,
         [this](const IoRequest &io) {
             results_.push_back(IoResult{io.arrival, io.completed,
-                                        io.isWrite, io.pageCount});
+                                        io.isWrite, io.pageCount,
+                                        io.streamId});
+            // Multi-queue runs: a completion frees a window slot on
+            // its stream; issue the stream's next ready record.
+            if (io.streamId < streamRt_.size()) {
+                --streamRt_[io.streamId].inFlight;
+                pumpStream(io.streamId);
+            }
         });
 
     nvmhc_->setAfterEnqueueHook([this] { maybeCollectGc(); });
     nvmhc_->setReclaimHook([this] {
-        const GcBatchList &batches = ftl_->collectGc();
+        // Emergency reclaim: a write found no free page. Collect past
+        // the admission bound — bounding the batch table is pointless
+        // if the device runs out of space instead.
+        const GcBatchList &batches = ftl_->collectGcUrgent();
         if (batches.empty())
             return false;
-        gc_->launch(batches);
+        gc_->launch(batches, /*urgent=*/true);
         return true;
+    });
+    ftl_->setGcAdmission([this](std::uint64_t plane) {
+        return !gc_->planeSaturated(plane);
+    });
+    gc_->setBatchRetiredHook([this] {
+        // Retry only when the admission bound actually deferred work;
+        // otherwise batch retirement keeps its pre-bound behavior
+        // (collection triggers on enqueue alone).
+        if (ftl_->stats().gcDeferrals > gcDeferralsSeen_) {
+            gcDeferralsSeen_ = ftl_->stats().gcDeferrals;
+            maybeCollectGc();
+        }
     });
     ftl_->setReaddressCallback([this](Lpn lpn, Ppn from, Ppn to) {
         nvmhc_->readdress(lpn, from, to);
@@ -92,6 +115,27 @@ Ssd::maybeCollectGc()
     }
 }
 
+std::pair<Lpn, std::uint32_t>
+Ssd::pageSpan(std::uint64_t offset_bytes,
+              std::uint64_t size_bytes) const
+{
+    const std::uint32_t page = cfg_.geometry.pageSizeBytes;
+    const Lpn first = offset_bytes / page;
+    const std::uint64_t last = (offset_bytes + size_bytes - 1) / page;
+    return {first, static_cast<std::uint32_t>(last - first + 1)};
+}
+
+void
+Ssd::reserveResults()
+{
+    std::size_t cap = results_.capacity();
+    if (cap < submitted_) {
+        while (cap < submitted_)
+            cap = cap == 0 ? 1 : cap * 2;
+        results_.reserve(cap);
+    }
+}
+
 void
 Ssd::submitAt(Tick when, bool is_write, std::uint64_t offset_bytes,
               std::uint64_t size_bytes, bool fua)
@@ -100,15 +144,15 @@ Ssd::submitAt(Tick when, bool is_write, std::uint64_t offset_bytes,
         fatal("Ssd::submitAt zero-length I/O");
     if (when < events_.now())
         fatal("Ssd::submitAt arrival in the past");
+    if (!streamCfgs_.empty())
+        fatal("Ssd::submitAt cannot mix with replayStreams");
 
-    const std::uint32_t page = cfg_.geometry.pageSizeBytes;
-    const Lpn first = offset_bytes / page;
-    const std::uint64_t last = (offset_bytes + size_bytes - 1) / page;
-    const auto pages = static_cast<std::uint32_t>(last - first + 1);
+    const auto [first, pages] = pageSpan(offset_bytes, size_bytes);
 
     lastArrival_ = std::max(lastArrival_, when);
     ++submitted_;
-    events_.schedule(when, [this, is_write, first, pages, fua, when] {
+    events_.schedule(when, [this, is_write, first = first,
+                            pages = pages, fua, when] {
         nvmhc_->submit(is_write, first, pages, fua, when);
     });
 }
@@ -120,15 +164,8 @@ Ssd::replay(const Trace &trace)
         submitAt(rec.arrival, rec.isWrite, rec.offsetBytes,
                  rec.sizeBytes, rec.fua);
     // Every submitted I/O eventually appends one IoResult; reserving
-    // here keeps the subsequent run() allocation-free. Grow to the
-    // next power of two (the same shape push_back growth would take)
-    // so later direct submitAt() streams keep their doubling slack.
-    std::size_t cap = results_.capacity();
-    if (cap < submitted_) {
-        while (cap < submitted_)
-            cap = cap == 0 ? 1 : cap * 2;
-        results_.reserve(cap);
-    }
+    // here keeps the subsequent run() allocation-free.
+    reserveResults();
     // Likewise for the tag-wait backlog — capped: the realistic
     // high-water is the burst depth, not the trace length, and a
     // multi-million-record trace must not pre-carve hundreds of MB.
@@ -141,6 +178,97 @@ Ssd::replay(const Trace &trace)
 }
 
 void
+Ssd::replayStreams(std::vector<HostStreamConfig> streams)
+{
+    validateStreams(streams);
+    if (!streamCfgs_.empty())
+        fatal("Ssd::replayStreams: streams already attached");
+    if (submitted_ != 0)
+        fatal("Ssd::replayStreams: do not mix with submitAt/replay");
+
+    streamCfgs_ = std::move(streams);
+    streamRt_.assign(streamCfgs_.size(), HostStreamRuntime{});
+
+    std::vector<StreamInfo> infos;
+    infos.reserve(streamCfgs_.size());
+    for (const auto &scfg : streamCfgs_)
+        infos.push_back(StreamInfo{scfg.weight, scfg.priority});
+    nvmhc_->configureStreams(infos);
+
+    // Schedule every record's arrival event upfront, stream-major in
+    // record order, exactly like replay() does for the implicit
+    // stream: same-tick arrivals keep a deterministic order (record
+    // order within a stream, lower stream id first across streams).
+    constexpr std::uint64_t kBacklogReserveCap = 1 << 16;
+    for (std::uint32_t sid = 0; sid < streamCfgs_.size(); ++sid) {
+        const HostStreamConfig &scfg = streamCfgs_[sid];
+        for (const auto &rec : scfg.trace) {
+            if (rec.arrival < events_.now())
+                fatal("Ssd::replayStreams arrival in the past");
+            lastArrival_ = std::max(lastArrival_, rec.arrival);
+            ++submitted_;
+            events_.schedule(rec.arrival,
+                             [this, sid] { onStreamArrival(sid); });
+        }
+        // A windowed stream never has more than iodepth submissions
+        // inside the NVMHC at once; an open-loop stream can flood
+        // like replay() (same capped reserve policy).
+        const std::uint64_t bound =
+            scfg.iodepth == 0
+                ? std::min<std::uint64_t>(scfg.trace.size(),
+                                          kBacklogReserveCap)
+                : scfg.iodepth;
+        nvmhc_->reserveBacklog(static_cast<std::size_t>(bound), sid);
+    }
+    reserveResults();
+}
+
+void
+Ssd::onStreamArrival(std::uint32_t sid)
+{
+    HostStreamRuntime &rt = streamRt_[sid];
+    const HostStreamConfig &scfg = streamCfgs_[sid];
+    if (rt.arrivalCursor >= scfg.trace.size())
+        panic("Ssd::onStreamArrival past the end of stream " +
+              scfg.name);
+    const TraceRecord &rec = scfg.trace[rt.arrivalCursor++];
+    if (scfg.iodepth != 0 && rt.inFlight >= scfg.iodepth) {
+        ++rt.readyBacklog;
+        return;
+    }
+    if (rt.readyBacklog != 0)
+        panic("Ssd::onStreamArrival open window behind a backlog");
+    issueStreamRecord(sid, rec);
+}
+
+void
+Ssd::issueStreamRecord(std::uint32_t sid, const TraceRecord &rec)
+{
+    HostStreamRuntime &rt = streamRt_[sid];
+    const auto [first, pages] =
+        pageSpan(rec.offsetBytes, rec.sizeBytes);
+    ++rt.issueCursor;
+    ++rt.inFlight;
+    // The record's trace arrival is the I/O's arrival for latency and
+    // stall accounting: time spent waiting in the stream's window is
+    // part of what the host observes.
+    nvmhc_->submit(rec.isWrite, first, pages, rec.fua, rec.arrival,
+                   sid);
+}
+
+void
+Ssd::pumpStream(std::uint32_t sid)
+{
+    HostStreamRuntime &rt = streamRt_[sid];
+    const HostStreamConfig &scfg = streamCfgs_[sid];
+    while (rt.readyBacklog > 0 &&
+           (scfg.iodepth == 0 || rt.inFlight < scfg.iodepth)) {
+        --rt.readyBacklog;
+        issueStreamRecord(sid, scfg.trace[rt.issueCursor]);
+    }
+}
+
+void
 Ssd::run()
 {
     events_.run();
@@ -148,6 +276,13 @@ Ssd::run()
         panic("Ssd::run finished with host I/O still outstanding");
     if (!gc_->idle())
         panic("Ssd::run finished with GC still outstanding");
+    for (std::size_t sid = 0; sid < streamRt_.size(); ++sid) {
+        const HostStreamRuntime &rt = streamRt_[sid];
+        if (rt.issueCursor != streamCfgs_[sid].trace.size() ||
+            rt.inFlight != 0 || rt.readyBacklog != 0)
+            panic("Ssd::run finished with stream '" +
+                  streamCfgs_[sid].name + "' not drained");
+    }
 }
 
 void
@@ -296,6 +431,50 @@ Ssd::metrics() const
 
     m.gcBatches = gc_->stats().batches;
     m.pagesMigrated = ftl_->stats().pagesMigrated;
+
+    // Per-stream slices (multi-queue runs only): counters come from
+    // the NVMHC's per-stream stats, latency shape from the completion
+    // series bucketed by stream id.
+    if (!streamCfgs_.empty()) {
+        m.streams.resize(streamCfgs_.size());
+        std::vector<std::vector<Tick>> lat(streamCfgs_.size());
+        for (const auto &res : results_) {
+            if (res.streamId < lat.size())
+                lat[res.streamId].push_back(res.latency());
+        }
+        for (std::size_t sid = 0; sid < streamCfgs_.size(); ++sid) {
+            StreamMetrics &sm = m.streams[sid];
+            sm.name = streamCfgs_[sid].name;
+            const NvmhcStats &ss =
+                nvmhc_->streamStats(static_cast<std::uint32_t>(sid));
+            sm.iosSubmitted = ss.iosSubmitted;
+            sm.iosCompleted = ss.iosCompleted;
+            sm.bytesRead = ss.bytesRead;
+            sm.bytesWritten = ss.bytesWritten;
+            sm.queueStallTime = ss.queueStallTime;
+            if (seconds > 0.0) {
+                sm.bandwidthKBps =
+                    static_cast<double>(sm.bytesRead +
+                                        sm.bytesWritten) /
+                    1024.0 / seconds;
+                sm.iops =
+                    static_cast<double>(sm.iosCompleted) / seconds;
+            }
+            auto &ls = lat[sid];
+            if (!ls.empty()) {
+                Tick sum = 0;
+                for (const Tick l : ls) {
+                    sum += l;
+                    sm.maxLatencyNs = std::max(sm.maxLatencyNs, l);
+                }
+                sm.avgLatencyNs = static_cast<double>(sum) /
+                                  static_cast<double>(ls.size());
+                std::sort(ls.begin(), ls.end());
+                sm.p99LatencyNs = ls[static_cast<std::size_t>(
+                    0.99 * static_cast<double>(ls.size() - 1))];
+            }
+        }
+    }
     return m;
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "controller/channel.hh"
@@ -29,6 +30,7 @@
 #include "ssd/config.hh"
 #include "ssd/gc_manager.hh"
 #include "ssd/metrics.hh"
+#include "workload/host_stream.hh"
 #include "workload/trace.hh"
 
 namespace spk
@@ -41,6 +43,7 @@ struct IoResult
     Tick completed = 0;
     bool isWrite = false;
     std::uint32_t pages = 0;
+    std::uint32_t streamId = 0; //!< submission queue (0 when implicit)
 
     Tick latency() const { return completed - arrival; }
 };
@@ -75,8 +78,19 @@ class Ssd
     void submitAt(Tick when, bool is_write, std::uint64_t offset_bytes,
                   std::uint64_t size_bytes, bool fua = false);
 
-    /** Schedule every record of a trace. */
+    /** Schedule every record of a trace (the single implicit host
+     *  stream, open-loop; may be called repeatedly between runs). */
     void replay(const Trace &trace);
+
+    /**
+     * Attach a multi-queue workload: one NVMe-style submission queue
+     * per stream, each with its own trace, iodepth window and
+     * arbitration attributes; the NVMHC's QueueArbiter allocates the
+     * shared device tag space across them (SsdConfig::nvmhc.arbiter).
+     * Call once, before run(); do not mix with submitAt()/replay().
+     * Per-stream results land in MetricsSnapshot::streams.
+     */
+    void replayStreams(std::vector<HostStreamConfig> streams);
 
     /** Run the simulation until all scheduled work completes. */
     void run();
@@ -109,12 +123,40 @@ class Ssd
         return channels_;
     }
 
+    /** Attached stream configs (empty for implicit-stream runs). */
+    const std::vector<HostStreamConfig> &hostStreams() const
+    {
+        return streamCfgs_;
+    }
+
   private:
     /** Route flash completions to the NVMHC or the GC manager. */
     void onRequestFinished(MemoryRequest *req);
 
     /** Post-enqueue hook: trigger GC when any plane runs low. */
     void maybeCollectGc();
+
+    /** Arrival event of stream @p sid's next record fired. */
+    void onStreamArrival(std::uint32_t sid);
+
+    /** Issue one stream record to the NVMHC (window already open). */
+    void issueStreamRecord(std::uint32_t sid, const TraceRecord &rec);
+
+    /** Drain a stream's ready backlog into its freed window slots. */
+    void pumpStream(std::uint32_t sid);
+
+    /** Byte range -> (first LPN, page count), page-rounded. */
+    std::pair<Lpn, std::uint32_t>
+    pageSpan(std::uint64_t offset_bytes,
+             std::uint64_t size_bytes) const;
+
+    /**
+     * Pre-size the IoResult vector for everything submitted so far.
+     * Grows to the next power of two (the same shape push_back growth
+     * would take) so later direct submitAt() streams keep their
+     * doubling slack, and run() stays allocation-free.
+     */
+    void reserveResults();
 
     SsdConfig cfg_;
     EventQueue events_;
@@ -137,6 +179,13 @@ class Ssd
     std::vector<IoResult> results_;
     Tick lastArrival_ = 0;
     std::uint64_t submitted_ = 0; //!< total I/Os ever submitted
+
+    /** FTL deferral count at the last admission-bound retry. */
+    std::uint64_t gcDeferralsSeen_ = 0;
+
+    /** Multi-queue front-end state (empty unless replayStreams()). */
+    std::vector<HostStreamConfig> streamCfgs_;
+    std::vector<HostStreamRuntime> streamRt_;
 };
 
 } // namespace spk

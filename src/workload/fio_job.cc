@@ -1,0 +1,340 @@
+#include "workload/fio_job.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <map>
+
+#include "sim/logging.hh"
+#include "workload/synthetic.hh"
+
+namespace spk
+{
+
+namespace
+{
+
+std::string
+trimmed(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::string
+lowered(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+std::uint64_t
+parseU64Strict(const std::string &value, const char *what)
+{
+    std::uint64_t out = 0;
+    const char *begin = value.data();
+    const char *end = value.data() + value.size();
+    auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc{} || ptr != end)
+        fatal(std::string("fio job: bad ") + what + " value '" +
+              value + "'");
+    return out;
+}
+
+/** Key=value bag for one job section ([global] merged in). */
+using KeyValues = std::map<std::string, std::string>;
+
+std::string
+get(const KeyValues &kv, const std::string &key, const std::string &dflt)
+{
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : it->second;
+}
+
+bool
+has(const KeyValues &kv, const std::string &key)
+{
+    return kv.find(key) != kv.end();
+}
+
+/** "4k,64k" -> (read size, write size); a single entry covers both. */
+void
+parseBsPair(const std::string &value, std::uint64_t &read_bs,
+            std::uint64_t &write_bs)
+{
+    const std::size_t comma = value.find(',');
+    if (comma == std::string::npos) {
+        read_bs = write_bs = parseFioSize(value);
+        return;
+    }
+    read_bs = parseFioSize(trimmed(value.substr(0, comma)));
+    write_bs = parseFioSize(trimmed(value.substr(comma + 1)));
+}
+
+/** "4k/60:64k/40" -> weighted size buckets. */
+std::vector<SizeBucket>
+parseBssplit(const std::string &value)
+{
+    std::vector<SizeBucket> buckets;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+        const std::size_t colon = value.find(':', start);
+        const std::string entry = trimmed(
+            value.substr(start, colon == std::string::npos
+                                    ? std::string::npos
+                                    : colon - start));
+        if (entry.empty())
+            fatal("fio job: empty bssplit entry in '" + value + "'");
+        const std::size_t slash = entry.find('/');
+        SizeBucket bucket;
+        if (slash == std::string::npos) {
+            bucket.bytes = parseFioSize(entry);
+            bucket.weight = 1.0;
+        } else {
+            bucket.bytes = parseFioSize(entry.substr(0, slash));
+            bucket.weight = static_cast<double>(parseU64Strict(
+                entry.substr(slash + 1), "bssplit weight"));
+        }
+        buckets.push_back(bucket);
+        if (colon == std::string::npos)
+            break;
+        start = colon + 1;
+    }
+    if (buckets.empty())
+        fatal("fio job: empty bssplit '" + value + "'");
+    return buckets;
+}
+
+struct RwMode
+{
+    double readFraction = 1.0;
+    double randomness = 0.0;
+    bool mixed = false;
+};
+
+RwMode
+parseRwMode(const std::string &value)
+{
+    const std::string rw = lowered(value);
+    RwMode mode;
+    if (rw == "read") {
+        mode.readFraction = 1.0;
+    } else if (rw == "write") {
+        mode.readFraction = 0.0;
+    } else if (rw == "randread") {
+        mode.readFraction = 1.0;
+        mode.randomness = 1.0;
+    } else if (rw == "randwrite") {
+        mode.readFraction = 0.0;
+        mode.randomness = 1.0;
+    } else if (rw == "rw" || rw == "readwrite") {
+        mode.mixed = true;
+    } else if (rw == "randrw") {
+        mode.mixed = true;
+        mode.randomness = 1.0;
+    } else {
+        fatal("fio job: unknown rw mode '" + value + "'");
+    }
+    return mode;
+}
+
+/** Expand one job section into its numjobs stream clones. */
+void
+emitJob(const std::string &name, const KeyValues &kv,
+        std::size_t job_index, const FioJobOptions &opt,
+        std::vector<HostStreamConfig> &out)
+{
+    static const char *const known[] = {
+        "rw",         "readwrite", "rwmixread", "bs",
+        "blocksize",  "bssplit",   "iodepth",   "numjobs",
+        "size",       "offset",    "number_ios", "thinktime",
+        "prio",       "weight",    "randseed",
+    };
+    for (const auto &[key, value] : kv) {
+        (void)value;
+        if (std::find_if(std::begin(known), std::end(known),
+                         [&key](const char *k) { return key == k; }) ==
+            std::end(known))
+            warn("fio job '" + name + "': ignoring unknown key '" +
+                 key + "'");
+    }
+
+    RwMode mode = parseRwMode(
+        get(kv, "rw", get(kv, "readwrite", "read")));
+
+    double read_fraction = mode.readFraction;
+    if (mode.mixed) {
+        const std::uint64_t mixread = parseU64Strict(
+            get(kv, "rwmixread", "50"), "rwmixread");
+        if (mixread > 100)
+            fatal("fio job: rwmixread > 100");
+        read_fraction = static_cast<double>(mixread) / 100.0;
+    }
+
+    std::uint64_t read_bs = 4096;
+    std::uint64_t write_bs = 4096;
+    if (has(kv, "bs"))
+        parseBsPair(get(kv, "bs", ""), read_bs, write_bs);
+    else if (has(kv, "blocksize"))
+        parseBsPair(get(kv, "blocksize", ""), read_bs, write_bs);
+
+    std::vector<SizeBucket> read_sizes{{read_bs, 1.0}};
+    std::vector<SizeBucket> write_sizes{{write_bs, 1.0}};
+    if (has(kv, "bssplit")) {
+        read_sizes = parseBssplit(get(kv, "bssplit", ""));
+        write_sizes = read_sizes;
+    }
+
+    const std::uint64_t iodepth =
+        parseU64Strict(get(kv, "iodepth", "1"), "iodepth");
+    const std::uint64_t numjobs =
+        parseU64Strict(get(kv, "numjobs", "1"), "numjobs");
+    if (numjobs == 0)
+        fatal("fio job: numjobs must be >= 1");
+    const std::uint64_t span = has(kv, "size")
+                                   ? parseFioSize(get(kv, "size", ""))
+                                   : opt.defaultSpanBytes;
+    const std::uint64_t offset =
+        has(kv, "offset") ? parseFioSize(get(kv, "offset", "")) : 0;
+    const std::uint64_t num_ios = parseU64Strict(
+        get(kv, "number_ios", std::to_string(opt.defaultNumIos)),
+        "number_ios");
+    const std::uint64_t thinktime_us =
+        parseU64Strict(get(kv, "thinktime", "0"), "thinktime");
+    const std::uint64_t prio =
+        parseU64Strict(get(kv, "prio", "0"), "prio");
+    const std::uint64_t weight =
+        parseU64Strict(get(kv, "weight", "1"), "weight");
+    const std::uint64_t base_seed =
+        has(kv, "randseed")
+            ? parseU64Strict(get(kv, "randseed", ""), "randseed")
+            : opt.baseSeed + job_index * 97;
+
+    for (std::uint64_t clone = 0; clone < numjobs; ++clone) {
+        SyntheticConfig syn;
+        syn.numIos = num_ios;
+        syn.readFraction = read_fraction;
+        syn.readSizes = read_sizes;
+        syn.writeSizes = write_sizes;
+        syn.readRandomness = mode.randomness;
+        syn.writeRandomness = mode.randomness;
+        syn.locality = 0.0;
+        syn.spanBytes = span;
+        syn.meanInterarrival = thinktime_us * kMicrosecond;
+        syn.seed = base_seed + clone;
+
+        HostStreamConfig stream;
+        stream.name = numjobs == 1
+                          ? name
+                          : name + "." + std::to_string(clone);
+        stream.trace = generateSynthetic(syn);
+        if (offset != 0) {
+            for (auto &rec : stream.trace)
+                rec.offsetBytes += offset;
+        }
+        stream.iodepth = static_cast<std::uint32_t>(iodepth);
+        stream.weight = static_cast<std::uint32_t>(weight);
+        stream.priority = static_cast<std::uint32_t>(prio);
+        out.push_back(std::move(stream));
+    }
+}
+
+} // namespace
+
+std::uint64_t
+parseFioSize(const std::string &value)
+{
+    const std::string v = trimmed(value);
+    if (v.empty())
+        fatal("fio job: empty size value");
+    std::uint64_t mult = 1;
+    std::string digits = v;
+    const char suffix = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(v.back())));
+    if (suffix == 'k' || suffix == 'm' || suffix == 'g') {
+        mult = suffix == 'k' ? (1ull << 10)
+                             : suffix == 'm' ? (1ull << 20)
+                                             : (1ull << 30);
+        digits = v.substr(0, v.size() - 1);
+    }
+    return parseU64Strict(digits, "size") * mult;
+}
+
+std::vector<HostStreamConfig>
+parseFioJob(std::istream &in, const FioJobOptions &opt)
+{
+    std::vector<HostStreamConfig> streams;
+    KeyValues global;
+    KeyValues current;
+    std::string section;
+    bool in_job = false;
+    std::size_t job_index = 0;
+
+    const auto flush = [&] {
+        if (!in_job)
+            return;
+        KeyValues merged = global;
+        for (const auto &[key, value] : current)
+            merged[key] = value;
+        emitJob(section, merged, job_index++, opt, streams);
+        current.clear();
+    };
+
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        const std::string t = trimmed(line);
+        if (t.empty() || t[0] == ';' || t[0] == '#')
+            continue;
+        if (t.front() == '[') {
+            if (t.back() != ']')
+                fatal("fio job: malformed section header '" + t + "'");
+            flush();
+            section = trimmed(t.substr(1, t.size() - 2));
+            if (section.empty())
+                fatal("fio job: empty section name");
+            in_job = lowered(section) != "global";
+            if (!in_job)
+                section = "global";
+            continue;
+        }
+        const std::size_t eq = t.find('=');
+        if (eq == std::string::npos)
+            fatal("fio job: expected key=value, got '" + t + "'");
+        const std::string key = lowered(trimmed(t.substr(0, eq)));
+        const std::string value = trimmed(t.substr(eq + 1));
+        if (key.empty())
+            fatal("fio job: empty key in '" + t + "'");
+        if (section.empty())
+            fatal("fio job: key=value before any section");
+        if (in_job)
+            current[key] = value;
+        else
+            global[key] = value;
+    }
+    flush();
+
+    if (streams.empty())
+        fatal("fio job: no job sections found");
+    return streams;
+}
+
+std::vector<HostStreamConfig>
+parseFioJobFile(const std::string &path, const FioJobOptions &opt)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open fio job file: " + path);
+    return parseFioJob(in, opt);
+}
+
+} // namespace spk

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * fio job-file front-end: turn a fio-style job description into host
+ * streams.
+ *
+ * The paper's synthetic sweeps (and the fio ecosystem at large)
+ * describe workloads as job files -- INI sections with an rw mix, a
+ * block-size distribution, an iodepth and a job count -- rather than
+ * per-I/O logs. parseFioJob() reads that format and emits one
+ * HostStreamConfig per job (numjobs clones a job into that many
+ * streams), each backed by a deterministic synthetic trace generated
+ * from the job's parameters.
+ *
+ * Supported keys (unknown keys warn and are ignored):
+ *   [global]        defaults applied to every subsequent job section
+ *   rw=             read|write|randread|randwrite|rw|readwrite|randrw
+ *   rwmixread=      read share in percent for mixed jobs (default 50)
+ *   bs=             block size, e.g. 4k or 4k,64k (read,write)
+ *   bssplit=        size mixture, e.g. 4k/60:64k/40 (both directions)
+ *   iodepth=        per-stream window (default 1; 0 = open loop)
+ *   numjobs=        clone count (streams named job.0, job.1, ...)
+ *   size=           addressable span of the job (default 64m)
+ *   offset=         byte offset added to every access (default 0)
+ *   number_ios=     I/Os to generate per clone (default 1000)
+ *   thinktime=      mean microseconds between arrivals (default 0:
+ *                   closed loop, the iodepth window paces the job)
+ *   prio=           strict-priority class, lower is more urgent
+ *   weight=         WRR share (extension; fio has no equivalent)
+ *   randseed=       base RNG seed for the job (clone i adds i)
+ * Sizes accept k/m/g suffixes (powers of 1024).
+ */
+
+#ifndef SPK_WORKLOAD_FIO_JOB_HH
+#define SPK_WORKLOAD_FIO_JOB_HH
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "workload/host_stream.hh"
+
+namespace spk
+{
+
+/** Defaults a caller may override (seeds, benchmark sizing). */
+struct FioJobOptions
+{
+    /** Base RNG seed; job j, clone i generates with base + j*97 + i. */
+    std::uint64_t baseSeed = 42;
+
+    /** number_ios default when a job does not name one. */
+    std::uint64_t defaultNumIos = 1000;
+
+    /** size= default when a job does not name one. */
+    std::uint64_t defaultSpanBytes = 64ull << 20;
+};
+
+/**
+ * Parse a fio job file into host streams; fatal() on malformed
+ * sections, unknown rw values or unparsable numbers. Jobs appear in
+ * file order (clones consecutively).
+ */
+std::vector<HostStreamConfig> parseFioJob(std::istream &in,
+                                          const FioJobOptions &opt = {});
+
+/** Parse from a path; fatal() if the file cannot be opened. */
+std::vector<HostStreamConfig>
+parseFioJobFile(const std::string &path, const FioJobOptions &opt = {});
+
+/** Parse a "4k"/"64m"-style size; fatal() on garbage. */
+std::uint64_t parseFioSize(const std::string &value);
+
+} // namespace spk
+
+#endif // SPK_WORKLOAD_FIO_JOB_HH

@@ -1,0 +1,47 @@
+#include "workload/host_stream.hh"
+
+#include "sim/logging.hh"
+
+namespace spk
+{
+
+void
+validateStreams(const std::vector<HostStreamConfig> &streams)
+{
+    if (streams.empty())
+        fatal("validateStreams: no streams configured");
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        const HostStreamConfig &s = streams[i];
+        if (s.name.empty())
+            fatal("validateStreams: stream with empty name");
+        // Names key the per-stream metrics (and the fleet-level
+        // merge folds streams by name): duplicates would silently
+        // collapse two streams into one reported entry.
+        for (std::size_t j = 0; j < i; ++j) {
+            if (streams[j].name == s.name)
+                fatal("validateStreams: duplicate stream name '" +
+                      s.name + "'");
+        }
+        if (s.trace.empty())
+            fatal("validateStreams: stream '" + s.name +
+                  "' has an empty trace");
+        Tick prev = 0;
+        for (const auto &rec : s.trace) {
+            if (rec.sizeBytes == 0)
+                fatal("validateStreams: zero-length I/O in stream '" +
+                      s.name + "'");
+            // A submission queue issues records in order, so the
+            // stream replay pairs the i-th arrival event with the
+            // i-th record. An unsorted trace would mispair them and
+            // corrupt every latency figure; sort (e.g. stable by
+            // arrival) before attaching such a trace.
+            if (rec.arrival < prev)
+                fatal("validateStreams: arrivals not sorted in "
+                      "stream '" +
+                      s.name + "' (sort the trace by arrival time)");
+            prev = rec.arrival;
+        }
+    }
+}
+
+} // namespace spk

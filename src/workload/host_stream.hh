@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Host workload streams: the multi-queue front-end's unit of traffic.
+ *
+ * An NVMe-style host drives the device through several submission
+ * queues at once -- one per tenant, core or fio job -- each with its
+ * own trace (or synthetic generator output), its own iodepth window
+ * and its own arbitration attributes (weight, priority). A
+ * HostStreamConfig describes one such stream; the Ssd's stream
+ * front-end replays a set of them concurrently and the NVMHC
+ * arbitrates their access to the shared device tag space (see
+ * sched/queue_arbiter.hh).
+ */
+
+#ifndef SPK_WORKLOAD_HOST_STREAM_HH
+#define SPK_WORKLOAD_HOST_STREAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/trace.hh"
+
+namespace spk
+{
+
+/** One host stream: a trace plus its submission-queue attributes. */
+struct HostStreamConfig
+{
+    /** Stream label; surfaces in per-stream metrics and CSV rows. */
+    std::string name = "stream";
+
+    /** The stream's I/O sequence (trace or generated). Must be
+     *  sorted by arrival time: a submission queue issues records in
+     *  order, so replay pairs the i-th arrival event with the i-th
+     *  record (validateStreams rejects unsorted traces — stable-sort
+     *  e.g. a multi-CPU blkparse capture before attaching it). */
+    Trace trace;
+
+    /**
+     * Per-stream window: at most this many of the stream's I/Os are
+     * in the device at once (fio's iodepth). Records past the window
+     * wait in the stream's queue; a record is issued when both its
+     * arrival time has passed and the window has room. 0 means
+     * open-loop: purely arrival-driven, the pre-multi-queue behavior.
+     */
+    std::uint32_t iodepth = 0;
+
+    /** Weighted-round-robin share (WRR arbitration). 0 acts as 1. */
+    std::uint32_t weight = 1;
+
+    /** Strict-priority class; lower value is more urgent (ionice). */
+    std::uint32_t priority = 0;
+};
+
+/**
+ * Per-stream replay bookkeeping (owned by the Ssd front-end). All
+ * counters are indices into the config's trace, so steady-state
+ * stream driving touches no heap.
+ */
+struct HostStreamRuntime
+{
+    /** Records whose arrival event has fired so far. */
+    std::size_t arrivalCursor = 0;
+
+    /** Records issued to the NVMHC so far (<= arrivalCursor). */
+    std::size_t issueCursor = 0;
+
+    /** Arrived-but-window-blocked records (arrival - issue). */
+    std::uint32_t readyBacklog = 0;
+
+    /** Stream I/Os currently inside the device (issued, incomplete). */
+    std::uint32_t inFlight = 0;
+};
+
+/** Validate a stream set; fatal() on empty set or empty streams. */
+void validateStreams(const std::vector<HostStreamConfig> &streams);
+
+} // namespace spk
+
+#endif // SPK_WORKLOAD_HOST_STREAM_HH

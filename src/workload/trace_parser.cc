@@ -172,6 +172,106 @@ parseFioLogLine(const std::string &line, TraceRecord &out)
     return true;
 }
 
+bool
+parseBlktraceLine(const std::string &line, TraceRecord &out)
+{
+    if (line.empty() || line[0] == '#')
+        return false;
+
+    // Whitespace tokenizer: blkparse pads columns with spaces.
+    std::vector<std::string_view> fields;
+    std::size_t pos = 0;
+    while (pos < line.size() && fields.size() < 11) {
+        while (pos < line.size() &&
+               (line[pos] == ' ' || line[pos] == '\t'))
+            ++pos;
+        const std::size_t start = pos;
+        while (pos < line.size() && line[pos] != ' ' &&
+               line[pos] != '\t')
+            ++pos;
+        if (pos > start)
+            fields.emplace_back(line.data() + start, pos - start);
+    }
+    // maj,min cpu seq time pid action rwbs sector + nsectors
+    if (fields.size() < 10)
+        return false;
+    if (fields[0].find(',') == std::string_view::npos)
+        return false;
+
+    // Replay queue events only; G/I/D/C/... re-describe the same I/O.
+    if (fields[5] != "Q")
+        return false;
+
+    const std::string_view rwbs = fields[6];
+    const std::size_t w = rwbs.find('W');
+    const std::size_t r = rwbs.find('R');
+    if (rwbs.find('D') != std::string_view::npos)
+        return false; // discard: no replayable payload
+    bool is_write;
+    std::size_t op_pos;
+    if (w != std::string_view::npos) {
+        is_write = true;
+        op_pos = w;
+    } else if (r != std::string_view::npos) {
+        is_write = false;
+        op_pos = r;
+    } else {
+        return false; // flush-only / barrier: nothing to replay
+    }
+    // A leading 'F' is a flush; an 'F' after the op is FUA.
+    const bool fua = rwbs.find('F', op_pos + 1) != std::string_view::npos;
+
+    // timestamp: seconds.nanoseconds (blkparse prints 9 decimals).
+    const std::string_view ts = fields[3];
+    const std::size_t dot = ts.find('.');
+    std::uint64_t secs = 0;
+    std::uint64_t nanos = 0;
+    if (dot == std::string_view::npos) {
+        if (!parseU64(ts, secs))
+            return false;
+    } else {
+        std::string_view frac = ts.substr(dot + 1);
+        if (frac.empty() || frac.size() > 9)
+            return false;
+        if (!parseU64(ts.substr(0, dot), secs) ||
+            !parseU64(frac, nanos))
+            return false;
+        for (std::size_t i = frac.size(); i < 9; ++i)
+            nanos *= 10;
+    }
+
+    std::uint64_t sector = 0;
+    std::uint64_t nsectors = 0;
+    if (fields[8] != "+")
+        return false;
+    if (!parseU64(fields[7], sector) || !parseU64(fields[9], nsectors))
+        return false;
+    if (nsectors == 0)
+        return false;
+
+    out.arrival = secs * kSecond + nanos;
+    out.isWrite = is_write;
+    out.fua = fua;
+    out.offsetBytes = sector * 512;
+    out.sizeBytes = nsectors * 512;
+    return true;
+}
+
+ParseResult
+parseBlktraceTrace(std::istream &in)
+{
+    return parseStream(in, parseBlktraceLine);
+}
+
+ParseResult
+parseBlktraceTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file: " + path);
+    return parseBlktraceTrace(in);
+}
+
 ParseResult
 parseFioLogTrace(std::istream &in)
 {

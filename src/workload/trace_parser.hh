@@ -17,6 +17,16 @@
  * 0=read, 1=write, 2=trim (trims are skipped); blocksize and offset
  * are in bytes. Older fio versions omit the offset column — such
  * lines are rejected since replay needs the target address.
+ *
+ * blktrace text format (blkparse default output) — whitespace
+ * separated, one event per line:
+ *   maj,min cpu seq timestamp pid action rwbs sector + nsectors [proc]
+ * timestamp is seconds with nanosecond decimals; sector and nsectors
+ * are 512-byte units. Only queue events (action Q) of reads and
+ * writes are replayed — other actions (G/I/D/C/...) describe the same
+ * I/O at later pipeline stages, and discards/flushes have no
+ * replayable payload; all such lines count as skipped. An 'F' in the
+ * rwbs field after the R/W marks force-unit-access.
  */
 
 #ifndef SPK_WORKLOAD_TRACE_PARSER_HH
@@ -65,6 +75,22 @@ ParseResult parseFioLogTraceFile(const std::string &path);
  * (direction 2 — not replayable as a read/write).
  */
 bool parseFioLogLine(const std::string &line, TraceRecord &out);
+
+/**
+ * Parse a blktrace (blkparse text output) stream. Arrival times are
+ * rebased so the first replayable record arrives at tick 0. Lines
+ * that are not read/write queue events are skipped and counted.
+ */
+ParseResult parseBlktraceTrace(std::istream &in);
+
+/** Parse from a file path; fatal() if the file cannot be opened. */
+ParseResult parseBlktraceTraceFile(const std::string &path);
+
+/**
+ * Parse one blkparse line; returns false if malformed or not a
+ * read/write queue (Q) event.
+ */
+bool parseBlktraceLine(const std::string &line, TraceRecord &out);
 
 } // namespace spk
 

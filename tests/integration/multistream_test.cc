@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Multi-queue host front-end integration tests.
+ *
+ * The load-bearing one is the single-stream equivalence golden: a
+ * 1-stream open-loop replayStreams() configuration must be
+ * bit-identical to the implicit-stream replay() path — which is
+ * itself pinned to the pre-refactor seed-11 aggregates in
+ * scheduler_comparison_test — across every scheduler and every
+ * arbitration policy. The rest covers window semantics, per-stream
+ * accounting and the fleet-level stream merge.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+#include "sim/device_array.hh"
+#include "ssd/ssd.hh"
+#include "workload/synthetic.hh"
+
+namespace spk
+{
+namespace
+{
+
+SsdConfig
+config(SchedulerKind kind, ArbiterKind arbiter)
+{
+    SsdConfig cfg;
+    cfg.geometry.numChannels = 4;
+    cfg.geometry.chipsPerChannel = 4;
+    cfg.geometry.blocksPerPlane = 32;
+    cfg.geometry.pagesPerBlock = 32;
+    cfg.scheduler = kind;
+    cfg.nvmhc.arbiter = arbiter;
+    return cfg;
+}
+
+/** The scheduler_comparison_test workload (seed-11 bursty trace). */
+Trace
+burstyTrace(std::uint64_t seed)
+{
+    SyntheticConfig wl;
+    wl.numIos = 400;
+    wl.readFraction = 0.7;
+    wl.readSizes = {{16384, 0.5}, {65536, 0.5}};
+    wl.writeSizes = {{16384, 1.0}};
+    wl.readRandomness = 0.9;
+    wl.writeRandomness = 0.9;
+    wl.locality = 0.7;
+    wl.spanBytes = 24ull << 20;
+    wl.meanInterarrival = 5 * kMicrosecond;
+    wl.seed = seed;
+    return generateSynthetic(wl);
+}
+
+/** Everything except the streams vector must match bit-exactly. */
+void
+expectSameDeviceMetrics(const MetricsSnapshot &a,
+                        const MetricsSnapshot &b)
+{
+    MetricsSnapshot lhs = a;
+    MetricsSnapshot rhs = b;
+    lhs.streams.clear();
+    rhs.streams.clear();
+    EXPECT_TRUE(lhs == rhs);
+}
+
+/**
+ * The multi-queue path at one stream reproduces the legacy replay()
+ * metrics bit-exactly — same makespan, same transaction counts, same
+ * latency doubles — for every (scheduler, arbiter) combination. The
+ * replay() side of this comparison is pinned to the pre-refactor
+ * numbers in scheduler_comparison_test, so transitively the 1-stream
+ * multi-queue configuration is pinned to them too.
+ */
+TEST(MultiStream, SingleStreamMatchesImplicitReplayBitExactly)
+{
+    const Trace trace = burstyTrace(11);
+    for (const auto kind :
+         {SchedulerKind::VAS, SchedulerKind::PAS, SchedulerKind::SPK1,
+          SchedulerKind::SPK2, SchedulerKind::SPK3}) {
+        Ssd legacy(config(kind, ArbiterKind::RoundRobin));
+        legacy.replay(trace);
+        legacy.run();
+        const MetricsSnapshot want = legacy.metrics();
+        EXPECT_TRUE(want.streams.empty());
+
+        for (const auto arbiter :
+             {ArbiterKind::RoundRobin, ArbiterKind::WeightedRoundRobin,
+              ArbiterKind::StrictPriority}) {
+            HostStreamConfig stream;
+            stream.name = "host";
+            stream.trace = trace;
+            stream.iodepth = 0; // open loop, like replay()
+            Ssd ssd(config(kind, arbiter));
+            ssd.replayStreams({stream});
+            ssd.run();
+            const MetricsSnapshot got = ssd.metrics();
+            expectSameDeviceMetrics(want, got);
+
+            // The single stream's slice is the whole device.
+            ASSERT_EQ(got.streams.size(), 1u);
+            EXPECT_EQ(got.streams[0].name, "host");
+            EXPECT_EQ(got.streams[0].iosCompleted, want.iosCompleted);
+            EXPECT_EQ(got.streams[0].bytesRead, want.bytesRead);
+            EXPECT_EQ(got.streams[0].bytesWritten, want.bytesWritten);
+            EXPECT_EQ(got.streams[0].queueStallTime,
+                      want.queueStallTime);
+            EXPECT_EQ(got.streams[0].maxLatencyNs, want.maxLatencyNs);
+            EXPECT_DOUBLE_EQ(got.streams[0].avgLatencyNs,
+                             want.avgLatencyNs);
+
+            // And the per-I/O series matches record for record.
+            ASSERT_EQ(ssd.results().size(), legacy.results().size());
+            for (std::size_t i = 0; i < ssd.results().size(); ++i) {
+                EXPECT_EQ(ssd.results()[i].arrival,
+                          legacy.results()[i].arrival);
+                EXPECT_EQ(ssd.results()[i].completed,
+                          legacy.results()[i].completed);
+                EXPECT_EQ(ssd.results()[i].streamId, 0u);
+            }
+        }
+    }
+}
+
+TEST(MultiStream, IodepthWindowBoundsInFlight)
+{
+    // A closed-loop stream (all arrivals at tick 0) with iodepth 4 on
+    // a deep device queue: the device never holds more than 4 of the
+    // stream's I/Os, which shows up as never more than 4 outstanding
+    // in the NVMHC at once.
+    HostStreamConfig stream;
+    stream.name = "windowed";
+    stream.iodepth = 4;
+    stream.trace = fixedSizeStream(64, 4096, 0.0, 4 << 20, 0, 21);
+
+    SsdConfig cfg = config(SchedulerKind::SPK3,
+                           ArbiterKind::RoundRobin);
+    cfg.nvmhc.queueDepth = 32;
+    Ssd ssd(cfg);
+    ssd.replayStreams({stream});
+
+    std::uint32_t peak = 0;
+    // Sample outstanding count after every event.
+    while (ssd.events().step())
+        peak = std::max(peak, ssd.nvmhc().outstandingIos());
+    EXPECT_LE(peak, 4u);
+    EXPECT_EQ(ssd.metrics().streams[0].iosCompleted, 64u);
+}
+
+TEST(MultiStream, PerStreamSlicesSumToDeviceTotals)
+{
+    std::vector<HostStreamConfig> streams;
+    for (int s = 0; s < 3; ++s) {
+        HostStreamConfig stream;
+        stream.name = "s" + std::to_string(s);
+        stream.iodepth = 8;
+        stream.trace = fixedSizeStream(
+            100, 8192, s == 1 ? 1.0 : 0.0, 4 << 20, kMicrosecond,
+            50 + s);
+        for (auto &rec : stream.trace)
+            rec.offsetBytes += static_cast<std::uint64_t>(s) << 22;
+        streams.push_back(std::move(stream));
+    }
+    Ssd ssd(config(SchedulerKind::SPK3, ArbiterKind::RoundRobin));
+    ssd.replayStreams(streams);
+    ssd.run();
+    const MetricsSnapshot m = ssd.metrics();
+
+    ASSERT_EQ(m.streams.size(), 3u);
+    std::uint64_t ios = 0;
+    std::uint64_t bytes_read = 0;
+    std::uint64_t bytes_written = 0;
+    Tick stall = 0;
+    Tick max_lat = 0;
+    for (const auto &sm : m.streams) {
+        ios += sm.iosCompleted;
+        bytes_read += sm.bytesRead;
+        bytes_written += sm.bytesWritten;
+        stall += sm.queueStallTime;
+        max_lat = std::max(max_lat, sm.maxLatencyNs);
+    }
+    EXPECT_EQ(ios, m.iosCompleted);
+    EXPECT_EQ(bytes_read, m.bytesRead);
+    EXPECT_EQ(bytes_written, m.bytesWritten);
+    EXPECT_EQ(stall, m.queueStallTime);
+    EXPECT_EQ(max_lat, m.maxLatencyNs);
+
+    // Completion series carries stream ids that add up, too.
+    std::array<std::uint64_t, 3> per_stream{};
+    for (const auto &res : ssd.results()) {
+        ASSERT_LT(res.streamId, 3u);
+        ++per_stream[res.streamId];
+    }
+    for (std::size_t s = 0; s < 3; ++s)
+        EXPECT_EQ(per_stream[s], m.streams[s].iosCompleted);
+}
+
+TEST(MultiStream, MixingStreamsAndSubmitAtDies)
+{
+    HostStreamConfig stream;
+    stream.name = "s";
+    stream.trace = fixedSizeStream(4, 4096, 0.0, 1 << 20, 0, 1);
+    Ssd ssd(config(SchedulerKind::SPK3, ArbiterKind::RoundRobin));
+    ssd.replayStreams({stream});
+    EXPECT_DEATH(ssd.submitAt(0, false, 0, 4096),
+                 "cannot mix with replayStreams");
+}
+
+TEST(MultiStream, SecondReplayStreamsDies)
+{
+    HostStreamConfig stream;
+    stream.name = "s";
+    stream.trace = fixedSizeStream(4, 4096, 0.0, 1 << 20, 0, 1);
+    Ssd ssd(config(SchedulerKind::SPK3, ArbiterKind::RoundRobin));
+    ssd.replayStreams({stream});
+    EXPECT_DEATH(ssd.replayStreams({stream}), "already attached");
+}
+
+TEST(MultiStream, EmptyStreamSetDies)
+{
+    Ssd ssd(config(SchedulerKind::SPK3, ArbiterKind::RoundRobin));
+    EXPECT_DEATH(ssd.replayStreams({}), "no streams");
+}
+
+TEST(MultiStream, DuplicateStreamNamesDie)
+{
+    // Names key per-stream metrics and the fleet merge; duplicates
+    // would silently collapse two streams into one entry.
+    HostStreamConfig a;
+    a.name = "work";
+    a.trace = fixedSizeStream(4, 4096, 0.0, 1 << 20, 0, 1);
+    HostStreamConfig b = a;
+    Ssd ssd(config(SchedulerKind::SPK3, ArbiterKind::RoundRobin));
+    EXPECT_DEATH(ssd.replayStreams({a, b}), "duplicate stream name");
+}
+
+TEST(MultiStream, JobWithTraceAndStreamsDies)
+{
+    DeviceJob job;
+    job.cfg = config(SchedulerKind::SPK3, ArbiterKind::RoundRobin);
+    job.trace = fixedSizeStream(4, 4096, 0.0, 1 << 20, 0, 1);
+    HostStreamConfig stream;
+    stream.name = "s";
+    stream.trace = job.trace;
+    job.streams.push_back(stream);
+    DeviceArray array({job});
+    EXPECT_DEATH(array.run(1), "both a trace and streams");
+}
+
+TEST(MultiStream, UnsortedTraceDies)
+{
+    // Stream replay pairs the i-th arrival event with the i-th
+    // record; an unsorted trace would mispair them (and underflow
+    // the latency math), so it is rejected up front.
+    HostStreamConfig stream;
+    stream.name = "unsorted";
+    stream.trace = {{1000000, false, false, 0, 4096},
+                    {10, false, false, 8192, 4096}};
+    Ssd ssd(config(SchedulerKind::SPK3, ArbiterKind::RoundRobin));
+    EXPECT_DEATH(ssd.replayStreams({stream}), "not sorted");
+}
+
+TEST(MultiStream, DeviceJobStreamsRunThroughDeviceArray)
+{
+    const auto make_jobs = [] {
+        std::vector<DeviceJob> jobs;
+        for (const auto arbiter :
+             {ArbiterKind::RoundRobin,
+              ArbiterKind::WeightedRoundRobin}) {
+            DeviceJob job;
+            job.cfg = config(SchedulerKind::SPK3, arbiter);
+            for (int s = 0; s < 2; ++s) {
+                HostStreamConfig stream;
+                stream.name = "s" + std::to_string(s);
+                stream.iodepth = 8;
+                stream.weight = s == 0 ? 4 : 1;
+                stream.trace = fixedSizeStream(80, 8192, 0.5,
+                                               4 << 20, 0, 33 + s);
+                job.streams.push_back(std::move(stream));
+            }
+            jobs.push_back(std::move(job));
+        }
+        return jobs;
+    };
+
+    DeviceArray sequential(make_jobs());
+    sequential.run(1);
+    DeviceArray sharded(make_jobs());
+    sharded.run(2);
+
+    ASSERT_EQ(sequential.results().size(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(sequential.results()[i], sharded.results()[i]);
+        ASSERT_EQ(sequential.results()[i].streams.size(), 2u);
+    }
+
+    // Fleet merge folds same-named streams across devices.
+    const MetricsSnapshot fleet =
+        DeviceArray::aggregate(sequential.results());
+    ASSERT_EQ(fleet.streams.size(), 2u);
+    EXPECT_EQ(fleet.streams[0].name, "s0");
+    EXPECT_EQ(fleet.streams[0].iosCompleted,
+              sequential.results()[0].streams[0].iosCompleted +
+                  sequential.results()[1].streams[0].iosCompleted);
+}
+
+} // namespace
+} // namespace spk

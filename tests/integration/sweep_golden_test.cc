@@ -280,8 +280,10 @@ TEST(SweepGolden, CsvEmitsHeaderAndOneRowPerCell)
     std::istringstream is(os.str());
     std::string line;
     ASSERT_TRUE(std::getline(is, line));
-    EXPECT_EQ(line.rfind("trace,scheduler,seed,variant,completed,", 0),
-              0u);
+    EXPECT_EQ(
+        line.rfind("trace,scheduler,seed,variant,arbiter,completed,",
+                   0),
+        0u);
     std::size_t rows = 0;
     while (std::getline(is, line)) {
         ++rows;

@@ -162,5 +162,43 @@ TEST(TraceReplaySample, CheckedInFioSampleRunsEndToEnd)
     }
 }
 
+TEST(TraceReplaySample, CheckedInBlktraceSampleRunsEndToEnd)
+{
+    // And for the blktrace text format: the committed blkparse
+    // capture replays end to end with every byte accounted.
+    auto parsed = parseBlktraceTraceFile(
+        std::string(SPK_DATA_DIR) + "/traces/blktrace_sample.txt");
+    ASSERT_EQ(parsed.trace.size(), 27u);
+
+    SsdConfig cfg;
+    cfg.geometry.numChannels = 2;
+    cfg.geometry.chipsPerChannel = 4;
+    cfg.geometry.blocksPerPlane = 16;
+    cfg.geometry.pagesPerBlock = 32;
+    const std::uint64_t span =
+        cfg.geometry.totalPages() * cfg.geometry.pageSizeBytes / 2;
+    std::uint64_t read_bytes = 0;
+    std::uint64_t write_bytes = 0;
+    for (auto &rec : parsed.trace) {
+        rec.offsetBytes %= span;
+        rec.sizeBytes = std::min<std::uint64_t>(
+            rec.sizeBytes, span - rec.offsetBytes);
+        (rec.isWrite ? write_bytes : read_bytes) += rec.sizeBytes;
+    }
+
+    for (const auto kind : {SchedulerKind::VAS, SchedulerKind::SPK3}) {
+        cfg.scheduler = kind;
+        Ssd ssd(cfg);
+        ssd.replay(parsed.trace);
+        ssd.run();
+        const auto m = ssd.metrics();
+        EXPECT_EQ(m.iosCompleted, 27u) << schedulerKindName(kind);
+        EXPECT_GE(m.bytesRead, read_bytes) << schedulerKindName(kind);
+        EXPECT_GE(m.bytesWritten, write_bytes)
+            << schedulerKindName(kind);
+        EXPECT_GT(m.bandwidthKBps, 0.0);
+    }
+}
+
 } // namespace
 } // namespace spk

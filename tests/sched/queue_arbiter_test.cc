@@ -1,0 +1,268 @@
+/**
+ * @file
+ * QueueArbiter unit tests (pure policy behavior over synthetic
+ * stream states) plus device-level arbitration tests: tag
+ * starvation freedom, weighted shares and the priority inversion
+ * guard on a real multi-stream Ssd.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sched/queue_arbiter.hh"
+#include "ssd/ssd.hh"
+#include "workload/synthetic.hh"
+
+namespace spk
+{
+namespace
+{
+
+using StreamState = QueueArbiter::StreamState;
+
+std::vector<StreamState>
+states(std::initializer_list<StreamState> init)
+{
+    return std::vector<StreamState>(init);
+}
+
+TEST(QueueArbiter, NamesRoundTrip)
+{
+    for (const auto kind :
+         {ArbiterKind::RoundRobin, ArbiterKind::WeightedRoundRobin,
+          ArbiterKind::StrictPriority}) {
+        EXPECT_EQ(parseArbiterKind(arbiterKindName(kind)), kind);
+        EXPECT_STREQ(makeArbiter(kind)->name(),
+                     arbiterKindName(kind));
+    }
+    EXPECT_EQ(parseArbiterKind("round-robin"),
+              ArbiterKind::RoundRobin);
+    EXPECT_EQ(parseArbiterKind("weighted"),
+              ArbiterKind::WeightedRoundRobin);
+    EXPECT_EQ(parseArbiterKind("PRIORITY"),
+              ArbiterKind::StrictPriority);
+    EXPECT_DEATH(parseArbiterKind("nope"), "unknown arbiter");
+}
+
+TEST(QueueArbiter, RoundRobinCyclesOverBackloggedStreams)
+{
+    auto arb = makeArbiter(ArbiterKind::RoundRobin);
+    arb->prepare(3);
+    auto st = states({{2, 0, 1, 0}, {2, 0, 1, 0}, {2, 0, 1, 0}});
+    std::vector<std::uint32_t> picks;
+    for (int i = 0; i < 6; ++i) {
+        const std::uint32_t s = arb->pick(st);
+        picks.push_back(s);
+        --st[s].waiting;
+    }
+    EXPECT_EQ(picks, (std::vector<std::uint32_t>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(QueueArbiter, RoundRobinSkipsIdleStreams)
+{
+    auto arb = makeArbiter(ArbiterKind::RoundRobin);
+    arb->prepare(3);
+    auto st = states({{0, 0, 1, 0}, {1, 0, 1, 0}, {1, 0, 1, 0}});
+    EXPECT_EQ(arb->pick(st), 1u);
+    --st[1].waiting;
+    EXPECT_EQ(arb->pick(st), 2u);
+}
+
+TEST(QueueArbiter, WeightedSharesFollowWeights)
+{
+    auto arb = makeArbiter(ArbiterKind::WeightedRoundRobin);
+    arb->prepare(2);
+    // Saturated backlogs: stream 0 (weight 3) should receive 3x the
+    // admissions of stream 1 (weight 1).
+    auto st = states({{100, 0, 3, 0}, {100, 0, 1, 0}});
+    std::map<std::uint32_t, int> count;
+    for (int i = 0; i < 80; ++i) {
+        const std::uint32_t s = arb->pick(st);
+        ++count[s];
+        --st[s].waiting;
+    }
+    EXPECT_EQ(count[0], 60);
+    EXPECT_EQ(count[1], 20);
+}
+
+TEST(QueueArbiter, WeightedFallsBackWhenHeavyStreamIdles)
+{
+    auto arb = makeArbiter(ArbiterKind::WeightedRoundRobin);
+    arb->prepare(2);
+    auto st = states({{0, 0, 8, 0}, {4, 0, 1, 0}});
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(arb->pick(st), 1u);
+        --st[1].waiting;
+    }
+}
+
+TEST(QueueArbiter, StrictPriorityAlwaysServesMostUrgent)
+{
+    auto arb = makeArbiter(ArbiterKind::StrictPriority);
+    arb->prepare(3);
+    // Priority 0 beats 1 beats 2 regardless of backlog sizes.
+    auto st = states({{1, 0, 1, 2}, {5, 0, 1, 0}, {5, 0, 1, 1}});
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(arb->pick(st), 1u);
+        --st[1].waiting;
+    }
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(arb->pick(st), 2u);
+        --st[2].waiting;
+    }
+    EXPECT_EQ(arb->pick(st), 0u);
+}
+
+TEST(QueueArbiter, StrictPriorityRoundRobinsWithinClass)
+{
+    auto arb = makeArbiter(ArbiterKind::StrictPriority);
+    arb->prepare(3);
+    // Streams 0 and 2 share the urgent class; stream 1 is background.
+    auto st = states({{3, 0, 1, 0}, {3, 0, 1, 5}, {3, 0, 1, 0}});
+    std::vector<std::uint32_t> picks;
+    for (int i = 0; i < 6; ++i) {
+        const std::uint32_t s = arb->pick(st);
+        picks.push_back(s);
+        --st[s].waiting;
+    }
+    EXPECT_EQ(picks, (std::vector<std::uint32_t>{0, 2, 0, 2, 0, 2}));
+}
+
+// ---------------------------------------------------------------------
+// Device-level arbitration behavior on a real multi-stream Ssd.
+
+SsdConfig
+deviceConfig(ArbiterKind arbiter)
+{
+    SsdConfig cfg;
+    cfg.geometry.numChannels = 2;
+    cfg.geometry.chipsPerChannel = 2;
+    cfg.geometry.blocksPerPlane = 32;
+    cfg.geometry.pagesPerBlock = 32;
+    cfg.scheduler = SchedulerKind::SPK3;
+    cfg.nvmhc.queueDepth = 8; // small tag space: arbitration bites
+    cfg.nvmhc.arbiter = arbiter;
+    return cfg;
+}
+
+/** Closed-loop stream: all records arrive at tick 0, the iodepth
+ *  window paces issuance. */
+HostStreamConfig
+closedLoopStream(const std::string &name, std::uint64_t ios,
+                 std::uint64_t offset_mb, std::uint32_t iodepth,
+                 std::uint32_t weight, std::uint32_t priority,
+                 std::uint64_t seed)
+{
+    SyntheticConfig syn;
+    syn.numIos = ios;
+    syn.readFraction = 0.5;
+    syn.readSizes = {{4096, 1.0}};
+    syn.writeSizes = {{4096, 1.0}};
+    syn.readRandomness = 1.0;
+    syn.writeRandomness = 1.0;
+    syn.locality = 0.0;
+    syn.spanBytes = 4ull << 20;
+    syn.meanInterarrival = 0; // closed loop
+    syn.seed = seed;
+
+    HostStreamConfig stream;
+    stream.name = name;
+    stream.trace = generateSynthetic(syn);
+    for (auto &rec : stream.trace)
+        rec.offsetBytes += offset_mb << 20;
+    stream.iodepth = iodepth;
+    stream.weight = weight;
+    stream.priority = priority;
+    return stream;
+}
+
+MetricsSnapshot
+runStreams(ArbiterKind arbiter,
+           std::vector<HostStreamConfig> streams)
+{
+    Ssd ssd(deviceConfig(arbiter));
+    ssd.replayStreams(std::move(streams));
+    ssd.run();
+    return ssd.metrics();
+}
+
+TEST(QueueArbiterDevice, NoTagStarvationUnderRoundRobin)
+{
+    // Ten deep streams against an 8-tag device: every stream must
+    // finish all of its I/Os, and every stream must make progress
+    // at a comparable rate (RR cycles the tag space).
+    std::vector<HostStreamConfig> streams;
+    for (int s = 0; s < 10; ++s) {
+        streams.push_back(closedLoopStream(
+            "s" + std::to_string(s), 60, 4 * s, 8, 1, 0, 100 + s));
+    }
+    const MetricsSnapshot m =
+        runStreams(ArbiterKind::RoundRobin, streams);
+    ASSERT_EQ(m.streams.size(), 10u);
+    double min_iops = -1.0;
+    double max_iops = 0.0;
+    for (const auto &sm : m.streams) {
+        EXPECT_EQ(sm.iosCompleted, 60u) << sm.name;
+        if (min_iops < 0.0 || sm.iops < min_iops)
+            min_iops = sm.iops;
+        max_iops = std::max(max_iops, sm.iops);
+    }
+    // Identical-shape streams under RR: no stream gets starved to a
+    // fraction of another's throughput.
+    EXPECT_GT(min_iops, 0.5 * max_iops);
+}
+
+TEST(QueueArbiterDevice, WeightedSharesReflectWeights)
+{
+    // Two identical closed-loop streams, 4:1 weights, contending for
+    // the tag space. The heavy stream must finish meaningfully more
+    // work per unit time (measured over the contended interval by
+    // comparing completion counts when the light stream finishes).
+    std::vector<HostStreamConfig> streams;
+    streams.push_back(closedLoopStream("heavy", 300, 0, 16, 4, 0, 7));
+    streams.push_back(closedLoopStream("light", 300, 8, 16, 1, 0, 9));
+    const MetricsSnapshot wrr =
+        runStreams(ArbiterKind::WeightedRoundRobin, streams);
+    ASSERT_EQ(wrr.streams.size(), 2u);
+    // Both eventually complete everything...
+    EXPECT_EQ(wrr.streams[0].iosCompleted, 300u);
+    EXPECT_EQ(wrr.streams[1].iosCompleted, 300u);
+    // ...but the weighted stream sees lower queueing delay than the
+    // light one, and beats its own latency under plain RR.
+    EXPECT_LT(wrr.streams[0].avgLatencyNs,
+              wrr.streams[1].avgLatencyNs);
+    const MetricsSnapshot rr =
+        runStreams(ArbiterKind::RoundRobin, streams);
+    EXPECT_LT(wrr.streams[0].avgLatencyNs,
+              rr.streams[0].avgLatencyNs);
+}
+
+TEST(QueueArbiterDevice, PriorityInversionGuard)
+{
+    // A deep low-priority writer must not hold the urgent stream's
+    // submissions hostage: under PRIO the urgent stream's latency is
+    // (a) far below the background stream's and (b) no worse than
+    // what it sees under RR arbitration. Both windows exceed the
+    // 8-tag device queue so both streams always have submissions
+    // waiting — the arbiter decides every admission.
+    std::vector<HostStreamConfig> streams;
+    streams.push_back(closedLoopStream("urgent", 200, 0, 16, 1, 0, 3));
+    streams.push_back(
+        closedLoopStream("background", 200, 8, 32, 1, 4, 5));
+    const MetricsSnapshot prio =
+        runStreams(ArbiterKind::StrictPriority, streams);
+    const MetricsSnapshot rr =
+        runStreams(ArbiterKind::RoundRobin, streams);
+    ASSERT_EQ(prio.streams.size(), 2u);
+    EXPECT_EQ(prio.streams[0].iosCompleted, 200u);
+    EXPECT_EQ(prio.streams[1].iosCompleted, 200u);
+    EXPECT_LT(prio.streams[0].avgLatencyNs,
+              prio.streams[1].avgLatencyNs);
+    EXPECT_LE(prio.streams[0].avgLatencyNs,
+              rr.streams[0].avgLatencyNs * 1.05);
+}
+
+} // namespace
+} // namespace spk

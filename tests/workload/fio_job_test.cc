@@ -1,0 +1,223 @@
+/**
+ * @file
+ * fio job-file parser tests: section handling, global defaults,
+ * rw/bs/bssplit semantics, numjobs cloning, determinism and error
+ * behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/fio_job.hh"
+#include "workload/trace.hh"
+
+namespace spk
+{
+namespace
+{
+
+std::vector<HostStreamConfig>
+parse(const std::string &text, const FioJobOptions &opt = {})
+{
+    std::istringstream in(text);
+    return parseFioJob(in, opt);
+}
+
+TEST(FioJob, ParsesSizeSuffixes)
+{
+    EXPECT_EQ(parseFioSize("4096"), 4096ull);
+    EXPECT_EQ(parseFioSize("4k"), 4096ull);
+    EXPECT_EQ(parseFioSize("64K"), 65536ull);
+    EXPECT_EQ(parseFioSize("2m"), 2ull << 20);
+    EXPECT_EQ(parseFioSize("1G"), 1ull << 30);
+    EXPECT_DEATH(parseFioSize("fast"), "bad size");
+    EXPECT_DEATH(parseFioSize(""), "empty size");
+}
+
+TEST(FioJob, SingleJobBasics)
+{
+    const auto streams = parse("[randread4k]\n"
+                               "rw=randread\n"
+                               "bs=4k\n"
+                               "iodepth=16\n"
+                               "size=8m\n"
+                               "number_ios=200\n");
+    ASSERT_EQ(streams.size(), 1u);
+    const auto &s = streams[0];
+    EXPECT_EQ(s.name, "randread4k");
+    EXPECT_EQ(s.iodepth, 16u);
+    EXPECT_EQ(s.weight, 1u);
+    EXPECT_EQ(s.priority, 0u);
+    ASSERT_EQ(s.trace.size(), 200u);
+    const TraceSummary sum = summarize(s.trace);
+    EXPECT_EQ(sum.writeCount, 0u);
+    EXPECT_EQ(sum.readCount, 200u);
+    for (const auto &rec : s.trace) {
+        EXPECT_EQ(rec.sizeBytes, 4096u);
+        EXPECT_LT(rec.offsetBytes, 8ull << 20);
+        EXPECT_EQ(rec.arrival, 0u); // closed loop: no thinktime
+    }
+}
+
+TEST(FioJob, GlobalDefaultsApplyAndJobsOverride)
+{
+    const auto streams = parse("[global]\n"
+                               "bs=8k\n"
+                               "number_ios=50\n"
+                               "size=4m\n"
+                               "[a]\n"
+                               "rw=read\n"
+                               "[b]\n"
+                               "rw=write\n"
+                               "bs=16k\n");
+    ASSERT_EQ(streams.size(), 2u);
+    EXPECT_EQ(streams[0].trace.size(), 50u);
+    EXPECT_EQ(streams[0].trace[0].sizeBytes, 8192u);
+    EXPECT_FALSE(streams[0].trace[0].isWrite);
+    EXPECT_EQ(streams[1].trace[0].sizeBytes, 16384u);
+    EXPECT_TRUE(streams[1].trace[0].isWrite);
+}
+
+TEST(FioJob, MixedRwFollowsRwmixread)
+{
+    const auto streams = parse("[mix]\n"
+                               "rw=randrw\n"
+                               "rwmixread=70\n"
+                               "number_ios=2000\n"
+                               "size=16m\n");
+    const TraceSummary sum = summarize(streams[0].trace);
+    const double frac = sum.readFraction();
+    EXPECT_GT(frac, 0.65);
+    EXPECT_LT(frac, 0.75);
+}
+
+TEST(FioJob, BssplitMixesSizes)
+{
+    const auto streams = parse("[split]\n"
+                               "rw=randread\n"
+                               "bssplit=4k/50:64k/50\n"
+                               "number_ios=1000\n"
+                               "size=32m\n");
+    std::uint64_t small = 0;
+    std::uint64_t large = 0;
+    for (const auto &rec : streams[0].trace) {
+        if (rec.sizeBytes == 4096)
+            ++small;
+        else if (rec.sizeBytes == 65536)
+            ++large;
+        else
+            FAIL() << "unexpected size " << rec.sizeBytes;
+    }
+    EXPECT_GT(small, 350u);
+    EXPECT_GT(large, 350u);
+}
+
+TEST(FioJob, SequentialJobsAreSequential)
+{
+    const auto streams = parse("[seq]\n"
+                               "rw=read\n"
+                               "bs=4k\n"
+                               "number_ios=100\n"
+                               "size=4m\n");
+    const TraceSummary sum = summarize(streams[0].trace);
+    EXPECT_LT(sum.readRandomness, 5.0); // % non-sequential
+}
+
+TEST(FioJob, NumjobsClonesWithDistinctNamesAndSeeds)
+{
+    const auto streams = parse("[worker]\n"
+                               "rw=randwrite\n"
+                               "numjobs=3\n"
+                               "number_ios=100\n"
+                               "size=8m\n");
+    ASSERT_EQ(streams.size(), 3u);
+    EXPECT_EQ(streams[0].name, "worker.0");
+    EXPECT_EQ(streams[1].name, "worker.1");
+    EXPECT_EQ(streams[2].name, "worker.2");
+    // Distinct seeds: the clones must not replay identical offsets.
+    EXPECT_NE(streams[0].trace[0].offsetBytes,
+              streams[1].trace[0].offsetBytes);
+}
+
+TEST(FioJob, OffsetShiftsAllAccesses)
+{
+    const auto streams = parse("[shift]\n"
+                               "rw=randread\n"
+                               "size=4m\n"
+                               "offset=64m\n"
+                               "number_ios=50\n");
+    for (const auto &rec : streams[0].trace) {
+        EXPECT_GE(rec.offsetBytes, 64ull << 20);
+        EXPECT_LT(rec.offsetBytes, 68ull << 20);
+    }
+}
+
+TEST(FioJob, ArbitrationAttributesParsed)
+{
+    const auto streams = parse("[vip]\n"
+                               "rw=read\n"
+                               "prio=0\n"
+                               "weight=5\n"
+                               "iodepth=2\n"
+                               "number_ios=10\n"
+                               "[bulk]\n"
+                               "rw=write\n"
+                               "prio=3\n"
+                               "number_ios=10\n");
+    ASSERT_EQ(streams.size(), 2u);
+    EXPECT_EQ(streams[0].weight, 5u);
+    EXPECT_EQ(streams[0].priority, 0u);
+    EXPECT_EQ(streams[0].iodepth, 2u);
+    EXPECT_EQ(streams[1].priority, 3u);
+    EXPECT_EQ(streams[1].iodepth, 1u); // fio default
+}
+
+TEST(FioJob, ThinktimePacesArrivals)
+{
+    const auto streams = parse("[paced]\n"
+                               "rw=read\n"
+                               "thinktime=100\n"
+                               "number_ios=50\n"
+                               "size=4m\n");
+    EXPECT_GT(streams[0].trace.back().arrival, 0u);
+}
+
+TEST(FioJob, DeterministicAcrossParses)
+{
+    const std::string text = "[a]\nrw=randrw\nnumber_ios=200\n";
+    const auto one = parse(text);
+    const auto two = parse(text);
+    ASSERT_EQ(one[0].trace.size(), two[0].trace.size());
+    for (std::size_t i = 0; i < one[0].trace.size(); ++i) {
+        EXPECT_EQ(one[0].trace[i].offsetBytes,
+                  two[0].trace[i].offsetBytes);
+        EXPECT_EQ(one[0].trace[i].isWrite, two[0].trace[i].isWrite);
+    }
+}
+
+TEST(FioJob, CommentsAndBlankLinesIgnored)
+{
+    const auto streams = parse("; fio-style comment\n"
+                               "# hash comment\n"
+                               "\n"
+                               "[job]\n"
+                               "rw=read\n"
+                               "number_ios=10\n");
+    ASSERT_EQ(streams.size(), 1u);
+}
+
+TEST(FioJob, Errors)
+{
+    EXPECT_DEATH(parse(""), "no job sections");
+    EXPECT_DEATH(parse("[global]\nrw=read\n"), "no job sections");
+    EXPECT_DEATH(parse("[a]\nrw=sideways\n"), "unknown rw");
+    EXPECT_DEATH(parse("rw=read\n"), "before any section");
+    EXPECT_DEATH(parse("[a\nrw=read\n"), "malformed section");
+    EXPECT_DEATH(parse("[a]\nrw read\n"), "expected key=value");
+    EXPECT_DEATH(parse("[a]\nrw=rw\nrwmixread=150\n"),
+                 "rwmixread > 100");
+}
+
+} // namespace
+} // namespace spk

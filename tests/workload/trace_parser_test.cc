@@ -176,6 +176,118 @@ TEST(FioLogParser, MissingFileDies)
                  "cannot open");
 }
 
+TEST(BlktraceParser, ParsesQueueEvents)
+{
+    TraceRecord rec;
+    ASSERT_TRUE(parseBlktraceLine(
+        "  8,0    0        1     1.000000500  1293  Q   R 2384 + 16 "
+        "[fio]",
+        rec));
+    EXPECT_FALSE(rec.isWrite);
+    EXPECT_FALSE(rec.fua);
+    EXPECT_EQ(rec.arrival, kSecond + 500u);
+    EXPECT_EQ(rec.offsetBytes, 2384ull * 512);
+    EXPECT_EQ(rec.sizeBytes, 16ull * 512);
+
+    ASSERT_TRUE(parseBlktraceLine(
+        "8,16 1 9 0.5 400 Q WS 1024 + 8 [proc]", rec));
+    EXPECT_TRUE(rec.isWrite);
+    EXPECT_FALSE(rec.fua);
+    EXPECT_EQ(rec.arrival, kSecond / 2);
+    EXPECT_EQ(rec.sizeBytes, 8ull * 512);
+}
+
+TEST(BlktraceParser, DetectsFuaAndFlushPrefix)
+{
+    TraceRecord rec;
+    // 'F' after the W is force-unit-access...
+    ASSERT_TRUE(parseBlktraceLine(
+        "8,0 0 1 0.1 99 Q WFS 4096 + 8 [jbd2]", rec));
+    EXPECT_TRUE(rec.isWrite);
+    EXPECT_TRUE(rec.fua);
+    // ...a leading 'F' alone is a flush prefix, not FUA.
+    ASSERT_TRUE(parseBlktraceLine(
+        "8,0 0 1 0.1 99 Q FW 4096 + 8 [jbd2]", rec));
+    EXPECT_TRUE(rec.isWrite);
+    EXPECT_FALSE(rec.fua);
+}
+
+TEST(BlktraceParser, SkipsNonQueueAndNonRwLines)
+{
+    TraceRecord rec;
+    // Later pipeline stages of the same I/O are not replayed.
+    EXPECT_FALSE(parseBlktraceLine(
+        "8,0 0 2 0.1 99 G R 2384 + 16 [fio]", rec));
+    EXPECT_FALSE(parseBlktraceLine(
+        "8,0 0 5 0.1 99 D R 2384 + 16 [fio]", rec));
+    EXPECT_FALSE(parseBlktraceLine(
+        "8,0 1 1 0.2 0 C R 2384 + 16 [0]", rec));
+    // Discards and flush-only events carry no replayable payload.
+    EXPECT_FALSE(parseBlktraceLine(
+        "8,0 0 9 0.1 99 Q DS 65536 + 2048 [fstrim]", rec));
+    EXPECT_FALSE(
+        parseBlktraceLine("8,0 0 9 0.1 99 Q FN [jbd2]", rec));
+    // Malformed lines.
+    EXPECT_FALSE(parseBlktraceLine("", rec));
+    EXPECT_FALSE(parseBlktraceLine("CPU0 (8,0):", rec));
+    EXPECT_FALSE(parseBlktraceLine(
+        " Reads Queued: 12, 232KiB Writes Queued: 13, 301KiB", rec));
+    EXPECT_FALSE(parseBlktraceLine(
+        "8,0 0 1 0.1 99 Q R 2384 - 16 [fio]", rec)); // no '+'
+    EXPECT_FALSE(parseBlktraceLine(
+        "8,0 0 1 0.1 99 Q R 2384 + 0 [fio]", rec)); // zero sectors
+    EXPECT_FALSE(parseBlktraceLine(
+        "8,0 0 1 notatime 99 Q R 2384 + 16 [fio]", rec));
+}
+
+TEST(BlktraceParser, StreamRebasesAndCountsSkips)
+{
+    std::istringstream in(
+        "8,0 0 1 2.000000000 99 Q R 0 + 8 [fio]\n"
+        "8,0 0 2 2.000001000 99 G R 0 + 8 [fio]\n"
+        "8,0 0 3 2.000500000 99 Q W 64 + 16 [fio]\n");
+    const auto result = parseBlktraceTrace(in);
+    ASSERT_EQ(result.trace.size(), 2u);
+    EXPECT_EQ(result.skippedLines, 1u);
+    EXPECT_EQ(result.trace[0].arrival, 0u);
+    EXPECT_EQ(result.trace[1].arrival, 500u * kMicrosecond);
+    EXPECT_TRUE(result.trace[1].isWrite);
+}
+
+TEST(BlktraceParser, ParsesCheckedInSampleTrace)
+{
+    // data/traces/blktrace_sample.txt: 29 queue events of which 27
+    // are replayable reads/writes (one discard, one flush), plus
+    // non-queue pipeline events and blkparse summary lines.
+    const auto result = parseBlktraceTraceFile(
+        std::string(SPK_DATA_DIR) + "/traces/blktrace_sample.txt");
+    EXPECT_EQ(result.skippedLines, 18u);
+    ASSERT_EQ(result.trace.size(), 27u);
+    EXPECT_EQ(result.trace.front().arrival, 0u); // rebased
+
+    const auto s = summarize(result.trace);
+    EXPECT_EQ(s.readCount + s.writeCount, 27u);
+    EXPECT_GT(s.readCount, 0u);
+    EXPECT_GT(s.writeCount, 0u);
+    std::uint64_t fua = 0;
+    Tick prev = 0;
+    for (const auto &rec : result.trace) {
+        EXPECT_GE(rec.arrival, prev);
+        prev = rec.arrival;
+        EXPECT_GT(rec.sizeBytes, 0u);
+        EXPECT_EQ(rec.offsetBytes % 512, 0u);
+        fua += rec.fua ? 1 : 0;
+    }
+    EXPECT_EQ(fua, 1u); // the journal's WFS queue event
+}
+
+TEST(BlktraceParser, MissingFileDies)
+{
+    EXPECT_DEATH(
+        (void)parseBlktraceTraceFile("/nonexistent/trace.blk"),
+        "cannot open");
+}
+
 TEST(TraceSummary, CountsDirectionsAndRandomness)
 {
     Trace trace{
