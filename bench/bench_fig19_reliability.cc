@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Reliability exhibit: scheduling under NAND fault injection.
+ *
+ * Tail latency and throughput vs injected fault rate for VAS, PAS and
+ * SPK3 on a mixed random workload. The fault axis value f becomes the
+ * transient read-error rate; program and erase failures are injected
+ * at f/10 (program/erase disturb is rarer than read noise). A second
+ * table breaks the injected faults down by cause and recovery path:
+ * read-retry ladder steps, uncorrectable pages, program remaps and
+ * retired blocks.
+ *
+ * Sweep axes: scheduler x fault rate (single workload, single seed).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_cli.hh"
+#include "bench/bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace spk;
+    const bench::BenchCli cli = bench::parseCli(argc, argv);
+    bench::printHeader("Reliability", "scheduling under fault injection");
+
+    SweepAxes axes;
+    axes.schedulers = {SchedulerKind::VAS, SchedulerKind::PAS,
+                       SchedulerKind::SPK3};
+    axes.seeds = {71};
+    axes.faults = {0.0, 1e-4, 1e-3, 1e-2, 5e-2};
+
+    const SsdConfig base = bench::evalConfig(SchedulerKind::VAS);
+    const std::uint64_t span = bench::spanFor(base, 0.6);
+    // Mixed random stream: enough writes to fill blocks and drive GC
+    // (program/erase faults need programs and erase pulses to fire).
+    const Trace trace =
+        fixedSizeStream(3000, 8192, 0.5, span, 5 * kMicrosecond, 71);
+
+    SweepRunner sweep(filterAxes(axes, cli.filter),
+                      [&trace](const SweepPoint &p) {
+                          DeviceJob job;
+                          job.cfg = bench::evalConfig(p.scheduler);
+                          job.cfg.fault.readTransientRate = p.fault;
+                          job.cfg.fault.programFailRate = p.fault / 10;
+                          job.cfg.fault.eraseFailRate = p.fault / 10;
+                          job.trace = trace;
+                          return job;
+                      });
+    bench::runSweep(sweep, cli);
+
+    const auto &kinds = sweep.axes().schedulers;
+    const auto &faults = sweep.axes().faults;
+
+    std::printf("\n(p99 latency us / IOPS vs injected fault rate)\n");
+    std::printf("%10s", "fault");
+    for (const auto kind : kinds)
+        std::printf(" %10s-p99 %9s-iops", schedulerKindName(kind),
+                    schedulerKindName(kind));
+    std::printf("\n");
+    for (const double f : faults) {
+        std::printf("%10.0e", f);
+        for (const auto kind : kinds) {
+            const MetricsSnapshot &m =
+                sweep.at("", kind, 71, "", ArbiterKind::RoundRobin, f);
+            std::printf(" %14.1f %14.0f",
+                        static_cast<double>(m.p99LatencyNs) / 1000.0,
+                        m.iops);
+        }
+        std::printf("\n");
+    }
+
+    // Per-cause breakdown, one row per (scheduler, fault) cell.
+    std::printf("\n(fault breakdown per cell)\n");
+    std::printf("%6s %10s %9s %7s %7s %7s %7s %9s %8s\n", "sched",
+                "fault", "retries", "uncorr", "remaps", "r-wear",
+                "r-prog", "r-erase", "failedIO");
+    for (const auto kind : kinds) {
+        for (const double f : faults) {
+            const MetricsSnapshot &m =
+                sweep.at("", kind, 71, "", ArbiterKind::RoundRobin, f);
+            std::printf("%6s %10.0e %9llu %7llu %7llu %7llu %7llu "
+                        "%9llu %8llu\n",
+                        schedulerKindName(kind), f,
+                        static_cast<unsigned long long>(m.readRetries),
+                        static_cast<unsigned long long>(
+                            m.uncorrectableReads),
+                        static_cast<unsigned long long>(
+                            m.programRemaps),
+                        static_cast<unsigned long long>(
+                            m.blocksRetiredWear),
+                        static_cast<unsigned long long>(
+                            m.blocksRetiredProgram),
+                        static_cast<unsigned long long>(
+                            m.blocksRetiredErase),
+                        static_cast<unsigned long long>(m.failedIos));
+        }
+    }
+
+    // Retry-ladder occupancy for the highest surviving fault rate
+    // (first scheduler): how deep the escalating re-senses go.
+    {
+        const MetricsSnapshot &m =
+            sweep.at("", kinds.front(), 71, "", ArbiterKind::RoundRobin,
+                     faults.back());
+        std::printf("\n(%s @ %.0e retry-ladder occupancy)\n",
+                    schedulerKindName(kinds.front()), faults.back());
+        for (std::size_t step = 0; step < m.readRetriesByStep.size();
+             ++step) {
+            if (m.readRetriesByStep[step] == 0)
+                continue;
+            std::printf("  step %zu: %llu\n", step + 1,
+                        static_cast<unsigned long long>(
+                            m.readRetriesByStep[step]));
+        }
+    }
+
+    bench::printShapeNote(
+        "expected: counters rise monotonically with the injected rate; "
+        "p99 degrades gracefully (retry ladder), never panics; SPK3 "
+        "keeps its throughput lead while absorbing retries");
+    return 0;
+}

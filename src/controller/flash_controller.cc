@@ -12,7 +12,8 @@ FlashController::FlashController(EventQueue &events, Channel &channel,
                                  const FlashTiming &timing,
                                  std::uint32_t page_bytes,
                                  Tick decision_window,
-                                 CompletionFn on_complete)
+                                 CompletionFn on_complete,
+                                 const FaultModel *faults)
     : events_(events),
       channel_(channel),
       chips_(std::move(chips)),
@@ -20,6 +21,7 @@ FlashController::FlashController(EventQueue &events, Channel &channel,
       pageBytes_(page_bytes),
       decisionWindow_(decision_window),
       onComplete_(std::move(on_complete)),
+      faults_(faults),
       state_(chips_.size())
 {
     if (chips_.empty())
@@ -130,12 +132,14 @@ FlashController::tryLaunch(std::uint32_t chip_offset)
     FlashTransaction txn(seed->op, seed->chip);
     txn.add(seed);
 
-    if (seed->op != FlashOp::Erase) {
+    // Retried reads re-execute solo: their sense phase runs at an
+    // escalated ladder latency no coalesced peer would share.
+    if (seed->op != FlashOp::Erase && seed->retryAttempt == 0) {
         const std::size_t max_size =
             chip->planesPerChip(); // one request per (die, plane)
         for (auto it = cs.pending.begin() + 1;
              it != cs.pending.end() && txn.size() < max_size; ++it) {
-            if (canCoalesce(txn, **it))
+            if ((*it)->retryAttempt == 0 && canCoalesce(txn, **it))
                 txn.add(*it);
         }
     }
@@ -146,7 +150,17 @@ FlashController::tryLaunch(std::uint32_t chip_offset)
         cs.pending.erase(it);
     }
 
-    const TransactionPlan plan = txn.plan(timing_, pageBytes_);
+    TransactionPlan plan;
+    if (seed->retryAttempt > 0 && faults_) {
+        // Ladder step k senses slower than the base tR; re-plan the
+        // transaction around the escalated sense latency.
+        FlashTiming retry_timing = timing_;
+        retry_timing.readLatency = faults_->senseLatency(
+            seed->retryAttempt, timing_.readLatency);
+        plan = txn.plan(retry_timing, pageBytes_);
+    } else {
+        plan = txn.plan(timing_, pageBytes_);
+    }
 
     // One batched arbitration call books the command/data-in phase
     // and (for reads) the data-out phase: the data-out slot starts no
@@ -198,7 +212,10 @@ FlashController::finishTransaction(std::uint32_t chip_offset, Tick end)
 {
     auto &cs = state_[chip_offset];
     cs.inFlight -= static_cast<std::uint32_t>(cs.executing.size());
+    const bool faulty = faults_ && faults_->enabled();
     for (auto *req : cs.executing) {
+        if (faulty && applyFaults(cs, req, end))
+            continue; // re-queued for a retry; stays in perTag
         const std::size_t slot = tagSlot(req->tag);
         if (slot < cs.perTag.size() && cs.perTag[slot] > 0) {
             cs.perTag[slot]--;
@@ -210,6 +227,45 @@ FlashController::finishTransaction(std::uint32_t chip_offset, Tick end)
     cs.executing.clear();
     // More pending work? Start the next decision window.
     armLaunch(chip_offset);
+}
+
+bool
+FlashController::applyFaults(PerChip &cs, MemoryRequest *req, Tick end)
+{
+    switch (req->op) {
+      case FlashOp::Read: {
+        const ReadOutcome out = faults_->readAttempt(
+            req->ppn, req->id, req->retryAttempt, end);
+        if (out == ReadOutcome::Ok)
+            return false;
+        if (out == ReadOutcome::Retry) {
+            // Re-book the chip for the next ladder step. The request
+            // keeps its perTag/tagTotal accounting (it is still
+            // outstanding from the scheduler's point of view) and
+            // jumps the pending queue: a read mid-ladder blocks its
+            // I/O until it resolves.
+            ++req->retryAttempt;
+            ++stats_.readRetries;
+            ++stats_.readRetriesByStep[req->retryAttempt - 1];
+            cs.pending.push_front(req);
+            return true;
+        }
+        ++stats_.uncorrectableReads;
+        req->faultFailed = true; // ladder exhausted; deliver the error
+        return false;
+      }
+      case FlashOp::Program:
+        if (faults_->programFails(req->ppn, req->id, end)) {
+            ++stats_.programFailures;
+            req->faultFailed = true; // owner remaps (FTL/GC)
+        }
+        return false;
+      case FlashOp::Erase:
+        // Erase outcomes are decided at FTL collect time, where the
+        // block is retired instead of freed; nothing to do here.
+        return false;
+    }
+    return false;
 }
 
 } // namespace spk

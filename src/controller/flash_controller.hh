@@ -13,12 +13,14 @@
 #ifndef SPK_CONTROLLER_FLASH_CONTROLLER_HH
 #define SPK_CONTROLLER_FLASH_CONTROLLER_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "controller/channel.hh"
 #include "flash/chip.hh"
+#include "flash/fault_model.hh"
 #include "flash/mem_request.hh"
 #include "flash/timing.hh"
 #include "flash/transaction.hh"
@@ -35,6 +37,17 @@ struct ControllerStats
     std::uint64_t transactions = 0;
     std::uint64_t requestsServed = 0;
     std::uint64_t coalescedRequests = 0; //!< served in multi-request txns
+
+    /** Read-retry re-issues, total and per ladder step (bin k counts
+     *  retries entering step k+1). */
+    std::uint64_t readRetries = 0;
+    std::array<std::uint64_t, kMaxRetrySteps> readRetriesByStep{};
+
+    /** Reads whose retry ladder was exhausted (pages lost). */
+    std::uint64_t uncorrectableReads = 0;
+
+    /** Program operations that failed (host and GC). */
+    std::uint64_t programFailures = 0;
 };
 
 /**
@@ -59,11 +72,13 @@ class FlashController
      * @param page_bytes flash page size
      * @param decision_window transaction-decision latency
      * @param on_complete invoked once per finished memory request
+     * @param faults fault decider; nullptr or inert = fault-free
      */
     FlashController(EventQueue &events, Channel &channel,
                     std::vector<FlashChip *> chips,
                     const FlashTiming &timing, std::uint32_t page_bytes,
-                    Tick decision_window, CompletionFn on_complete);
+                    Tick decision_window, CompletionFn on_complete,
+                    const FaultModel *faults = nullptr);
 
     /**
      * Commit a memory request to its chip's pending queue.
@@ -126,6 +141,13 @@ class FlashController
     /** The in-flight transaction on @p chip_offset completed. */
     void finishTransaction(std::uint32_t chip_offset, Tick end);
 
+    /**
+     * Apply the fault model to a completed request. Returns true when
+     * the request was re-queued for a read retry (skip completion);
+     * otherwise the request completes, possibly with faultFailed set.
+     */
+    bool applyFaults(PerChip &cs, MemoryRequest *req, Tick end);
+
     EventQueue &events_;
     Channel &channel_;
     std::vector<FlashChip *> chips_;
@@ -133,6 +155,7 @@ class FlashController
     std::uint32_t pageBytes_;
     Tick decisionWindow_;
     CompletionFn onComplete_;
+    const FaultModel *faults_ = nullptr;
     std::vector<PerChip> state_;
     ControllerStats stats_;
 };

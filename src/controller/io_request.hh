@@ -56,6 +56,10 @@ struct IoRequest
     /** Requests finished so far; == pageCount means done. */
     std::uint32_t finishedCount = 0;
 
+    /** Pages that completed with an unrecoverable fault (uncorrectable
+     *  read); non-zero marks the whole I/O as failed in IoResult. */
+    std::uint32_t failedPages = 0;
+
     /**
      * Memory-request completion bitmap (one bit per page, mirroring
      * the paper's eight-byte bitmap per queue entry).

@@ -54,6 +54,13 @@ struct MemoryRequest
     bool stale = false;         //!< target migrated; re-execute after
     bool isGc = false;          //!< internal request issued by the FTL
 
+    /** Read-retry ladder step; 0 = first sense (FaultModel). */
+    std::uint8_t retryAttempt = 0;
+
+    /** Operation failed permanently (uncorrectable read / failed
+     *  program); the owner decides remap vs error completion. */
+    bool faultFailed = false;
+
     Tick composedAt = 0;
     Tick committedAt = 0;
     Tick startedAt = 0;

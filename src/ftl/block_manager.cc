@@ -115,6 +115,8 @@ BlockManager::allocatePage(std::uint64_t plane_idx, bool gc_reserve)
     if (plane_idx >= planes_.size())
         panic("BlockManager::allocatePage bad plane index");
     Plane &plane = planes_[plane_idx];
+    if (plane.dead)
+        return std::nullopt;
     if (!ensureActive(plane, gc_reserve))
         return std::nullopt;
 
@@ -186,10 +188,37 @@ BlockManager::eraseBlock(std::uint64_t plane_idx, std::uint32_t blk)
     return true;
 }
 
+void
+BlockManager::retireBlock(std::uint64_t plane_idx, std::uint32_t blk)
+{
+    Plane &plane = planes_.at(plane_idx);
+    auto &info = plane.blocks.at(blk);
+    if (info.state == BlockState::Bad)
+        return;
+    if (static_cast<std::int32_t>(blk) == plane.activeBlock)
+        plane.activeBlock = -1;
+    // A retired block may still sit in the free list (fault while
+    // Free); ensureActive skips non-Free entries, so it is harmless.
+    info.state = BlockState::Bad;
+    ++badBlocks_;
+}
+
+void
+BlockManager::markPlaneDead(std::uint64_t plane_idx)
+{
+    Plane &plane = planes_.at(plane_idx);
+    if (plane.dead)
+        return;
+    plane.dead = true;
+    ++deadPlanes_;
+}
+
 std::optional<std::uint32_t>
 BlockManager::pickGcVictim(std::uint64_t plane_idx) const
 {
     const Plane &plane = planes_.at(plane_idx);
+    if (plane.dead)
+        return std::nullopt;
     std::optional<std::uint32_t> best;
     std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
     for (std::uint32_t b = 0; b < plane.blocks.size(); ++b) {
@@ -230,6 +259,8 @@ BlockManager::pickColdestFull() const
     std::uint32_t best_valid = 0;
     for (std::uint64_t p = 0; p < planes_.size(); ++p) {
         const auto &plane = planes_[p];
+        if (plane.dead)
+            continue;
         for (std::uint32_t b = 0; b < plane.blocks.size(); ++b) {
             const auto &info = plane.blocks[b];
             if (info.state != BlockState::Full)

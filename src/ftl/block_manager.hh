@@ -122,6 +122,25 @@ class BlockManager
     bool eraseBlock(std::uint64_t plane_idx, std::uint32_t block);
 
     /**
+     * Retire a block outright (program/erase failure): mark it Bad
+     * without erasing. No-op if the block is already Bad. The caller
+     * is responsible for relocating any live pages first.
+     */
+    void retireBlock(std::uint64_t plane_idx, std::uint32_t block);
+
+    /** Take a whole plane offline (die failure). Allocation and GC
+     *  victim selection steer around dead planes. */
+    void markPlaneDead(std::uint64_t plane_idx);
+
+    bool planeDead(std::uint64_t plane_idx) const
+    {
+        return planes_.at(plane_idx).dead;
+    }
+
+    /** Planes taken offline by die failure. */
+    std::uint64_t deadPlanes() const { return deadPlanes_; }
+
+    /**
      * Victim with the fewest valid pages among Full blocks of a plane
      * (greedy GC policy). Excludes the active block.
      */
@@ -159,6 +178,7 @@ class BlockManager
          */
         RingDeque<std::uint32_t> freeList;
         std::int32_t activeBlock = -1; //!< -1: none
+        bool dead = false; //!< whole plane offline (die failure)
     };
 
     /** Make sure a plane has an active block; may pop the free list. */
@@ -170,6 +190,7 @@ class BlockManager
     std::vector<Plane> planes_;
     std::uint32_t maxErase_ = 0;
     std::uint64_t badBlocks_ = 0;
+    std::uint64_t deadPlanes_ = 0;
 };
 
 } // namespace spk

@@ -21,17 +21,20 @@ logicalCapacity(const FlashGeometry &geo, double overprovision)
 
 } // namespace
 
-Ftl::Ftl(const FlashGeometry &geo, const FtlConfig &cfg)
+Ftl::Ftl(const FlashGeometry &geo, const FtlConfig &cfg,
+         const FaultModel *faults)
     : geo_(geo),
       cfg_(cfg),
       mapping_(geo, logicalCapacity(geo, cfg.overprovision)),
-      blocks_(geo, cfg.endurance, cfg.allocation)
+      blocks_(geo, cfg.endurance, cfg.allocation),
+      faults_(faults)
 {
     geo_.validate();
     // One batch per plane per collection round (plus one wear-level
     // slot), at most a block's worth of migrations each: pre-carving
     // the scratch here makes steady-state collection allocation-free.
     batchScratch_.reserve(blocks_.numPlanes() + 1, geo_.pagesPerBlock);
+    retireScratch_.reserve(1, geo_.pagesPerBlock);
 }
 
 void
@@ -81,6 +84,8 @@ Ftl::gcNeeded() const
 {
     const std::uint64_t n_planes = blocks_.numPlanes();
     for (std::uint64_t p = 0; p < n_planes; ++p) {
+        if (blocks_.planeDead(p))
+            continue; // nothing left to reclaim on a dead plane
         if (blocks_.freeBlocks(p) < cfg_.gcFreeBlockThreshold)
             return true;
     }
@@ -127,7 +132,18 @@ Ftl::migrateAndErase(std::uint64_t plane, std::uint32_t block,
     // The victim holds no live data unless migration aborted.
     if (blocks_.block(plane, block).validPages != 0)
         return false;
-    blocks_.eraseBlock(plane, block);
+    if (faults_ &&
+        faults_->eraseFails(batch.victimBasePpn,
+                            blocks_.block(plane, block).eraseCount + 1)) {
+        // The erase pulse fails on flash: the block is retired instead
+        // of freed. The batch still charges the erase attempt's time.
+        blocks_.retireBlock(plane, block);
+        ++stats_.eraseFailures;
+        ++stats_.blocksRetiredErase;
+        return true;
+    }
+    if (!blocks_.eraseBlock(plane, block))
+        ++stats_.blocksRetiredWear; // endurance exhausted
     ++stats_.blocksErased;
     return true;
 }
@@ -139,6 +155,8 @@ Ftl::collectGcImpl(bool respect_admission)
     const std::uint64_t n_planes = blocks_.numPlanes();
 
     for (std::uint64_t plane = 0; plane < n_planes; ++plane) {
+        if (blocks_.planeDead(plane))
+            continue;
         if (blocks_.freeBlocks(plane) >= cfg_.gcFreeBlockThreshold)
             continue;
         if (respect_admission && gcAdmit_ && !gcAdmit_(plane)) {
@@ -201,6 +219,119 @@ Ftl::collectWearLevel()
     else
         batchScratch_.dropLast();
     return batchScratch_;
+}
+
+Ppn
+Ftl::onProgramFail(Ppn failed)
+{
+    const PhysAddr faddr = geo_.decompose(failed);
+    const std::uint64_t plane = blocks_.planeIndexOf(faddr);
+    const Lpn lpn = mapping_.reverseLookup(failed);
+
+    // Re-home the failed page first, so the block retirement below
+    // never tries to "migrate" data that was never programmed. A
+    // superseded mapping (a newer write or migration already rebound
+    // the LPN) needs no re-program at all.
+    Ppn fresh = kInvalidPage;
+    if (lpn != kInvalidPage) {
+        auto to = allocateRotating(/*gc_reserve=*/true);
+        for (int round = 0; round < 256 && !to; ++round) {
+            // Emergency reclaim: urgent GC, launched through the GC
+            // engine so its flash time is still charged.
+            const GcBatchList &batches =
+                collectGcImpl(/*respect_admission=*/false);
+            if (batches.empty())
+                break;
+            if (launchBatches_)
+                launchBatches_(batches);
+            to = allocateRotating(/*gc_reserve=*/true);
+        }
+        if (!to) {
+            fatal("Ftl: spare capacity exhausted on plane " +
+                  std::to_string(plane) +
+                  " while re-homing a failed program (ppn " +
+                  std::to_string(failed) + ")");
+        }
+        mapping_.bind(lpn, *to); // invalidates `failed` in the mapping
+        noteInvalidated(failed);
+        noteValidated(*to);
+        ++stats_.programRemaps;
+        if (readdress_)
+            readdress_(lpn, failed, *to);
+        fresh = *to;
+    }
+
+    // A second in-flight program can fail into an already-retired
+    // block; retire (and count) only once.
+    if (blocks_.block(plane, faddr.block).state != BlockState::Bad) {
+        ++stats_.blocksRetiredProgram;
+        retireBlockWithMigration(plane, faddr.block);
+    }
+    return fresh;
+}
+
+void
+Ftl::retireBlockWithMigration(std::uint64_t plane, std::uint32_t block)
+{
+    // Mark Bad before allocating destinations so the relocation can
+    // never land inside the block being retired.
+    blocks_.retireBlock(plane, block);
+
+    retireScratch_.reset();
+    GcBatch &batch = retireScratch_.append();
+    batch.planeIdx = plane;
+    batch.victimBlock = block;
+    batch.eraseAfter = false; // Bad blocks are never erased again
+
+    PhysAddr base = blocks_.planeAddr(plane);
+    base.block = block;
+    base.page = 0;
+    batch.victimBasePpn = geo_.compose(base);
+
+    for (std::uint32_t page = 0; page < geo_.pagesPerBlock; ++page) {
+        PhysAddr addr = base;
+        addr.page = page;
+        const Ppn from = geo_.compose(addr);
+        if (!mapping_.isValid(from))
+            continue;
+        const Lpn lpn = mapping_.reverseLookup(from);
+
+        const auto to = allocateRotating(/*gc_reserve=*/true);
+        if (!to) {
+            // Data survives in place: the mapping still resolves, the
+            // block just cannot be reused. Reclaim may relocate it on
+            // a later pass.
+            warn("Ftl::retireBlock: no space to relocate live pages");
+            break;
+        }
+        mapping_.bind(lpn, *to);
+        noteInvalidated(from);
+        noteValidated(*to);
+        batch.migrations.push_back(GcMigration{lpn, from, *to});
+        ++stats_.pagesMigrated;
+        if (readdress_)
+            readdress_(lpn, from, *to);
+    }
+
+    if (batch.migrations.empty()) {
+        retireScratch_.dropLast();
+        return;
+    }
+    if (launchBatches_)
+        launchBatches_(retireScratch_);
+}
+
+void
+Ftl::markDieDead(std::uint32_t chip, std::uint32_t die)
+{
+    PhysAddr addr;
+    addr.channel = geo_.channelOfChip(chip);
+    addr.chipInChannel = geo_.chipOffsetOfChip(chip);
+    addr.die = die;
+    for (std::uint32_t p = 0; p < geo_.planesPerDie; ++p) {
+        addr.plane = p;
+        blocks_.markPlaneDead(blocks_.planeIndexOf(addr));
+    }
 }
 
 void

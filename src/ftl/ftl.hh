@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "flash/fault_model.hh"
 #include "flash/geometry.hh"
 #include "ftl/block_manager.hh"
 #include "ftl/mapping.hh"
@@ -71,6 +72,13 @@ struct GcBatch
     std::uint32_t victimBlock = 0;
     Ppn victimBasePpn = kInvalidPage; //!< any page in the victim block
     std::vector<GcMigration> migrations;
+
+    /**
+     * Charge a flash erase once the migrations complete. False for
+     * block-retirement batches (program/erase failure): the victim is
+     * Bad and is never erased, only drained of live data.
+     */
+    bool eraseAfter = true;
 };
 
 /**
@@ -97,6 +105,7 @@ class GcBatchList
         batch.victimBlock = 0;
         batch.victimBasePpn = kInvalidPage;
         batch.migrations.clear();
+        batch.eraseAfter = true;
         return batch;
     }
 
@@ -142,6 +151,17 @@ struct FtlStats
     /** Collections skipped because the plane's live-batch admission
      *  bound was reached (retried when a batch retires). */
     std::uint64_t gcDeferrals = 0;
+
+    /** Pages re-homed after a program failure (fault injection). */
+    std::uint64_t programRemaps = 0;
+
+    /** Erase pulses that failed and retired their block. */
+    std::uint64_t eraseFailures = 0;
+
+    /** Blocks retired, by cause. */
+    std::uint64_t blocksRetiredWear = 0;
+    std::uint64_t blocksRetiredProgram = 0;
+    std::uint64_t blocksRetiredErase = 0;
 };
 
 /**
@@ -157,7 +177,9 @@ class Ftl
     using ReaddressCallback =
         std::function<void(Lpn lpn, Ppn from, Ppn to)>;
 
-    Ftl(const FlashGeometry &geo, const FtlConfig &cfg);
+    /** @param faults fault decider; nullptr or inert = fault-free. */
+    Ftl(const FlashGeometry &geo, const FtlConfig &cfg,
+        const FaultModel *faults = nullptr);
 
     /** Host-visible capacity in pages. */
     std::uint64_t logicalPages() const { return mapping_.logicalPages(); }
@@ -223,6 +245,34 @@ class Ftl
     }
 
     /**
+     * Register the GC-engine launcher used by the fault-recovery
+     * paths (block retirement, emergency reclaim inside
+     * onProgramFail): the FTL hands it batches whose flash time must
+     * be charged immediately, outside the regular collectGc() flow.
+     */
+    using BatchLaunchFn = std::function<void(const GcBatchList &)>;
+    void setBatchLauncher(BatchLaunchFn launch)
+    {
+        launchBatches_ = std::move(launch);
+    }
+
+    /**
+     * A program targeting @p failed reported a failure. Re-homes the
+     * page (if its mapping was not superseded meanwhile), retires the
+     * containing block via the Bad-block path — relocating its other
+     * live pages through the GC engine — and runs emergency reclaim
+     * if the frontier is out of space. fatal() naming the plane on
+     * true spare exhaustion.
+     *
+     * @return the replacement Ppn to re-program, or kInvalidPage when
+     *         the page was superseded and no re-program is needed.
+     */
+    Ppn onProgramFail(Ppn failed);
+
+    /** Take every plane of (chip, die) offline (die failure). */
+    void markDieDead(std::uint32_t chip, std::uint32_t die);
+
+    /**
      * Fill the device to @p fill_fraction of logical capacity with
      * valid data, then re-write @p churn_fraction of those pages in
      * random order to fragment blocks (pre-GC conditioning,
@@ -258,17 +308,30 @@ class Ftl
     /** Shared victim loop behind collectGc/collectGcUrgent. */
     const GcBatchList &collectGcImpl(bool respect_admission);
 
+    /**
+     * Retire (plane, block) as Bad, relocating its live pages and
+     * launching the relocation batch through launchBatches_. Uses its
+     * own scratch list so it can run while batchScratch_ is live.
+     */
+    void retireBlockWithMigration(std::uint64_t plane,
+                                  std::uint32_t block);
+
     FlashGeometry geo_;
     FtlConfig cfg_;
     PageMapping mapping_;
     BlockManager blocks_;
+    const FaultModel *faults_ = nullptr;
     std::uint64_t allocCursor_ = 0;
     FtlStats stats_;
     ReaddressCallback readdress_;
     GcAdmission gcAdmit_;
+    BatchLaunchFn launchBatches_;
     /** Recycled collectGc/collectWearLevel output (pre-carved in the
      *  constructor so steady-state collection never allocates). */
     GcBatchList batchScratch_;
+    /** Scratch for fault-driven block retirement; separate from
+     *  batchScratch_ because retirement can interleave with GC. */
+    GcBatchList retireScratch_;
 };
 
 } // namespace spk

@@ -187,6 +187,7 @@ Nvmhc::enqueue(const PendingSubmission &sub)
     io->completed = 0;
     io->composedCount = 0;
     io->finishedCount = 0;
+    io->failedPages = 0;
     stats_.queueStallTime += now - sub.arrival;
     streamStats_[sub.stream].queueStallTime += now - sub.arrival;
     ++streamStates_[sub.stream].inDevice;
@@ -318,6 +319,10 @@ Nvmhc::onRequestFinished(MemoryRequest *req)
     // committed). Re-translate and re-execute.
     if (req->stale) {
         req->stale = false;
+        // The fresh copy restarts the retry ladder; an uncorrectable
+        // verdict against the old location no longer applies.
+        req->retryAttempt = 0;
+        req->faultFailed = false;
         ++stats_.staleRetries;
         ++streamStats_[io->streamId].staleRetries;
         const Ppn fresh = ftl_.translateRead(req->lpn);
@@ -328,6 +333,32 @@ Nvmhc::onRequestFinished(MemoryRequest *req)
         req->chip = geo_.chipOf(fresh);
         controllerFor(req->chip).commit(req);
         return;
+    }
+
+    if (req->faultFailed && req->op == FlashOp::Program) {
+        // Fault-injected program failure: the FTL re-homes the page
+        // and retires the block; re-program the replacement. When the
+        // mapping was superseded meanwhile (a newer write owns the
+        // data) there is nothing to re-program and the request
+        // completes as a success.
+        req->faultFailed = false;
+        const Ppn fresh = ftl_.onProgramFail(req->ppn);
+        if (fresh != kInvalidPage) {
+            req->ppn = fresh;
+            req->addr = geo_.decompose(fresh);
+            req->chip = geo_.chipOf(fresh);
+            controllerFor(req->chip).commit(req);
+            return;
+        }
+    }
+
+    if (req->faultFailed && req->op == FlashOp::Read) {
+        // Retry ladder exhausted (or dead die): the page is lost.
+        // Complete the I/O with the error surfaced instead of hanging.
+        req->faultFailed = false;
+        ++stats_.readFailures;
+        ++streamStats_[io->streamId].readFailures;
+        ++io->failedPages;
     }
 
     // Retire the request from the hazard chain.
@@ -345,6 +376,10 @@ Nvmhc::onRequestFinished(MemoryRequest *req)
         ++stats_.iosCompleted;
         NvmhcStats &ss = streamStats_[io->streamId];
         ++ss.iosCompleted;
+        if (io->failedPages != 0) {
+            ++stats_.failedIos;
+            ++ss.failedIos;
+        }
         const std::uint64_t bytes =
             std::uint64_t{io->pageCount} * geo_.pageSizeBytes;
         if (io->isWrite) {

@@ -22,6 +22,19 @@
 #include <cstdlib>
 #include <new>
 
+// Sanitizer builds interpose their own allocator; replacing global
+// operator new/delete on top of it would bypass ASan's bookkeeping
+// (and its malloc/free poisoning), so the counting hooks compile out
+// and every AllocWindow reads zero. Zero-allocation assertions are
+// covered by the regular CI legs.
+#if defined(__SANITIZE_ADDRESS__)
+#define SPK_ALLOC_COUNTER_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SPK_ALLOC_COUNTER_DISABLED 1
+#endif
+#endif
+
 namespace spk
 {
 
@@ -50,7 +63,7 @@ class AllocWindow
 
 } // namespace spk
 
-#ifdef SPK_COUNT_ALLOCS
+#if defined(SPK_COUNT_ALLOCS) && !defined(SPK_ALLOC_COUNTER_DISABLED)
 
 void *
 operator new(std::size_t size)
@@ -94,6 +107,6 @@ operator delete[](void *p, std::size_t) noexcept
     std::free(p);
 }
 
-#endif // SPK_COUNT_ALLOCS
+#endif // SPK_COUNT_ALLOCS && !SPK_ALLOC_COUNTER_DISABLED
 
 #endif // SPK_SIM_ALLOC_COUNTER_HH

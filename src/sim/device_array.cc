@@ -150,6 +150,18 @@ DeviceArray::aggregate(const std::vector<MetricsSnapshot> &devices)
         agg.staleRetries += m.staleRetries;
         agg.gcBatches += m.gcBatches;
         agg.pagesMigrated += m.pagesMigrated;
+        agg.readRetries += m.readRetries;
+        for (std::size_t i = 0; i < agg.readRetriesByStep.size(); ++i)
+            agg.readRetriesByStep[i] += m.readRetriesByStep[i];
+        agg.uncorrectableReads += m.uncorrectableReads;
+        agg.programFailures += m.programFailures;
+        agg.programRemaps += m.programRemaps;
+        agg.eraseFailures += m.eraseFailures;
+        agg.blocksRetiredWear += m.blocksRetiredWear;
+        agg.blocksRetiredProgram += m.blocksRetiredProgram;
+        agg.blocksRetiredErase += m.blocksRetiredErase;
+        agg.failedIos += m.failedIos;
+        agg.degradedDies += m.degradedDies;
         agg.maxLatencyNs = std::max(agg.maxLatencyNs, m.maxLatencyNs);
 
         const auto ios = static_cast<double>(m.iosCompleted);

@@ -56,14 +56,17 @@ expandPoints(const SweepAxes &axes)
             for (const auto seed : axes.seeds) {
                 for (const auto &variant : axes.variants) {
                     for (const auto arbiter : axes.arbiters) {
-                        SweepPoint p;
-                        p.trace = trace;
-                        p.scheduler = scheduler;
-                        p.seed = seed;
-                        p.variant = variant;
-                        p.arbiter = arbiter;
-                        p.index = points.size();
-                        points.push_back(std::move(p));
+                        for (const auto fault : axes.faults) {
+                            SweepPoint p;
+                            p.trace = trace;
+                            p.scheduler = scheduler;
+                            p.seed = seed;
+                            p.variant = variant;
+                            p.arbiter = arbiter;
+                            p.fault = fault;
+                            p.index = points.size();
+                            points.push_back(std::move(p));
+                        }
                     }
                 }
             }
@@ -131,7 +134,7 @@ SweepRunner::run(unsigned threads, const Progress &progress)
 std::size_t
 SweepRunner::indexOf(const std::string &trace, SchedulerKind scheduler,
                      std::uint64_t seed, const std::string &variant,
-                     ArbiterKind arbiter) const
+                     ArbiterKind arbiter, double fault) const
 {
     const auto axisIndex = [](const auto &values, const auto &value,
                               const char *axis) {
@@ -160,21 +163,27 @@ SweepRunner::indexOf(const std::string &trace, SchedulerKind scheduler,
                 axes_.arbiters.size() == 1
             ? 0
             : axisIndex(axes_.arbiters, arbiter, "arbiter");
-    return (((t * axes_.schedulers.size() + s) * axes_.seeds.size() +
-             e) *
-                axes_.variants.size() +
-            v) *
-               axes_.arbiters.size() +
-           a;
+    const std::size_t f =
+        fault == 0.0 && axes_.faults.size() == 1
+            ? 0
+            : axisIndex(axes_.faults, fault, "fault");
+    return ((((t * axes_.schedulers.size() + s) * axes_.seeds.size() +
+              e) *
+                 axes_.variants.size() +
+             v) *
+                axes_.arbiters.size() +
+            a) *
+               axes_.faults.size() +
+           f;
 }
 
 const MetricsSnapshot &
 SweepRunner::at(const std::string &trace, SchedulerKind scheduler,
                 std::uint64_t seed, const std::string &variant,
-                ArbiterKind arbiter) const
+                ArbiterKind arbiter, double fault) const
 {
     const std::size_t index =
-        indexOf(trace, scheduler, seed, variant, arbiter);
+        indexOf(trace, scheduler, seed, variant, arbiter, fault);
     if (array_.results().size() != points_.size())
         fatal("SweepRunner: results accessed before run()");
     return array_.results()[index];
@@ -184,10 +193,10 @@ const std::vector<IoResult> &
 SweepRunner::ioResultsAt(const std::string &trace,
                          SchedulerKind scheduler, std::uint64_t seed,
                          const std::string &variant,
-                         ArbiterKind arbiter) const
+                         ArbiterKind arbiter, double fault) const
 {
     const std::size_t index =
-        indexOf(trace, scheduler, seed, variant, arbiter);
+        indexOf(trace, scheduler, seed, variant, arbiter, fault);
     if (array_.results().size() != points_.size())
         fatal("SweepRunner: results accessed before run()");
     return array_.ioResults(index);
@@ -196,20 +205,20 @@ SweepRunner::ioResultsAt(const std::string &trace,
 const DeviceJob &
 SweepRunner::jobAt(const std::string &trace, SchedulerKind scheduler,
                    std::uint64_t seed, const std::string &variant,
-                   ArbiterKind arbiter) const
+                   ArbiterKind arbiter, double fault) const
 {
-    return array_
-        .jobs()[indexOf(trace, scheduler, seed, variant, arbiter)];
+    return array_.jobs()[indexOf(trace, scheduler, seed, variant,
+                                 arbiter, fault)];
 }
 
 bool
 SweepRunner::cellCompleted(const std::string &trace,
                            SchedulerKind scheduler, std::uint64_t seed,
                            const std::string &variant,
-                           ArbiterKind arbiter) const
+                           ArbiterKind arbiter, double fault) const
 {
     return array_.completed(
-        indexOf(trace, scheduler, seed, variant, arbiter));
+        indexOf(trace, scheduler, seed, variant, arbiter, fault));
 }
 
 MetricsSnapshot
@@ -230,7 +239,7 @@ SweepRunner::writeCsv(std::ostream &os) const
     if (array_.results().size() != points_.size() &&
         !points_.empty())
         fatal("SweepRunner: CSV requested before run()");
-    os << "trace,scheduler,seed,variant,arbiter,completed,ios,"
+    os << "trace,scheduler,seed,variant,arbiter,fault,completed,ios,"
           "bytes_read,"
           "bytes_written,bandwidth_kbps,iops,avg_latency_ns,p50_ns,"
           "p95_ns,p99_ns,max_ns,avg_read_ns,avg_write_ns,"
@@ -239,7 +248,10 @@ SweepRunner::writeCsv(std::ostream &os) const
           "inter_idle_pct,intra_idle_pct,flp_non,flp_pal1,flp_pal2,"
           "flp_pal3,exec_bus_pct,exec_cont_pct,exec_cell_pct,"
           "exec_idle_pct,transactions,requests,stale_retries,"
-          "gc_batches,pages_migrated\n";
+          "gc_batches,pages_migrated,read_retries,uncorrectable_reads,"
+          "program_failures,program_remaps,erase_failures,"
+          "blocks_retired_wear,blocks_retired_program,"
+          "blocks_retired_erase,failed_ios,degraded_dies\n";
     // max_digits10: doubles must round-trip so a CSV diff catches
     // the same drift the golden bit-pattern digests do.
     const auto old_precision =
@@ -248,7 +260,7 @@ SweepRunner::writeCsv(std::ostream &os) const
         const MetricsSnapshot &m = array_.results()[p.index];
         os << p.trace << ',' << schedulerKindName(p.scheduler) << ','
            << p.seed << ',' << p.variant << ','
-           << arbiterKindName(p.arbiter) << ','
+           << arbiterKindName(p.arbiter) << ',' << p.fault << ','
            << (array_.completed(p.index) ? 1 : 0) << ','
            << m.iosCompleted << ',' << m.bytesRead << ','
            << m.bytesWritten << ',' << m.bandwidthKBps << ','
@@ -267,7 +279,12 @@ SweepRunner::writeCsv(std::ostream &os) const
            << m.execCellPct << ',' << m.execIdlePct << ','
            << m.transactions << ',' << m.requestsServed << ','
            << m.staleRetries << ',' << m.gcBatches << ','
-           << m.pagesMigrated << '\n';
+           << m.pagesMigrated << ',' << m.readRetries << ','
+           << m.uncorrectableReads << ',' << m.programFailures << ','
+           << m.programRemaps << ',' << m.eraseFailures << ','
+           << m.blocksRetiredWear << ',' << m.blocksRetiredProgram
+           << ',' << m.blocksRetiredErase << ',' << m.failedIos << ','
+           << m.degradedDies << '\n';
     }
     os.precision(old_precision);
 }
@@ -286,7 +303,7 @@ SweepRunner::writeStreamCsv(std::ostream &os) const
 {
     if (array_.results().size() != points_.size() && !points_.empty())
         fatal("SweepRunner: stream CSV requested before run()");
-    os << "trace,scheduler,seed,variant,arbiter,stream,"
+    os << "trace,scheduler,seed,variant,arbiter,fault,stream,"
           "ios_submitted,ios,bytes_read,bytes_written,"
           "bandwidth_kbps,iops,avg_latency_ns,p99_ns,max_ns,"
           "queue_stall_ns\n";
@@ -297,7 +314,8 @@ SweepRunner::writeStreamCsv(std::ostream &os) const
         for (const auto &s : m.streams) {
             os << p.trace << ',' << schedulerKindName(p.scheduler)
                << ',' << p.seed << ',' << p.variant << ','
-               << arbiterKindName(p.arbiter) << ',' << s.name << ','
+               << arbiterKindName(p.arbiter) << ',' << p.fault << ','
+               << s.name << ','
                << s.iosSubmitted << ',' << s.iosCompleted << ','
                << s.bytesRead << ',' << s.bytesWritten << ','
                << s.bandwidthKBps << ',' << s.iops << ','

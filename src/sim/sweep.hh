@@ -31,7 +31,7 @@ namespace spk
  * The axes of a sweep. Labels are free-form strings; an axis left at
  * its one-element default contributes nothing to the cross product.
  * Cell expansion order is fixed: trace (outermost), scheduler, seed,
- * variant, arbiter (innermost).
+ * variant, arbiter, fault (innermost).
  */
 struct SweepAxes
 {
@@ -41,12 +41,15 @@ struct SweepAxes
     std::vector<std::string> variants{""};
     /** Tag-space arbitration policy (multi-stream exhibits). */
     std::vector<ArbiterKind> arbiters{ArbiterKind::RoundRobin};
+    /** Injected fault intensity (reliability exhibits); how a value
+     *  maps onto FaultConfig rates is the job builder's business. */
+    std::vector<double> faults{0.0};
 
     std::size_t
     cellCount() const
     {
         return traces.size() * schedulers.size() * seeds.size() *
-               variants.size() * arbiters.size();
+               variants.size() * arbiters.size() * faults.size();
     }
 };
 
@@ -71,6 +74,7 @@ struct SweepPoint
     std::uint64_t seed = 0;
     std::string variant;
     ArbiterKind arbiter = ArbiterKind::RoundRobin;
+    double fault = 0.0;
     std::size_t index = 0; //!< flat cell index (expansion order)
 };
 
@@ -146,27 +150,31 @@ class SweepRunner
     const MetricsSnapshot &
     at(const std::string &trace, SchedulerKind scheduler,
        std::uint64_t seed = 0, const std::string &variant = "",
-       ArbiterKind arbiter = ArbiterKind::RoundRobin) const;
+       ArbiterKind arbiter = ArbiterKind::RoundRobin,
+       double fault = 0.0) const;
 
     /** Per-I/O series for cells whose job set captureIoResults. */
     const std::vector<IoResult> &
     ioResultsAt(const std::string &trace, SchedulerKind scheduler,
                 std::uint64_t seed = 0,
                 const std::string &variant = "",
-                ArbiterKind arbiter = ArbiterKind::RoundRobin) const;
+                ArbiterKind arbiter = ArbiterKind::RoundRobin,
+                double fault = 0.0) const;
 
     /** The expanded job of one cell (e.g. to summarize its trace). */
     const DeviceJob &
     jobAt(const std::string &trace, SchedulerKind scheduler,
           std::uint64_t seed = 0, const std::string &variant = "",
-          ArbiterKind arbiter = ArbiterKind::RoundRobin) const;
+          ArbiterKind arbiter = ArbiterKind::RoundRobin,
+          double fault = 0.0) const;
 
     /** True once the cell ran to completion in the last run(). */
     bool
     cellCompleted(const std::string &trace, SchedulerKind scheduler,
                   std::uint64_t seed = 0,
                   const std::string &variant = "",
-                  ArbiterKind arbiter = ArbiterKind::RoundRobin) const;
+                  ArbiterKind arbiter = ArbiterKind::RoundRobin,
+                  double fault = 0.0) const;
 
     /** Cells finished during the last run(). */
     std::size_t completedCount() const
@@ -180,7 +188,7 @@ class SweepRunner
     MetricsSnapshot aggregate() const;
 
     /**
-     * Emit one CSV row per cell: the five axis columns, a completed
+     * Emit one CSV row per cell: the six axis columns, a completed
      * flag, then every MetricsSnapshot field. Cancelled (incomplete)
      * cells emit zeros with completed=0.
      */
@@ -203,7 +211,7 @@ class SweepRunner
     std::size_t indexOf(const std::string &trace,
                         SchedulerKind scheduler, std::uint64_t seed,
                         const std::string &variant,
-                        ArbiterKind arbiter) const;
+                        ArbiterKind arbiter, double fault) const;
 
     SweepAxes axes_;
     std::vector<SweepPoint> points_;

@@ -27,6 +27,7 @@ void
 SsdConfig::validate() const
 {
     geometry.validate();
+    fault.validate();
     if (faroWindow == 0)
         fatal("SsdConfig: faroWindow must be non-zero");
     if (gcMaxLiveBatchesPerPlane == 0)

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "flash/fault_model.hh"
 #include "flash/geometry.hh"
 #include "flash/timing.hh"
 #include "ftl/ftl.hh"
@@ -31,6 +32,10 @@ struct SsdConfig
     FlashTiming timing;
     FtlConfig ftl;
     NvmhcConfig nvmhc;
+
+    /** NAND fault injection; all rates default to 0 (inert), which
+     *  keeps the device bit-identical to the fault-free goldens. */
+    FaultConfig fault;
 
     /** Scheduling strategy under test. */
     SchedulerKind scheduler = SchedulerKind::SPK3;

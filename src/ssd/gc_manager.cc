@@ -88,11 +88,18 @@ GcManager::launch(const GcBatchList &batches, bool urgent)
         active.planeIdx = batch.planeIdx;
         active.remainingPrograms = batch.migrations.size();
         active.eraseIssued = false;
+        active.eraseAfter = batch.eraseAfter;
         active.live = true;
         ++liveBatches_;
         ++stats_.batches;
 
         if (batch.migrations.empty()) {
+            if (!batch.eraseAfter) {
+                // Retirement batch with nothing to move: no flash
+                // work at all (the FTL normally filters these out).
+                retireSlot(slot);
+                continue;
+            }
             // Nothing live to move: erase right away.
             active.eraseIssued = true;
             ++stats_.erases;
@@ -108,6 +115,23 @@ GcManager::launch(const GcBatchList &batches, bool urgent)
 }
 
 void
+GcManager::retireSlot(std::uint32_t slot)
+{
+    BatchSlot &batch = batches_[slot];
+    batch.live = false;
+    const std::uint64_t plane = batch.planeIdx;
+    if (livePerPlane_[plane] == 0)
+        panic("GcManager: per-plane live count underflow");
+    --livePerPlane_[plane];
+    freeSlots_.push_back(slot);
+    --liveBatches_;
+    // The plane regained an admission share: let the device retry
+    // any collection the bound deferred.
+    if (onBatchRetired_)
+        onBatchRetired_();
+}
+
+void
 GcManager::onRequestFinished(MemoryRequest *req)
 {
     const std::uint32_t slot = req->gcBatch;
@@ -115,46 +139,63 @@ GcManager::onRequestFinished(MemoryRequest *req)
         !batches_[slot].live) {
         panic("GcManager: completion for unknown GC request");
     }
-    BatchSlot &batch = batches_[slot];
     const FlashOp op = req->op;
     const Ppn pair = req->gcPairPpn;
+    const Ppn ppn = req->ppn;
+    const bool failed = req->faultFailed;
 
     // Reclaim the request before issuing follow-up work so the arena
     // can hand the hot object straight back.
     arena_.releaseScrubbed(req);
 
+    // The fail hook and the retirement hook below can re-enter
+    // launch() and grow the batch table, so batches_[slot] must be
+    // re-resolved after every hook call (no cached references).
     switch (op) {
       case FlashOp::Read: {
         if (pair == kInvalidPage)
             panic("GcManager: migration read without paired program");
+        if (failed) {
+            // Uncorrectable migration read: the data is lost, but the
+            // paired program still runs — the mapping was rebound at
+            // collect time and the batch must complete.
+            ++stats_.migrationReadFailures;
+        }
         ++stats_.migrationPrograms;
         issue(FlashOp::Program, pair, slot);
         break;
       }
-      case FlashOp::Program:
+      case FlashOp::Program: {
+        if (failed && onProgramFail_) {
+            const Ppn fresh = onProgramFail_(ppn);
+            if (fresh != kInvalidPage) {
+                // Re-home the migration onto the replacement page; the
+                // batch completes when the re-issue finishes.
+                ++stats_.migrationProgramRetries;
+                issue(FlashOp::Program, fresh, slot);
+                break;
+            }
+            // Superseded meanwhile: nothing to re-program.
+        }
+        BatchSlot &batch = batches_[slot];
         if (batch.remainingPrograms == 0)
             panic("GcManager: program count underflow");
         --batch.remainingPrograms;
         if (batch.remainingPrograms == 0 && !batch.eraseIssued) {
-            batch.eraseIssued = true;
-            ++stats_.erases;
-            issue(FlashOp::Erase, batch.victimBasePpn, slot);
+            if (batch.eraseAfter) {
+                batch.eraseIssued = true;
+                ++stats_.erases;
+                issue(FlashOp::Erase, batch.victimBasePpn, slot);
+            } else {
+                // Retirement batch: the victim is Bad, never erased.
+                retireSlot(slot);
+            }
         }
         break;
-      case FlashOp::Erase: {
-        batch.live = false;
-        const std::uint64_t plane = batch.planeIdx;
-        if (livePerPlane_[plane] == 0)
-            panic("GcManager: per-plane live count underflow");
-        --livePerPlane_[plane];
-        freeSlots_.push_back(slot);
-        --liveBatches_;
-        // The plane regained an admission share: let the device retry
-        // any collection the bound deferred.
-        if (onBatchRetired_)
-            onBatchRetired_();
-        break;
       }
+      case FlashOp::Erase:
+        retireSlot(slot);
+        break;
     }
 
     // A chip just freed up: let the host scheduler re-poll.

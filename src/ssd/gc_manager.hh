@@ -43,6 +43,14 @@ struct GcManagerStats
     /** Urgent (emergency-reclaim) launches admitted past the
      *  per-plane live-batch bound. */
     std::uint64_t overCapLaunches = 0;
+
+    /** Migration reads that came back uncorrectable (fault model);
+     *  the paired program still runs so the batch completes. */
+    std::uint64_t migrationReadFailures = 0;
+
+    /** Migration programs re-issued to a replacement page after a
+     *  program failure. */
+    std::uint64_t migrationProgramRetries = 0;
 };
 
 /** Default per-plane live-batch admission bound (see GcManager). */
@@ -112,6 +120,18 @@ class GcManager
         onBatchRetired_ = std::move(hook);
     }
 
+    /**
+     * Invoked when a migration program reports a fault-injected
+     * failure. Receives the failed destination Ppn and returns the
+     * replacement page to re-program, or kInvalidPage when the
+     * mapping was superseded and no re-program is needed (the device
+     * wires this to Ftl::onProgramFail).
+     */
+    void setProgramFailHook(std::function<Ppn(Ppn)> hook)
+    {
+        onProgramFail_ = std::move(hook);
+    }
+
     /** Flash-level completion upcall for GC requests. */
     void onRequestFinished(MemoryRequest *req);
 
@@ -131,11 +151,15 @@ class GcManager
         std::uint64_t planeIdx = 0; //!< admission accounting
         std::uint64_t remainingPrograms = 0;
         bool eraseIssued = false;
+        bool eraseAfter = true; //!< false: retirement batch, no erase
         bool live = false;
     };
 
     /** Acquire a free batch slot, growing the flat table if needed. */
     std::uint32_t acquireBatchSlot();
+
+    /** Recycle a finished batch slot and fire the retirement hook. */
+    void retireSlot(std::uint32_t slot);
 
     /** Arena-acquire + commit a GC memory request for @p slot. */
     MemoryRequest *issue(FlashOp op, Ppn ppn, std::uint32_t slot);
@@ -148,6 +172,7 @@ class GcManager
     Slab<MemoryRequest> &arena_;
     std::function<void()> onAllDone_;
     std::function<void()> onBatchRetired_;
+    std::function<Ppn(Ppn)> onProgramFail_;
 
     std::vector<BatchSlot> batches_;       //!< flat recycled-slot table
     std::vector<std::uint32_t> freeSlots_; //!< recycled slot ids (LIFO)

@@ -45,6 +45,19 @@ operator<<(std::ostream &os, const MetricsSnapshot &m)
        << m.execIdlePct << '\n'
        << "stale retries        " << m.staleRetries << '\n'
        << "gc batches           " << m.gcBatches << '\n';
+    if (m.readRetries || m.uncorrectableReads || m.programFailures ||
+        m.eraseFailures || m.failedIos || m.degradedDies) {
+        os << "read retries         " << m.readRetries << '\n'
+           << "uncorrectable reads  " << m.uncorrectableReads << '\n'
+           << "program failures     " << m.programFailures
+           << " (remaps " << m.programRemaps << ")\n"
+           << "erase failures       " << m.eraseFailures << '\n'
+           << "blocks retired (wear/prog/erase) " << m.blocksRetiredWear
+           << '/' << m.blocksRetiredProgram << '/'
+           << m.blocksRetiredErase << '\n'
+           << "failed I/Os          " << m.failedIos << '\n'
+           << "degraded dies        " << m.degradedDies << '\n';
+    }
     for (const auto &s : m.streams) {
         os << "stream " << s.name << ": ios=" << s.iosCompleted
            << " bw=" << static_cast<std::uint64_t>(s.bandwidthKBps)

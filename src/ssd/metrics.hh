@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "flash/fault_model.hh"
 #include "sim/types.hh"
 
 namespace spk
@@ -103,6 +104,37 @@ struct MetricsSnapshot
     std::uint64_t staleRetries = 0;
     std::uint64_t gcBatches = 0;
     std::uint64_t pagesMigrated = 0;
+
+    // --- Reliability counters (fault injection; all zero when the
+    // --- fault model is inert).
+
+    /** Read-retry re-issues, total and per ladder step (bin k counts
+     *  retries entering step k+1). */
+    std::uint64_t readRetries = 0;
+    std::array<std::uint64_t, kMaxRetrySteps> readRetriesByStep{};
+
+    /** Pages lost to an exhausted retry ladder or a dead die. */
+    std::uint64_t uncorrectableReads = 0;
+
+    /** Program operations that failed on flash (host and GC). */
+    std::uint64_t programFailures = 0;
+
+    /** Pages re-homed to a fresh frontier page after a program fail. */
+    std::uint64_t programRemaps = 0;
+
+    /** Erase pulses that failed and retired their block. */
+    std::uint64_t eraseFailures = 0;
+
+    /** Blocks retired as Bad, by cause. */
+    std::uint64_t blocksRetiredWear = 0;
+    std::uint64_t blocksRetiredProgram = 0;
+    std::uint64_t blocksRetiredErase = 0;
+
+    /** Host I/Os that completed with at least one failed page. */
+    std::uint64_t failedIos = 0;
+
+    /** Dies taken offline by the configured die failure. */
+    std::uint64_t degradedDies = 0;
 
     /** Per-stream slices (multi-queue runs; empty otherwise). */
     std::vector<StreamMetrics> streams;

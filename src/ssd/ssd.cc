@@ -7,7 +7,9 @@
 namespace spk
 {
 
-Ssd::Ssd(const SsdConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
+Ssd::Ssd(const SsdConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed),
+      faults_(cfg.fault, cfg.seed, cfg.geometry)
 {
     cfg_.validate();
     const FlashGeometry &geo = cfg_.geometry;
@@ -28,10 +30,11 @@ Ssd::Ssd(const SsdConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
         controllers_.push_back(std::make_unique<FlashController>(
             events_, *channels_[c], std::move(channel_chips),
             cfg_.timing, geo.pageSizeBytes, cfg_.decisionWindow,
-            [this](MemoryRequest *req) { onRequestFinished(req); }));
+            [this](MemoryRequest *req) { onRequestFinished(req); },
+            &faults_));
     }
 
-    ftl_ = std::make_unique<Ftl>(geo, cfg_.ftl);
+    ftl_ = std::make_unique<Ftl>(geo, cfg_.ftl, &faults_);
 
     std::vector<FlashController *> raw_controllers;
     raw_controllers.reserve(controllers_.size());
@@ -49,7 +52,7 @@ Ssd::Ssd(const SsdConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
         [this](const IoRequest &io) {
             results_.push_back(IoResult{io.arrival, io.completed,
                                         io.isWrite, io.pageCount,
-                                        io.streamId});
+                                        io.streamId, io.failedPages});
             // Multi-queue runs: a completion frees a window slot on
             // its stream; issue the stream's next ready record.
             if (io.streamId < streamRt_.size()) {
@@ -84,6 +87,26 @@ Ssd::Ssd(const SsdConfig &cfg) : cfg_(cfg), rng_(cfg.seed)
     ftl_->setReaddressCallback([this](Lpn lpn, Ppn from, Ppn to) {
         nvmhc_->readdress(lpn, from, to);
     });
+
+    // Fault plumbing: the FTL launches block-retirement migration
+    // batches through the GC engine (urgent — retirement must not be
+    // deferred by the admission bound), and GC migration programs that
+    // fail on flash are re-homed by the FTL.
+    ftl_->setBatchLauncher([this](const GcBatchList &batches) {
+        gc_->launch(batches, /*urgent=*/true);
+    });
+    gc_->setProgramFailHook(
+        [this](Ppn failed) { return ftl_->onProgramFail(failed); });
+
+    // Whole-die failure: at the configured tick, steer allocation and
+    // GC away from the die's planes. In-flight and later reads on the
+    // die fail via FaultModel::dieDead() at the controller.
+    if (cfg_.fault.dieFailTick != 0) {
+        events_.schedule(cfg_.fault.dieFailTick, [this] {
+            ftl_->markDieDead(cfg_.fault.dieFailChip,
+                              cfg_.fault.dieFailDie);
+        });
+    }
 }
 
 void
@@ -431,6 +454,25 @@ Ssd::metrics() const
 
     m.gcBatches = gc_->stats().batches;
     m.pagesMigrated = ftl_->stats().pagesMigrated;
+
+    // Reliability counters (all zero when the fault model is inert).
+    for (const auto &ctrl : controllers_) {
+        const ControllerStats &fs = ctrl->stats();
+        m.readRetries += fs.readRetries;
+        for (std::size_t i = 0; i < m.readRetriesByStep.size(); ++i)
+            m.readRetriesByStep[i] += fs.readRetriesByStep[i];
+        m.uncorrectableReads += fs.uncorrectableReads;
+        m.programFailures += fs.programFailures;
+    }
+    const FtlStats &ft = ftl_->stats();
+    m.programRemaps = ft.programRemaps;
+    m.eraseFailures = ft.eraseFailures;
+    m.blocksRetiredWear = ft.blocksRetiredWear;
+    m.blocksRetiredProgram = ft.blocksRetiredProgram;
+    m.blocksRetiredErase = ft.blocksRetiredErase;
+    m.failedIos = ns.failedIos;
+    m.degradedDies =
+        ftl_->blocks().deadPlanes() / cfg_.geometry.planesPerDie;
 
     // Per-stream slices (multi-queue runs only): counters come from
     // the NVMHC's per-stream stats, latency shape from the completion

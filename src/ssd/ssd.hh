@@ -20,6 +20,7 @@
 #include "controller/channel.hh"
 #include "controller/flash_controller.hh"
 #include "flash/chip.hh"
+#include "flash/fault_model.hh"
 #include "flash/mem_request.hh"
 #include "ftl/ftl.hh"
 #include "sched/nvmhc.hh"
@@ -44,8 +45,10 @@ struct IoResult
     bool isWrite = false;
     std::uint32_t pages = 0;
     std::uint32_t streamId = 0; //!< submission queue (0 when implicit)
+    std::uint32_t failedPages = 0; //!< pages lost to media errors
 
     Tick latency() const { return completed - arrival; }
+    bool failed() const { return failedPages != 0; }
 };
 
 /**
@@ -114,6 +117,7 @@ class Ssd
     Ftl &ftl() { return *ftl_; }
     const GcManager &gc() const { return *gc_; }
     const SsdConfig &config() const { return cfg_; }
+    const FaultModel &faults() const { return faults_; }
     const std::vector<std::unique_ptr<FlashChip>> &chips() const
     {
         return chips_;
@@ -161,6 +165,10 @@ class Ssd
     SsdConfig cfg_;
     EventQueue events_;
     Rng rng_;
+
+    /** Deterministic per-operation fault decider (inert by default);
+     *  declared before the controllers and FTL that hold pointers. */
+    FaultModel faults_;
 
     /**
      * Device-wide MemoryRequest arena: host-composed requests and GC

@@ -49,6 +49,17 @@ parseU64Strict(const std::string &value, const char *what)
     return out;
 }
 
+/** "30" or "30s" -> seconds (fio runtime= values). */
+std::uint64_t
+parseFioSeconds(const std::string &value, const char *what)
+{
+    std::string digits = value;
+    if (!digits.empty() &&
+        std::tolower(static_cast<unsigned char>(digits.back())) == 's')
+        digits.pop_back();
+    return parseU64Strict(digits, what);
+}
+
 /** Key=value bag for one job section ([global] merged in). */
 using KeyValues = std::map<std::string, std::string>;
 
@@ -156,7 +167,8 @@ emitJob(const std::string &name, const KeyValues &kv,
         "rw",         "readwrite", "rwmixread", "bs",
         "blocksize",  "bssplit",   "iodepth",   "numjobs",
         "size",       "offset",    "number_ios", "thinktime",
-        "prio",       "weight",    "randseed",
+        "prio",       "weight",    "randseed",  "rate_iops",
+        "runtime",
     };
     for (const auto &[key, value] : kv) {
         (void)value;
@@ -204,9 +216,18 @@ emitJob(const std::string &name, const KeyValues &kv,
                                    : opt.defaultSpanBytes;
     const std::uint64_t offset =
         has(kv, "offset") ? parseFioSize(get(kv, "offset", "")) : 0;
-    const std::uint64_t num_ios = parseU64Strict(
+    const std::uint64_t rate_iops =
+        parseU64Strict(get(kv, "rate_iops", "0"), "rate_iops");
+    const std::uint64_t runtime_s =
+        parseFioSeconds(get(kv, "runtime", "0"), "runtime");
+    std::uint64_t num_ios = parseU64Strict(
         get(kv, "number_ios", std::to_string(opt.defaultNumIos)),
         "number_ios");
+    // A paced job with a runtime and no explicit count generates
+    // enough I/Os to cover the whole runtime (truncation trims the
+    // excess arrival).
+    if (rate_iops > 0 && runtime_s > 0 && !has(kv, "number_ios"))
+        num_ios = rate_iops * runtime_s + 1;
     const std::uint64_t thinktime_us =
         parseU64Strict(get(kv, "thinktime", "0"), "thinktime");
     const std::uint64_t prio =
@@ -229,6 +250,13 @@ emitJob(const std::string &name, const KeyValues &kv,
         syn.locality = 0.0;
         syn.spanBytes = span;
         syn.meanInterarrival = thinktime_us * kMicrosecond;
+        if (rate_iops > 0) {
+            // rate_iops pacing overrides thinktime: a constant gap of
+            // one second / rate instead of exponential draws.
+            syn.meanInterarrival = kSecond / rate_iops;
+            syn.fixedInterarrival = true;
+        }
+        syn.maxTime = runtime_s * kSecond;
         syn.seed = base_seed + clone;
 
         HostStreamConfig stream;

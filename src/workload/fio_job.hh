@@ -24,6 +24,11 @@
  *   number_ios=     I/Os to generate per clone (default 1000)
  *   thinktime=      mean microseconds between arrivals (default 0:
  *                   closed loop, the iodepth window paces the job)
+ *   rate_iops=      paced arrivals at a fixed rate (overrides
+ *                   thinktime; constant gap of 1s/rate)
+ *   runtime=        stop generating past this many seconds ("30" or
+ *                   "30s"); with rate_iops and no number_ios the
+ *                   count is derived from the runtime
  *   prio=           strict-priority class, lower is more urgent
  *   weight=         WRR share (extension; fio has no equivalent)
  *   randseed=       base RNG seed for the job (clone i adds i)

@@ -58,7 +58,11 @@ generateSynthetic(const SyntheticConfig &cfg)
 
     Rng rng(cfg.seed);
     Trace trace;
-    trace.reserve(cfg.numIos);
+    // A runtime bound can truncate far below numIos; cap the reserve
+    // so a huge count with a short runtime does not pre-carve memory.
+    trace.reserve(cfg.maxTime != 0
+                      ? std::min<std::uint64_t>(cfg.numIos, 1u << 16)
+                      : cfg.numIos);
 
     Tick clock = 0;
     std::uint64_t next_read = 0;  //!< sequential continuation points
@@ -99,7 +103,11 @@ generateSynthetic(const SyntheticConfig &cfg)
         rec.offsetBytes = alignDown(rec.offsetBytes, cfg.alignBytes);
         seq_next = rec.offsetBytes + rec.sizeBytes;
 
-        clock += drawInterarrival(rng, cfg.meanInterarrival);
+        clock += cfg.fixedInterarrival
+                     ? cfg.meanInterarrival
+                     : drawInterarrival(rng, cfg.meanInterarrival);
+        if (cfg.maxTime != 0 && clock > cfg.maxTime)
+            break;
         rec.arrival = clock;
         trace.push_back(rec);
     }

@@ -60,6 +60,16 @@ struct SyntheticConfig
     /** Mean of the (exponential) interarrival time. */
     Tick meanInterarrival = 50 * kMicrosecond;
 
+    /** Use meanInterarrival as a constant gap instead of drawing
+     *  exponentials (fio rate_iops-style pacing). */
+    bool fixedInterarrival = false;
+
+    /** Stop generating once an arrival would pass this tick (0 =
+     *  unbounded; fio runtime-style truncation). With a zero
+     *  interarrival (closed loop) the clock never advances, so
+     *  numIos remains the only bound. */
+    Tick maxTime = 0;
+
     /** All offsets/sizes are aligned to this. */
     std::uint64_t alignBytes = 2048;
 

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Fault-injection subsystem tests: inert-model bit-identity, seeded
+ * determinism (including sharded execution at any thread count),
+ * counter monotonicity vs the injected rate, the program-fail remap
+ * and erase-fail retirement recovery paths, graceful die-failure
+ * degradation, and the spare-exhaustion diagnostic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "ftl/ftl.hh"
+#include "sim/device_array.hh"
+#include "ssd/ssd.hh"
+#include "workload/synthetic.hh"
+
+namespace spk
+{
+namespace
+{
+
+SsdConfig
+smallConfig()
+{
+    SsdConfig cfg = SsdConfig::withChips(8);
+    cfg.geometry.blocksPerPlane = 16;
+    cfg.geometry.pagesPerBlock = 32;
+    cfg.scheduler = SchedulerKind::SPK3;
+    return cfg;
+}
+
+Trace
+mixedTrace(const SsdConfig &cfg, std::uint64_t n, double write_frac,
+           std::uint64_t seed)
+{
+    const std::uint64_t span =
+        cfg.geometry.totalPages() * cfg.geometry.pageSizeBytes / 2;
+    return fixedSizeStream(n, 8192, write_frac, span,
+                           5 * kMicrosecond, seed);
+}
+
+MetricsSnapshot
+runOnce(const SsdConfig &cfg, const Trace &trace,
+        bool precondition = false)
+{
+    Ssd ssd(cfg);
+    if (precondition)
+        ssd.preconditionForGc();
+    ssd.replay(trace);
+    ssd.run();
+    return ssd.metrics();
+}
+
+TEST(FaultInjection, InertModelChangesNothing)
+{
+    const SsdConfig plain = smallConfig();
+    const Trace trace = mixedTrace(plain, 1500, 0.5, 11);
+
+    // Zero rates keep the model disabled no matter how the other
+    // knobs are set: the ladder shape must not perturb a fault-free
+    // run in any way.
+    SsdConfig tweaked = plain;
+    tweaked.fault.retryLadderSteps = 8;
+    tweaked.fault.retryLatencyStepPct = 90;
+    ASSERT_FALSE(tweaked.fault.enabled());
+
+    const MetricsSnapshot a = runOnce(plain, trace);
+    const MetricsSnapshot b = runOnce(tweaked, trace);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.readRetries, 0u);
+    EXPECT_EQ(a.uncorrectableReads, 0u);
+    EXPECT_EQ(a.programFailures, 0u);
+    EXPECT_EQ(a.failedIos, 0u);
+}
+
+TEST(FaultInjection, DeterministicAcrossRuns)
+{
+    SsdConfig cfg = smallConfig();
+    cfg.fault.readTransientRate = 2e-2;
+    cfg.fault.programFailRate = 2e-3;
+    cfg.fault.eraseFailRate = 2e-3;
+    const Trace trace = mixedTrace(cfg, 1500, 0.5, 13);
+
+    const MetricsSnapshot a = runOnce(cfg, trace);
+    const MetricsSnapshot b = runOnce(cfg, trace);
+    EXPECT_EQ(a, b);
+    EXPECT_GT(a.readRetries, 0u);
+}
+
+TEST(FaultInjection, ShardedExecutionBitIdenticalWithFaultsOn)
+{
+    // Fault outcomes hash per-device quantities only, so the sharded
+    // DeviceArray must stay bit-identical at any thread count even
+    // with every fault class firing.
+    std::vector<DeviceJob> jobs;
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        DeviceJob job;
+        job.cfg = smallConfig();
+        job.cfg.seed = seed;
+        job.cfg.fault.readTransientRate = 2e-2;
+        job.cfg.fault.programFailRate = 5e-3;
+        job.cfg.fault.eraseFailRate = 5e-3;
+        job.trace = mixedTrace(job.cfg, 800, 0.5, seed);
+        jobs.push_back(std::move(job));
+    }
+
+    std::vector<std::vector<MetricsSnapshot>> runs;
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        DeviceArray array(jobs);
+        runs.push_back(array.run(threads));
+    }
+    EXPECT_EQ(runs[0], runs[1]);
+    EXPECT_EQ(runs[0], runs[2]);
+    std::uint64_t retries = 0;
+    for (const auto &m : runs[0])
+        retries += m.readRetries;
+    EXPECT_GT(retries, 0u);
+}
+
+TEST(FaultInjection, CountersRiseMonotonicallyWithRate)
+{
+    const SsdConfig base = smallConfig();
+    const Trace trace = mixedTrace(base, 1500, 0.5, 17);
+
+    std::uint64_t prev_retries = 0;
+    bool first = true;
+    for (const double rate : {1e-3, 1e-2, 5e-2}) {
+        SsdConfig cfg = base;
+        cfg.fault.readTransientRate = rate;
+        const MetricsSnapshot m = runOnce(cfg, trace);
+        EXPECT_EQ(m.iosCompleted, trace.size());
+        if (!first) {
+            EXPECT_GE(m.readRetries, prev_retries);
+        }
+        prev_retries = m.readRetries;
+        first = false;
+    }
+    EXPECT_GT(prev_retries, 0u);
+}
+
+TEST(FaultInjection, RetryLadderEscalatesAndExhausts)
+{
+    SsdConfig cfg = smallConfig();
+    cfg.fault.readTransientRate = 0.10;
+    cfg.fault.readHardRate = 2e-3;
+    cfg.fault.retryLadderSteps = 3;
+    const Trace trace = mixedTrace(cfg, 1500, 0.3, 19);
+
+    const MetricsSnapshot m = runOnce(cfg, trace);
+    EXPECT_EQ(m.iosCompleted, trace.size());
+    // Step occupancy decays down the ladder and never passes its end.
+    EXPECT_GT(m.readRetriesByStep[0], m.readRetriesByStep[2]);
+    for (std::size_t step = cfg.fault.retryLadderSteps;
+         step < m.readRetriesByStep.size(); ++step)
+        EXPECT_EQ(m.readRetriesByStep[step], 0u);
+    // Hard-failed pages walk the whole ladder and exhaust it; the
+    // owning I/Os complete carrying the error instead of hanging.
+    EXPECT_GT(m.uncorrectableReads, 0u);
+    EXPECT_GT(m.failedIos, 0u);
+}
+
+TEST(FaultInjection, ProgramFailuresRemapTransparently)
+{
+    SsdConfig cfg = smallConfig();
+    // Every program failure retires its whole block, so the rate must
+    // stay well below spare-capacity exhaustion (~4800 programs in
+    // this trace against ~100 spare blocks).
+    cfg.fault.programFailRate = 0.003;
+    const Trace trace = mixedTrace(cfg, 1500, 0.8, 23);
+
+    const MetricsSnapshot m = runOnce(cfg, trace);
+    EXPECT_EQ(m.iosCompleted, trace.size());
+    EXPECT_GT(m.programFailures, 0u);
+    EXPECT_GT(m.programRemaps, 0u);
+    EXPECT_GT(m.blocksRetiredProgram, 0u);
+    // Program failures re-home to a fresh page and complete as
+    // success; with no read faults configured, no I/O fails.
+    EXPECT_EQ(m.failedIos, 0u);
+    EXPECT_EQ(m.uncorrectableReads, 0u);
+}
+
+TEST(FaultInjection, EraseFailuresRetireBlocksAtCollect)
+{
+    SsdConfig cfg = smallConfig();
+    // The small geometry leaves under two spare blocks per plane at
+    // the default over-provisioning, so keep both the failure rate
+    // and the retirement pressure modest.
+    cfg.ftl.overprovision = 0.20;
+    cfg.fault.eraseFailRate = 0.01;
+    const Trace trace = mixedTrace(cfg, 2000, 0.9, 29);
+
+    const MetricsSnapshot m = runOnce(cfg, trace, true);
+    EXPECT_EQ(m.iosCompleted, trace.size());
+    EXPECT_GT(m.eraseFailures, 0u);
+    EXPECT_EQ(m.eraseFailures, m.blocksRetiredErase);
+}
+
+TEST(FaultInjection, DieFailureDegradesGracefully)
+{
+    SsdConfig cfg = smallConfig();
+    cfg.fault.dieFailTick = 1; // dies before the first arrival
+    cfg.fault.dieFailChip = 0;
+    cfg.fault.dieFailDie = 0;
+    const Trace trace = mixedTrace(cfg, 2000, 0.3, 31);
+
+    // Precondition maps pages onto every die (the dead one included);
+    // reads landing there fail, writes steer around it, and the run
+    // completes instead of panicking.
+    const MetricsSnapshot m = runOnce(cfg, trace, true);
+    EXPECT_EQ(m.iosCompleted, trace.size());
+    EXPECT_EQ(m.degradedDies, 1u);
+    EXPECT_GT(m.uncorrectableReads, 0u);
+    EXPECT_GT(m.failedIos, 0u);
+    EXPECT_LT(m.failedIos, m.iosCompleted);
+}
+
+TEST(FaultInjection, UrgentReclaimAbsorbsRetirementPressure)
+{
+    // Small over-provisioning plus sustained program/erase failures:
+    // fault-driven retirement eats into the spare pool, and the
+    // emergency-reclaim path inside the recovery code must keep the
+    // device writable to the end of the run.
+    SsdConfig cfg = smallConfig();
+    cfg.ftl.overprovision = 0.25;
+    cfg.fault.programFailRate = 0.001;
+    cfg.fault.eraseFailRate = 0.015;
+    const Trace trace = mixedTrace(cfg, 2000, 0.9, 37);
+
+    const MetricsSnapshot m = runOnce(cfg, trace, true);
+    EXPECT_EQ(m.iosCompleted, trace.size());
+    EXPECT_GT(m.blocksRetiredProgram + m.blocksRetiredErase, 0u);
+}
+
+TEST(FaultInjection, SpareExhaustionDiesWithPlaneDiagnostic)
+{
+    // FTL-level: fill every logical page with valid data, then fail
+    // programs until block retirement exhausts the spare pool. The
+    // fatal diagnostic must name the plane.
+    FlashGeometry geo;
+    geo.numChannels = 1;
+    geo.chipsPerChannel = 1;
+    geo.diesPerChip = 1;
+    geo.planesPerDie = 1;
+    geo.blocksPerPlane = 8;
+    geo.pagesPerBlock = 8;
+    FtlConfig fcfg;
+    fcfg.overprovision = 0.10;
+
+    // No gtest assertions inside the death statement: a failed ASSERT
+    // returns early, which EXPECT_DEATH reports as "illegal return"
+    // instead of the expected fatal.
+    EXPECT_DEATH(
+        {
+            Ftl ftl(geo, fcfg);
+            for (Lpn lpn = 0; lpn < ftl.logicalPages(); ++lpn) {
+                if (ftl.allocateWrite(lpn) == kInvalidPage)
+                    break; // user pool full short of logical span
+            }
+            for (int round = 0; round < 256; ++round)
+                ftl.onProgramFail(ftl.translateRead(0));
+        },
+        "spare capacity exhausted on plane 0");
+}
+
+} // namespace
+} // namespace spk

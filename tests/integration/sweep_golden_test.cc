@@ -281,8 +281,9 @@ TEST(SweepGolden, CsvEmitsHeaderAndOneRowPerCell)
     std::string line;
     ASSERT_TRUE(std::getline(is, line));
     EXPECT_EQ(
-        line.rfind("trace,scheduler,seed,variant,arbiter,completed,",
-                   0),
+        line.rfind(
+            "trace,scheduler,seed,variant,arbiter,fault,completed,",
+            0),
         0u);
     std::size_t rows = 0;
     while (std::getline(is, line)) {

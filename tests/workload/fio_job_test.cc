@@ -183,6 +183,72 @@ TEST(FioJob, ThinktimePacesArrivals)
     EXPECT_GT(streams[0].trace.back().arrival, 0u);
 }
 
+TEST(FioJob, RateIopsPacesWithConstantGap)
+{
+    const auto streams = parse("[paced]\n"
+                               "rw=randread\n"
+                               "rate_iops=1000\n"
+                               "number_ios=20\n"
+                               "size=4m\n");
+    const Trace &t = streams[0].trace;
+    ASSERT_EQ(t.size(), 20u);
+    // 1000 IOPS = one arrival per millisecond, exactly.
+    const Tick gap = kSecond / 1000;
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t[i].arrival, gap * (i + 1));
+}
+
+TEST(FioJob, RateIopsOverridesThinktime)
+{
+    const auto streams = parse("[paced]\n"
+                               "rw=read\n"
+                               "thinktime=5000\n"
+                               "rate_iops=100\n"
+                               "number_ios=10\n"
+                               "size=4m\n");
+    const Trace &t = streams[0].trace;
+    EXPECT_EQ(t[0].arrival, kSecond / 100);
+    EXPECT_EQ(t[1].arrival - t[0].arrival, kSecond / 100);
+}
+
+TEST(FioJob, RuntimeTruncatesGeneration)
+{
+    // 1000 IOPS for 10 ms: 10 arrivals fit inside the runtime even
+    // though number_ios asks for far more.
+    const auto streams = parse("[short]\n"
+                               "rw=randread\n"
+                               "rate_iops=1000\n"
+                               "number_ios=500\n"
+                               "size=4m\n"
+                               "runtime=1\n");
+    const Trace &t = streams[0].trace;
+    EXPECT_EQ(t.size(), 500u); // 500 I/Os at 1ms spacing end at 0.5 s
+    for (const auto &rec : t)
+        EXPECT_LE(rec.arrival, kSecond);
+
+    const auto capped = parse("[short]\n"
+                              "rw=randread\n"
+                              "rate_iops=2\n"
+                              "number_ios=500\n"
+                              "size=4m\n"
+                              "runtime=3s\n");
+    // 2 IOPS for 3 s: arrivals at 0.5s..3.0s = 6 records survive.
+    EXPECT_EQ(capped[0].trace.size(), 6u);
+}
+
+TEST(FioJob, RateAndRuntimeDeriveCountWhenUnset)
+{
+    const auto streams = parse("[derived]\n"
+                               "rw=randread\n"
+                               "rate_iops=100\n"
+                               "runtime=2s\n"
+                               "size=4m\n");
+    // 100 IOPS over 2 s: the whole runtime is covered (200 arrivals,
+    // the derived count generates one extra which the bound trims).
+    EXPECT_EQ(streams[0].trace.size(), 200u);
+    EXPECT_EQ(streams[0].trace.back().arrival, 2 * kSecond);
+}
+
 TEST(FioJob, DeterministicAcrossParses)
 {
     const std::string text = "[a]\nrw=randrw\nnumber_ios=200\n";
