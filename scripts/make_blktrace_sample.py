@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Regenerate data/traces/blktrace_sample.bin.
+
+Emits a deterministic native-binary blktrace stream (struct
+blk_io_trace records, little-endian) shaped like a two-CPU capture:
+the per-CPU halves are each time-ordered but concatenated, so a
+correct parser must sort by (time, sequence) before rebasing.
+
+Contents (asserted by tests/workload/trace_parser_test.cc):
+  24 replayable queue records (12 per CPU, interleaving timestamps;
+     cpu0 alternates read/write at 4 KiB, cpu1 writes 8 KiB with one
+     FUA), plus 5 skipped records: an issue, a complete, a queued
+     discard, a flush-only barrier, and a notify with a text payload.
+"""
+
+import os
+import struct
+
+MAGIC = 0x65617400 | 0x07
+TA_QUEUE = 1
+TA_ISSUE = 7
+TA_COMPLETE = 8
+TC_READ = 1 << 0
+TC_WRITE = 1 << 1
+TC_NOTIFY = 1 << 10
+TC_DISCARD = 1 << 13
+TC_FUA = 1 << 15
+SHIFT = 16
+
+
+def record(seq, time_ns, sector, nbytes, action, cpu, pdu=b""):
+    return struct.pack(
+        "<IIQQIIIIIHH", MAGIC, seq, time_ns, sector, nbytes, action,
+        1234, 0x800010, cpu, 0, len(pdu)) + pdu
+
+
+def main():
+    out = []
+    # cpu0: alternating 4 KiB reads/writes every 2 us from t=500 us.
+    for i in range(12):
+        cat = TC_READ if i % 2 == 0 else TC_WRITE
+        out.append(record(i, 500_000 + 2_000 * i, 1024 * i, 4096,
+                          (cat << SHIFT) | TA_QUEUE, cpu=0))
+    # Skipped: later pipeline stages of cpu0's first write, a queued
+    # discard, a flush-only barrier, and a notify message with pdu.
+    out.append(record(50, 502_500, 1024, 4096,
+                      (TC_WRITE << SHIFT) | TA_ISSUE, cpu=0,
+                      pdu=b"\x00\x01\x02\x03"))
+    out.append(record(51, 503_000, 1024, 4096,
+                      (TC_WRITE << SHIFT) | TA_COMPLETE, cpu=0))
+    out.append(record(52, 504_500, 4096, 4096,
+                      ((TC_WRITE | TC_DISCARD) << SHIFT) | TA_QUEUE,
+                      cpu=0))
+    out.append(record(53, 505_500, 0, 0,
+                      (TC_WRITE << SHIFT) | TA_QUEUE, cpu=0))
+    out.append(record(54, 506_500, 0, 0,
+                      (TC_NOTIFY << SHIFT) | TA_QUEUE, cpu=0,
+                      pdu=b"sample notify"))
+    # cpu1: 8 KiB writes offset by 1 us so the two halves interleave
+    # in time; record 5 is force-unit-access.
+    for i in range(12):
+        cat = TC_WRITE | (TC_FUA if i == 5 else 0)
+        out.append(record(100 + i, 501_000 + 2_000 * i,
+                          65536 + 1024 * i, 8192,
+                          (cat << SHIFT) | TA_QUEUE, cpu=1))
+
+    here = os.path.dirname(os.path.abspath(__file__))
+    path = os.path.join(here, "..", "data", "traces",
+                        "blktrace_sample.bin")
+    with open(path, "wb") as f:
+        f.write(b"".join(out))
+    print(f"wrote {path}: {len(out)} records")
+
+
+if __name__ == "__main__":
+    main()

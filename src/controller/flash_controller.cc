@@ -13,7 +13,8 @@ FlashController::FlashController(EventQueue &events, Channel &channel,
                                  std::uint32_t page_bytes,
                                  Tick decision_window,
                                  CompletionFn on_complete,
-                                 const FaultModel *faults)
+                                 const FaultModel *faults,
+                                 SoftDecoder *decoder)
     : events_(events),
       channel_(channel),
       chips_(std::move(chips)),
@@ -22,6 +23,7 @@ FlashController::FlashController(EventQueue &events, Channel &channel,
       decisionWindow_(decision_window),
       onComplete_(std::move(on_complete)),
       faults_(faults),
+      decoder_(decoder),
       state_(chips_.size())
 {
     if (chips_.empty())
@@ -214,26 +216,41 @@ FlashController::finishTransaction(std::uint32_t chip_offset, Tick end)
     cs.inFlight -= static_cast<std::uint32_t>(cs.executing.size());
     const bool faulty = faults_ && faults_->enabled();
     for (auto *req : cs.executing) {
-        if (faulty && applyFaults(cs, req, end))
-            continue; // re-queued for a retry; stays in perTag
-        const std::size_t slot = tagSlot(req->tag);
-        if (slot < cs.perTag.size() && cs.perTag[slot] > 0) {
-            cs.perTag[slot]--;
-            cs.tagTotal--;
-        }
-        req->finishedAt = end;
-        onComplete_(req);
+        if (faulty && applyFaults(chip_offset, req, end))
+            continue; // retrying or decoding; stays in perTag
+        completeRequest(cs, req, end);
     }
     cs.executing.clear();
     // More pending work? Start the next decision window.
     armLaunch(chip_offset);
 }
 
-bool
-FlashController::applyFaults(PerChip &cs, MemoryRequest *req, Tick end)
+void
+FlashController::completeRequest(PerChip &cs, MemoryRequest *req,
+                                 Tick end)
 {
+    const std::size_t slot = tagSlot(req->tag);
+    if (slot < cs.perTag.size() && cs.perTag[slot] > 0) {
+        cs.perTag[slot]--;
+        cs.tagTotal--;
+    }
+    req->finishedAt = end;
+    onComplete_(req);
+}
+
+bool
+FlashController::applyFaults(std::uint32_t chip_offset,
+                             MemoryRequest *req, Tick end)
+{
+    auto &cs = state_[chip_offset];
     switch (req->op) {
       case FlashOp::Read: {
+        // A stale read's result is discarded and the request re-issued
+        // at the fresh location (NVMHC), so no fault verdict may be
+        // charged against the old one — doing so double-counted an I/O
+        // whose page then failed again at the new location.
+        if (req->stale)
+            return false;
         const ReadOutcome out = faults_->readAttempt(
             req->ppn, req->id, req->retryAttempt, end);
         if (out == ReadOutcome::Ok)
@@ -250,8 +267,16 @@ FlashController::applyFaults(PerChip &cs, MemoryRequest *req, Tick end)
             cs.pending.push_front(req);
             return true;
         }
+        // Ladder exhausted. Fall back to the shared soft decoder when
+        // modeled — unless the die itself is gone, in which case there
+        // is no soft information to decode.
+        if (decoder_ && faults_->config().softDecodeEnabled &&
+            !faults_->dieDead(req->ppn, end)) {
+            startSoftDecode(chip_offset, req, end);
+            return true;
+        }
         ++stats_.uncorrectableReads;
-        req->faultFailed = true; // ladder exhausted; deliver the error
+        req->faultFailed = true; // deliver the error to the owner
         return false;
       }
       case FlashOp::Program:
@@ -266,6 +291,40 @@ FlashController::applyFaults(PerChip &cs, MemoryRequest *req, Tick end)
         return false;
     }
     return false;
+}
+
+void
+FlashController::startSoftDecode(std::uint32_t chip_offset,
+                                 MemoryRequest *req, Tick end)
+{
+    // The decoder is one serialized device-wide resource: a decode
+    // starts when the previous one finishes, and the wait is the
+    // contention component of the read's latency.
+    const Tick start = std::max(end, decoder_->busyUntil);
+    const Tick cost =
+        faults_->softDecodeCost(req->retryAttempt, pageBytes_);
+    const Tick done = start + cost;
+    decoder_->busyUntil = done;
+    decoder_->stats.invocations++;
+    decoder_->stats.busyTime += cost;
+    decoder_->stats.stallTime += start - end;
+    events_.schedule(done, [this, chip_offset, req, done] {
+        finishSoftDecode(chip_offset, req, done);
+    });
+}
+
+void
+FlashController::finishSoftDecode(std::uint32_t chip_offset,
+                                  MemoryRequest *req, Tick done)
+{
+    // A readdress while decoding makes the verdict moot: the NVMHC
+    // discards the result and re-executes at the fresh location.
+    if (!req->stale && faults_->softDecodeFails(req->ppn, req->id)) {
+        decoder_->stats.failures++;
+        ++stats_.uncorrectableReads;
+        req->faultFailed = true;
+    }
+    completeRequest(state_[chip_offset], req, done);
 }
 
 } // namespace spk

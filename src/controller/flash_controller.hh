@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "controller/channel.hh"
+#include "controller/soft_decoder.hh"
 #include "flash/chip.hh"
 #include "flash/fault_model.hh"
 #include "flash/mem_request.hh"
@@ -73,12 +74,16 @@ class FlashController
      * @param decision_window transaction-decision latency
      * @param on_complete invoked once per finished memory request
      * @param faults fault decider; nullptr or inert = fault-free
+     * @param decoder device-shared soft decoder; nullptr (or soft
+     *        decode disabled in @p faults) keeps ladder exhaustion
+     *        terminal as before
      */
     FlashController(EventQueue &events, Channel &channel,
                     std::vector<FlashChip *> chips,
                     const FlashTiming &timing, std::uint32_t page_bytes,
                     Tick decision_window, CompletionFn on_complete,
-                    const FaultModel *faults = nullptr);
+                    const FaultModel *faults = nullptr,
+                    SoftDecoder *decoder = nullptr);
 
     /**
      * Commit a memory request to its chip's pending queue.
@@ -143,10 +148,24 @@ class FlashController
 
     /**
      * Apply the fault model to a completed request. Returns true when
-     * the request was re-queued for a read retry (skip completion);
-     * otherwise the request completes, possibly with faultFailed set.
+     * the request was re-queued for a read retry or handed to the
+     * soft decoder (skip completion); otherwise the request completes,
+     * possibly with faultFailed set.
      */
-    bool applyFaults(PerChip &cs, MemoryRequest *req, Tick end);
+    bool applyFaults(std::uint32_t chip_offset, MemoryRequest *req,
+                     Tick end);
+
+    /** Queue @p req on the shared soft decoder (serialized resource). */
+    void startSoftDecode(std::uint32_t chip_offset, MemoryRequest *req,
+                         Tick end);
+
+    /** Decode finished: decide the verdict and complete the request. */
+    void finishSoftDecode(std::uint32_t chip_offset, MemoryRequest *req,
+                          Tick done);
+
+    /** Shared completion tail: drop perTag accounting and hand the
+     *  request back to its owner. */
+    void completeRequest(PerChip &cs, MemoryRequest *req, Tick end);
 
     EventQueue &events_;
     Channel &channel_;
@@ -156,6 +175,7 @@ class FlashController
     Tick decisionWindow_;
     CompletionFn onComplete_;
     const FaultModel *faults_ = nullptr;
+    SoftDecoder *decoder_ = nullptr;
     std::vector<PerChip> state_;
     ControllerStats stats_;
 };

@@ -23,6 +23,7 @@ constexpr std::uint64_t kSaltRead = 0x52454144ull;    // "READ"
 constexpr std::uint64_t kSaltProgram = 0x50524f47ull; // "PROG"
 constexpr std::uint64_t kSaltErase = 0x45525345ull;   // "ERSE"
 constexpr std::uint64_t kSaltHard = 0x48415244ull;    // "HARD"
+constexpr std::uint64_t kSaltSoft = 0x534f4654ull;    // "SOFT"
 
 } // namespace
 
@@ -39,8 +40,12 @@ FaultConfig::validate() const
     checkRate(readHardRate, "readHardRate");
     checkRate(programFailRate, "programFailRate");
     checkRate(eraseFailRate, "eraseFailRate");
+    checkRate(softDecodeFailRate, "softDecodeFailRate");
     if (retryLadderSteps > kMaxRetrySteps)
         fatal("FaultConfig: retryLadderSteps exceeds kMaxRetrySteps");
+    if (softDecodeEnabled && softDecodeLatency == 0)
+        fatal("FaultConfig: softDecodeLatency must be non-zero when "
+              "soft decode is enabled");
 }
 
 FaultModel::FaultModel(const FaultConfig &cfg, std::uint64_t seed,
@@ -117,10 +122,43 @@ FaultModel::dieDead(Ppn ppn, Tick now) const
 {
     if (cfg_.dieFailTick == 0 || now < cfg_.dieFailTick)
         return false;
+    if (dieRevivedTick_ != 0 && now >= dieRevivedTick_)
+        return false;
     const PhysAddr addr = geo_.decompose(ppn);
     return geo_.chipIndex(addr.channel, addr.chipInChannel) ==
                cfg_.dieFailChip &&
            addr.die == cfg_.dieFailDie;
+}
+
+bool
+FaultModel::dieDown(std::uint32_t chip, std::uint32_t die, Tick now) const
+{
+    if (cfg_.dieFailTick == 0 || now < cfg_.dieFailTick)
+        return false;
+    if (dieRevivedTick_ != 0 && now >= dieRevivedTick_)
+        return false;
+    return chip == cfg_.dieFailChip && die == cfg_.dieFailDie;
+}
+
+bool
+FaultModel::softDecodeFails(Ppn ppn, std::uint64_t op_seq) const
+{
+    return cfg_.softDecodeFailRate > 0.0 &&
+           uniform(ppn, op_seq, kSaltSoft) < cfg_.softDecodeFailRate;
+}
+
+Tick
+FaultModel::softDecodeCost(std::uint32_t attempt,
+                           std::uint32_t page_bytes) const
+{
+    // One 2KiB codeword decodes in softDecodeLatency; bigger pages
+    // stream proportionally more codewords, and each retry step the
+    // read burned first degrades the soft information by stepPct %.
+    const std::uint64_t codewords =
+        (std::uint64_t{page_bytes} + 2047) / 2048;
+    const std::uint64_t base = cfg_.softDecodeLatency * codewords;
+    return base * (100 + std::uint64_t{attempt} * cfg_.softDecodeStepPct) /
+           100;
 }
 
 Tick

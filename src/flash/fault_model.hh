@@ -67,6 +67,23 @@ struct FaultConfig
     /** Die index within that chip. */
     std::uint32_t dieFailDie = 0;
 
+    /**
+     * Enable the terminal soft-decision (LDPC) decode stage: a read
+     * that exhausts the retry ladder is handed to the shared decoder
+     * instead of being declared uncorrectable outright.
+     */
+    bool softDecodeEnabled = false;
+
+    /** Base decode latency for one 2KiB codeword at retry depth 0. */
+    Tick softDecodeLatency = 60 * kMicrosecond;
+
+    /** Decode cost grows this % per retry step the read burned first
+     *  (deeper ladders mean noisier soft information). */
+    std::uint32_t softDecodeStepPct = 25;
+
+    /** P(soft decode also fails; the page is then uncorrectable). */
+    double softDecodeFailRate = 0.05;
+
     /** True when any injection can ever fire. */
     bool enabled() const
     {
@@ -123,6 +140,30 @@ class FaultModel
     /** True when @p ppn lives on the configured dead die at @p now. */
     bool dieDead(Ppn ppn, Tick now) const;
 
+    /** True when the (chip, die) pair is the configured dead die and
+     *  it is currently down at @p now. */
+    bool dieDown(std::uint32_t chip, std::uint32_t die, Tick now) const;
+
+    /**
+     * Bring the failed die back online at @p now — rebuild finished
+     * and the die's contents were re-materialized elsewhere. From this
+     * tick on dieDead() reports false again. The revival tick is the
+     * one piece of mutable state; it is itself deterministic (rebuild
+     * completion time), so the determinism contract holds.
+     */
+    void reviveDie(Tick now) { dieRevivedTick_ = now; }
+
+    /** True when the soft decode of @p ppn by @p op_seq fails too. */
+    bool softDecodeFails(Ppn ppn, std::uint64_t op_seq) const;
+
+    /**
+     * Decoder occupancy cost of one soft decode: scales with transfer
+     * size (page bytes vs the 2KiB codeword) and with the retry depth
+     * the read burned before falling back.
+     */
+    Tick softDecodeCost(std::uint32_t attempt,
+                        std::uint32_t page_bytes) const;
+
     /** Sense latency of ladder step @p attempt given the base tR. */
     Tick senseLatency(std::uint32_t attempt, Tick base) const;
 
@@ -135,6 +176,9 @@ class FaultModel
     FlashGeometry geo_;
     std::uint64_t seed_ = 0;
     bool enabled_ = false;
+
+    /** Tick the failed die came back online; 0 = never revived. */
+    Tick dieRevivedTick_ = 0;
 };
 
 } // namespace spk

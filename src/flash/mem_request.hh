@@ -53,6 +53,7 @@ struct MemoryRequest
     bool composed = false;      //!< NVMHC initiated data movement
     bool stale = false;         //!< target migrated; re-execute after
     bool isGc = false;          //!< internal request issued by the FTL
+    bool isParity = false;      //!< issued by the die-parity engine
 
     /** Read-retry ladder step; 0 = first sense (FaultModel). */
     std::uint8_t retryAttempt = 0;
@@ -84,6 +85,10 @@ struct MemoryRequest
      * reads only). Replaces the old read -> program unordered_map.
      */
     Ppn gcPairPpn = kInvalidPage;
+
+    /** Owning parity-engine job slot; kInvalidGcBatch when not a
+     *  parity request. */
+    std::uint32_t parityJob = kInvalidGcBatch;
 };
 
 } // namespace spk

@@ -22,8 +22,9 @@ allocationPolicyName(AllocationPolicy policy)
 
 BlockManager::BlockManager(const FlashGeometry &geo,
                            std::uint32_t endurance,
-                           AllocationPolicy policy)
-    : geo_(geo), endurance_(endurance), policy_(policy)
+                           AllocationPolicy policy, bool parity_reserve)
+    : geo_(geo), endurance_(endurance), policy_(policy),
+      parityReserve_(parity_reserve)
 {
     const std::uint64_t n_planes = std::uint64_t{geo.numChips()} *
                                    geo.diesPerChip * geo.planesPerDie;
@@ -117,15 +118,33 @@ BlockManager::allocatePage(std::uint64_t plane_idx, bool gc_reserve)
     Plane &plane = planes_[plane_idx];
     if (plane.dead)
         return std::nullopt;
-    if (!ensureActive(plane, gc_reserve))
-        return std::nullopt;
-
-    auto &info = plane.blocks[static_cast<std::uint32_t>(plane.activeBlock)];
     PhysAddr addr = planeAddr(plane_idx);
-    addr.block = static_cast<std::uint32_t>(plane.activeBlock);
-    addr.page = info.writtenPages;
-    ++info.writtenPages;
-    return geo_.compose(addr);
+    for (;;) {
+        if (!ensureActive(plane, gc_reserve))
+            return std::nullopt;
+        auto &info =
+            plane.blocks[static_cast<std::uint32_t>(plane.activeBlock)];
+        const std::uint32_t blk =
+            static_cast<std::uint32_t>(plane.activeBlock);
+        if (parityReserve_) {
+            // Skip the rotating parity slots; the parity engine
+            // programs them when the stripe closes.
+            while (info.writtenPages < geo_.pagesPerBlock &&
+                   (blk + info.writtenPages) % geo_.diesPerChip ==
+                       addr.die) {
+                ++info.writtenPages;
+            }
+            if (info.writtenPages >= geo_.pagesPerBlock) {
+                info.state = BlockState::Full;
+                plane.activeBlock = -1;
+                continue;
+            }
+        }
+        addr.block = blk;
+        addr.page = info.writtenPages;
+        ++info.writtenPages;
+        return geo_.compose(addr);
+    }
 }
 
 std::uint32_t
@@ -211,6 +230,28 @@ BlockManager::markPlaneDead(std::uint64_t plane_idx)
         return;
     plane.dead = true;
     ++deadPlanes_;
+}
+
+void
+BlockManager::revivePlane(std::uint64_t plane_idx)
+{
+    Plane &plane = planes_.at(plane_idx);
+    if (!plane.dead)
+        panic("BlockManager::revivePlane on a live plane");
+    plane.freeList.clear();
+    plane.activeBlock = -1;
+    for (std::uint32_t b = 0; b < plane.blocks.size(); ++b) {
+        auto &info = plane.blocks[b];
+        if (info.validPages != 0)
+            panic("BlockManager::revivePlane with live pages");
+        if (info.state == BlockState::Bad)
+            continue;
+        info.state = BlockState::Free;
+        info.writtenPages = 0;
+        plane.freeList.push_back(b);
+    }
+    plane.dead = false;
+    --deadPlanes_;
 }
 
 std::optional<std::uint32_t>

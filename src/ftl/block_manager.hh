@@ -77,9 +77,14 @@ class BlockManager
      * @param geo device geometry
      * @param endurance erase cycles before a block is retired as bad
      * @param policy plane rotation order for the dense plane index
+     * @param parity_reserve reserve the rotating die-parity page slots:
+     *        the frontier skips offsets where (block + page) %
+     *        diesPerChip equals the plane's die, leaving them for the
+     *        parity engine
      */
     BlockManager(const FlashGeometry &geo, std::uint32_t endurance,
-                 AllocationPolicy policy = AllocationPolicy::ChannelStripe);
+                 AllocationPolicy policy = AllocationPolicy::ChannelStripe,
+                 bool parity_reserve = false);
 
     AllocationPolicy policy() const { return policy_; }
 
@@ -131,6 +136,15 @@ class BlockManager
     /** Take a whole plane offline (die failure). Allocation and GC
      *  victim selection steer around dead planes. */
     void markPlaneDead(std::uint64_t plane_idx);
+
+    /**
+     * Bring a dead plane back online after rebuild: every non-Bad
+     * block resets to Free with a rebuilt free list (the physical die
+     * was replaced/erased wholesale; erase counts persist as wear
+     * history). Panics if any block still holds valid pages — rebuild
+     * must relocate them all first.
+     */
+    void revivePlane(std::uint64_t plane_idx);
 
     bool planeDead(std::uint64_t plane_idx) const
     {
@@ -187,6 +201,7 @@ class BlockManager
     FlashGeometry geo_;
     std::uint32_t endurance_;
     AllocationPolicy policy_;
+    bool parityReserve_ = false;
     std::vector<Plane> planes_;
     std::uint32_t maxErase_ = 0;
     std::uint64_t badBlocks_ = 0;

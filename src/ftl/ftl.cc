@@ -11,25 +11,32 @@ namespace
 {
 
 std::uint64_t
-logicalCapacity(const FlashGeometry &geo, double overprovision)
+logicalCapacity(const FlashGeometry &geo, double overprovision,
+                bool die_parity)
 {
     const double frac = std::clamp(1.0 - overprovision, 0.01, 1.0);
+    // Die parity reserves one page per stripe: 1/D of raw capacity.
+    std::uint64_t physical = geo.totalPages();
+    if (die_parity)
+        physical = physical / geo.diesPerChip * (geo.diesPerChip - 1);
     const auto pages = static_cast<std::uint64_t>(
-        static_cast<double>(geo.totalPages()) * frac);
+        static_cast<double>(physical) * frac);
     return std::max<std::uint64_t>(pages, 1);
 }
 
 } // namespace
 
 Ftl::Ftl(const FlashGeometry &geo, const FtlConfig &cfg,
-         const FaultModel *faults)
+         const FaultModel *faults, bool die_parity)
     : geo_(geo),
       cfg_(cfg),
-      mapping_(geo, logicalCapacity(geo, cfg.overprovision)),
-      blocks_(geo, cfg.endurance, cfg.allocation),
+      mapping_(geo, logicalCapacity(geo, cfg.overprovision, die_parity)),
+      blocks_(geo, cfg.endurance, cfg.allocation, die_parity),
       faults_(faults)
 {
     geo_.validate();
+    if (die_parity)
+        parityMap_ = std::make_unique<StripeParityMap>(geo_);
     // One batch per plane per collection round (plus one wear-level
     // slot), at most a block's worth of migrations each: pre-carving
     // the scratch here makes steady-state collection allocation-free.
@@ -140,17 +147,32 @@ Ftl::migrateAndErase(std::uint64_t plane, std::uint32_t block,
         blocks_.retireBlock(plane, block);
         ++stats_.eraseFailures;
         ++stats_.blocksRetiredErase;
+        parityForgetBlock(plane, block); // content untrusted mid-erase
         return true;
     }
     if (!blocks_.eraseBlock(plane, block))
         ++stats_.blocksRetiredWear; // endurance exhausted
     ++stats_.blocksErased;
+    parityForgetBlock(plane, block);
     return true;
+}
+
+void
+Ftl::parityForgetBlock(std::uint64_t plane, std::uint32_t block)
+{
+    if (!parityMap_)
+        return;
+    PhysAddr base = blocks_.planeAddr(plane);
+    base.block = block;
+    base.page = 0;
+    parityMap_->clearBlock(geo_.compose(base), base.die);
 }
 
 const GcBatchList &
 Ftl::collectGcImpl(bool respect_admission)
 {
+    if (parityMap_)
+        return collectGcGroups(respect_admission);
     batchScratch_.reset();
     const std::uint64_t n_planes = blocks_.numPlanes();
 
@@ -173,6 +195,102 @@ Ftl::collectGcImpl(bool respect_admission)
             ++stats_.gcInvocations;
         else
             batchScratch_.dropLast();
+    }
+    return batchScratch_;
+}
+
+const GcBatchList &
+Ftl::collectGcGroups(bool respect_admission)
+{
+    batchScratch_.reset();
+    const std::uint64_t n_planes = blocks_.numPlanes();
+    const std::uint32_t dies = geo_.diesPerChip;
+
+    for (std::uint64_t plane = 0; plane < n_planes; ++plane) {
+        if (blocks_.planeDead(plane))
+            continue;
+        if (blocks_.freeBlocks(plane) >= cfg_.gcFreeBlockThreshold)
+            continue;
+
+        // Sibling planes: same chip and plane-in-die on every die.
+        // Collecting whole block groups keeps stripes consistent —
+        // every stripe of the group empties atomically, so no stripe
+        // is left with a stale parity member.
+        PhysAddr addr = blocks_.planeAddr(plane);
+        std::uint64_t group[kMaxDiesPerChip];
+        for (std::uint32_t d = 0; d < dies; ++d) {
+            PhysAddr sib = addr;
+            sib.die = d;
+            group[d] = blocks_.planeIndexOf(sib);
+        }
+
+        bool deferred = false;
+        if (respect_admission && gcAdmit_) {
+            for (std::uint32_t d = 0; d < dies && !deferred; ++d) {
+                if (!blocks_.planeDead(group[d]) && !gcAdmit_(group[d]))
+                    deferred = true;
+            }
+        }
+        if (deferred) {
+            ++stats_.gcDeferrals;
+            continue;
+        }
+
+        // Eligible group with the fewest live pages: every live member
+        // Full (or an empty Free/Bad block), dead members drained —
+        // their pages await rebuild and the survivors must stay put.
+        std::optional<std::uint32_t> best;
+        std::uint64_t best_valid = ~0ull;
+        for (std::uint32_t b = 0; b < geo_.blocksPerPlane; ++b) {
+            bool eligible = false;
+            bool blocked = false;
+            std::uint64_t valid = 0;
+            for (std::uint32_t d = 0; d < dies && !blocked; ++d) {
+                const BlockInfo &info = blocks_.block(group[d], b);
+                if (blocks_.planeDead(group[d])) {
+                    if (info.validPages != 0)
+                        blocked = true;
+                    continue;
+                }
+                switch (info.state) {
+                  case BlockState::Full:
+                    eligible = true;
+                    valid += info.validPages;
+                    break;
+                  case BlockState::Free:
+                  case BlockState::Bad:
+                    if (info.validPages != 0)
+                        blocked = true;
+                    break;
+                  case BlockState::Active:
+                    blocked = true; // frontier in use
+                    break;
+                }
+            }
+            if (blocked || !eligible)
+                continue;
+            if (valid < best_valid) {
+                best_valid = valid;
+                best = b;
+            }
+        }
+        if (!best)
+            continue;
+
+        bool collected = false;
+        for (std::uint32_t d = 0; d < dies; ++d) {
+            if (blocks_.planeDead(group[d]))
+                continue;
+            if (blocks_.block(group[d], *best).state != BlockState::Full)
+                continue;
+            GcBatch &batch = batchScratch_.append();
+            if (migrateAndErase(group[d], *best, batch))
+                collected = true;
+            else
+                batchScratch_.dropLast();
+        }
+        if (collected)
+            ++stats_.gcInvocations;
     }
     return batchScratch_;
 }
@@ -334,6 +452,56 @@ Ftl::markDieDead(std::uint32_t chip, std::uint32_t die)
     }
 }
 
+Ppn
+Ftl::rebuildRelocate(Ppn from)
+{
+    const Lpn lpn = mapping_.reverseLookup(from);
+    if (lpn == kInvalidPage)
+        return kInvalidPage; // superseded by a newer host write
+
+    auto to = allocateRotating(/*gc_reserve=*/true);
+    for (int round = 0; round < 256 && !to; ++round) {
+        const GcBatchList &batches =
+            collectGcImpl(/*respect_admission=*/false);
+        if (batches.empty())
+            break;
+        if (launchBatches_)
+            launchBatches_(batches);
+        to = allocateRotating(/*gc_reserve=*/true);
+    }
+    if (!to) {
+        fatal("Ftl: spare capacity exhausted while rebuilding ppn " +
+              std::to_string(from));
+    }
+    mapping_.bind(lpn, *to); // invalidates `from`
+    noteInvalidated(from);
+    noteValidated(*to);
+    if (readdress_)
+        readdress_(lpn, from, *to);
+    return *to;
+}
+
+void
+Ftl::reviveDie(std::uint32_t chip, std::uint32_t die)
+{
+    const Ppn base =
+        (std::uint64_t{chip} * geo_.diesPerChip + die) * geo_.pagesPerDie();
+    for (std::uint64_t off = 0; off < geo_.pagesPerDie(); ++off) {
+        if (mapping_.isValid(base + off))
+            panic("Ftl::reviveDie: live mapped page still on the die");
+    }
+    PhysAddr addr;
+    addr.channel = geo_.channelOfChip(chip);
+    addr.chipInChannel = geo_.chipOffsetOfChip(chip);
+    addr.die = die;
+    for (std::uint32_t p = 0; p < geo_.planesPerDie; ++p) {
+        addr.plane = p;
+        blocks_.revivePlane(blocks_.planeIndexOf(addr));
+    }
+    if (parityMap_)
+        parityMap_->clearDie(chip, die);
+}
+
 void
 Ftl::precondition(double fill_fraction, double churn_fraction, Rng &rng)
 {
@@ -370,6 +538,36 @@ Ftl::precondition(double fill_fraction, double churn_fraction, Rng &rng)
     for (int rounds = 0; rounds < 1024 && gcNeeded(); ++rounds) {
         if (collectGc().empty())
             break;
+    }
+
+    syncParityAfterPrecondition();
+}
+
+void
+Ftl::syncParityAfterPrecondition()
+{
+    if (!parityMap_)
+        return;
+    const std::uint32_t dies = geo_.diesPerChip;
+    for (std::uint64_t plane = 0; plane < blocks_.numPlanes(); ++plane) {
+        PhysAddr addr = blocks_.planeAddr(plane);
+        for (std::uint32_t b = 0; b < geo_.blocksPerPlane; ++b) {
+            const BlockInfo &info = blocks_.block(plane, b);
+            addr.block = b;
+            for (std::uint32_t pg = 0; pg < info.writtenPages; ++pg) {
+                if (StripeParityMap::isParitySlot(addr.die, b, pg, dies))
+                    continue;
+                addr.page = pg;
+                parityMap_->markDataWritten(geo_.compose(addr));
+            }
+        }
+    }
+    // Declare parity programmed for every stripe holding data: the
+    // untimed precondition stands in for the flushes the parity
+    // engine would have performed along the way.
+    for (StripeId s = 0; s < parityMap_->stripeCount(); ++s) {
+        if (parityMap_->dataMask(s) != 0)
+            parityMap_->markParityWritten(s);
     }
 }
 

@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "flash/geometry.hh"
 #include "ftl/block_manager.hh"
 #include "ftl/mapping.hh"
+#include "ftl/parity_map.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -177,9 +179,15 @@ class Ftl
     using ReaddressCallback =
         std::function<void(Lpn lpn, Ppn from, Ppn to)>;
 
-    /** @param faults fault decider; nullptr or inert = fault-free. */
+    /**
+     * @param faults fault decider; nullptr or inert = fault-free.
+     * @param die_parity stripe writes across the dies of each chip
+     *        with one rotating parity page per stripe; logical
+     *        capacity scales by (D-1)/D and garbage collection turns
+     *        stripe-consistent (whole block groups).
+     */
     Ftl(const FlashGeometry &geo, const FtlConfig &cfg,
-        const FaultModel *faults = nullptr);
+        const FaultModel *faults = nullptr, bool die_parity = false);
 
     /** Host-visible capacity in pages. */
     std::uint64_t logicalPages() const { return mapping_.logicalPages(); }
@@ -273,6 +281,25 @@ class Ftl
     void markDieDead(std::uint32_t chip, std::uint32_t die);
 
     /**
+     * Relocate the (still-mapped) page at @p from — which lives on a
+     * dead die — onto spare capacity, running emergency reclaim if the
+     * frontier is out of space. The caller (rebuild engine) charges
+     * the survivor reads and the program.
+     *
+     * @return the new Ppn, or kInvalidPage when the mapping was
+     *         superseded meanwhile and nothing needs relocating.
+     */
+    Ppn rebuildRelocate(Ppn from);
+
+    /**
+     * Bring (chip, die) back online after rebuild relocated all of its
+     * live data: every plane revives with fresh Free blocks and the
+     * stripe map forgets the die's members. Panics if any valid
+     * mapped page still resides on the die.
+     */
+    void reviveDie(std::uint32_t chip, std::uint32_t die);
+
+    /**
      * Fill the device to @p fill_fraction of logical capacity with
      * valid data, then re-write @p churn_fraction of those pages in
      * random order to fragment blocks (pre-GC conditioning,
@@ -285,6 +312,10 @@ class Ftl
     const BlockManager &blocks() const { return blocks_; }
     const PageMapping &mapping() const { return mapping_; }
     const FlashGeometry &geometry() const { return geo_; }
+
+    /** Die-parity stripe map; nullptr when parity is off. */
+    StripeParityMap *parityMap() { return parityMap_.get(); }
+    const StripeParityMap *parityMap() const { return parityMap_.get(); }
 
   private:
     /** Pick the next plane for allocation (channel-stripe rotation). */
@@ -308,6 +339,18 @@ class Ftl
     /** Shared victim loop behind collectGc/collectGcUrgent. */
     const GcBatchList &collectGcImpl(bool respect_admission);
 
+    /** Stripe-consistent (block-group) victim loop used when parity
+     *  is on: all members of a group are collected together so their
+     *  stripes empty atomically. */
+    const GcBatchList &collectGcGroups(bool respect_admission);
+
+    /** Forget the stripe membership of an erased block. */
+    void parityForgetBlock(std::uint64_t plane, std::uint32_t block);
+
+    /** Rebuild the stripe map from frontier state after an untimed
+     *  precondition (no programs were issued to mark members). */
+    void syncParityAfterPrecondition();
+
     /**
      * Retire (plane, block) as Bad, relocating its live pages and
      * launching the relocation batch through launchBatches_. Uses its
@@ -321,6 +364,7 @@ class Ftl
     PageMapping mapping_;
     BlockManager blocks_;
     const FaultModel *faults_ = nullptr;
+    std::unique_ptr<StripeParityMap> parityMap_;
     std::uint64_t allocCursor_ = 0;
     FtlStats stats_;
     ReaddressCallback readdress_;

@@ -132,6 +132,14 @@ Nvmhc::translate(MemoryRequest &req)
             req.ppn = allocate_with_reclaim(req.lpn);
             if (req.ppn == kInvalidPage)
                 fatal("Nvmhc: cannot backfill read mapping");
+            if (StripeParityMap *pm = ftl_.parityMap()) {
+                // The fiction extends to parity: data that "already
+                // existed" was already protected, untimed like a
+                // precondition (otherwise a later die failure would
+                // leave backfilled pages unreconstructable).
+                pm->markDataWritten(req.ppn);
+                pm->markParityWritten(pm->stripeOf(req.ppn));
+            }
         }
     }
     req.addr = geo_.decompose(req.ppn);
@@ -307,9 +315,27 @@ Nvmhc::composeDone(MemoryRequest *req)
 }
 
 void
+Nvmhc::retryStale(MemoryRequest *req, IoRequest *io)
+{
+    req->stale = false;
+    // The fresh copy restarts the retry ladder; an uncorrectable
+    // verdict against the old location no longer applies.
+    req->retryAttempt = 0;
+    req->faultFailed = false;
+    ++stats_.staleRetries;
+    ++streamStats_[io->streamId].staleRetries;
+    const Ppn fresh = ftl_.translateRead(req->lpn);
+    if (fresh == kInvalidPage)
+        panic("Nvmhc: mapping lost for pending read");
+    req->ppn = fresh;
+    req->addr = geo_.decompose(fresh);
+    req->chip = geo_.chipOf(fresh);
+    controllerFor(req->chip).commit(req);
+}
+
+void
 Nvmhc::onRequestFinished(MemoryRequest *req)
 {
-    const Tick now = events_.now();
     if (req->tag >= slots_.size() || !slots_[req->tag].active)
         panic("Nvmhc::onRequestFinished orphan request");
     IoRequest *io = &slots_[req->tag];
@@ -318,20 +344,7 @@ Nvmhc::onRequestFinished(MemoryRequest *req)
     // was in flight (or, without a readdressing callback, while it sat
     // committed). Re-translate and re-execute.
     if (req->stale) {
-        req->stale = false;
-        // The fresh copy restarts the retry ladder; an uncorrectable
-        // verdict against the old location no longer applies.
-        req->retryAttempt = 0;
-        req->faultFailed = false;
-        ++stats_.staleRetries;
-        ++streamStats_[io->streamId].staleRetries;
-        const Ppn fresh = ftl_.translateRead(req->lpn);
-        if (fresh == kInvalidPage)
-            panic("Nvmhc: mapping lost for pending read");
-        req->ppn = fresh;
-        req->addr = geo_.decompose(fresh);
-        req->chip = geo_.chipOf(fresh);
-        controllerFor(req->chip).commit(req);
+        retryStale(req, io);
         return;
     }
 
@@ -353,13 +366,52 @@ Nvmhc::onRequestFinished(MemoryRequest *req)
     }
 
     if (req->faultFailed && req->op == FlashOp::Read) {
-        // Retry ladder exhausted (or dead die): the page is lost.
-        // Complete the I/O with the error surfaced instead of hanging.
+        // Retry ladder exhausted (or dead die). With die parity, the
+        // engine can rebuild the page from the surviving stripe
+        // members; the request resolves via finishReconstructed().
         req->faultFailed = false;
+        if (reconstruct_ && reconstruct_(req))
+            return;
+        // No parity (or unreconstructible): the page is lost. Complete
+        // the I/O with the error surfaced instead of hanging.
         ++stats_.readFailures;
         ++streamStats_[io->streamId].readFailures;
         ++io->failedPages;
     }
+
+    finishRequestTail(req, io);
+}
+
+void
+Nvmhc::finishReconstructed(MemoryRequest *req, bool ok)
+{
+    if (req->tag >= slots_.size() || !slots_[req->tag].active)
+        panic("Nvmhc::finishReconstructed orphan request");
+    IoRequest *io = &slots_[req->tag];
+
+    // A rebuild relocation can rebind the page while its survivors
+    // were being read: the fresh location now serves the read
+    // normally, making the reconstruction outcome moot.
+    if (req->stale) {
+        retryStale(req, io);
+        return;
+    }
+
+    if (ok) {
+        ++stats_.reconstructedReads;
+        ++streamStats_[io->streamId].reconstructedReads;
+    } else {
+        ++stats_.readFailures;
+        ++streamStats_[io->streamId].readFailures;
+        ++io->failedPages;
+    }
+    finishRequestTail(req, io);
+}
+
+void
+Nvmhc::finishRequestTail(MemoryRequest *req, IoRequest *io)
+{
+    const Tick now = events_.now();
 
     // Retire the request from the hazard chain.
     if (lpnChain_.front(req->lpn) != req)

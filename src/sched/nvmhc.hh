@@ -80,6 +80,10 @@ struct NvmhcStats
 
     /** Host I/Os completed with at least one failed page. */
     std::uint64_t failedIos = 0;
+
+    /** Failed reads served via die-parity reconstruction instead of
+     *  an error completion. */
+    std::uint64_t reconstructedReads = 0;
 };
 
 /**
@@ -135,6 +139,26 @@ class Nvmhc : private SchedulerView
 
     /** Flash-level completion upcall for host memory requests. */
     void onRequestFinished(MemoryRequest *req);
+
+    /**
+     * Degraded-read hook: called with a host read whose page came back
+     * uncorrectable. Return true to take ownership — the parity engine
+     * fans out survivor reads and later resolves the request through
+     * finishReconstructed(); the I/O stays outstanding meanwhile.
+     * Return false to complete the I/O with the error as before.
+     */
+    using ReconstructFn = std::function<bool(MemoryRequest *)>;
+    void setReconstructHook(ReconstructFn hook)
+    {
+        reconstruct_ = std::move(hook);
+    }
+
+    /**
+     * Reconstruction of @p req resolved: @p ok means every surviving
+     * stripe member was read and the page was recovered; false means
+     * the stripe could not be rebuilt and the error is delivered.
+     */
+    void finishReconstructed(MemoryRequest *req, bool ok);
 
     /** Readdressing callback entry (wired to the FTL by the device). */
     void readdress(Lpn lpn, Ppn from, Ppn to);
@@ -234,6 +258,15 @@ class Nvmhc : private SchedulerView
     /** Run the composition engine if idle and work is eligible. */
     void pump();
 
+    /** Re-translate and re-execute a stale request (live migration
+     *  moved its page while it was in flight). */
+    void retryStale(MemoryRequest *req, IoRequest *io);
+
+    /** Completion tail shared by onRequestFinished and
+     *  finishReconstructed: hazard-chain retirement, I/O bitmap,
+     *  done handling, tag recycling, pump. */
+    void finishRequestTail(MemoryRequest *req, IoRequest *io);
+
     /** Composition of @p req finished: commit it to its controller. */
     void composeDone(MemoryRequest *req);
 
@@ -254,6 +287,7 @@ class Nvmhc : private SchedulerView
     IoCompleteFn onIoComplete_;
     std::function<void()> afterEnqueue_;
     std::function<bool()> reclaim_;
+    ReconstructFn reconstruct_;
 
     /**
      * Flat NCQ slot slab indexed by tag; size == queueDepth, fixed at

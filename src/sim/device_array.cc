@@ -162,6 +162,19 @@ DeviceArray::aggregate(const std::vector<MetricsSnapshot> &devices)
         agg.blocksRetiredErase += m.blocksRetiredErase;
         agg.failedIos += m.failedIos;
         agg.degradedDies += m.degradedDies;
+        agg.parityUpdates += m.parityUpdates;
+        agg.parityFullStripeCloses += m.parityFullStripeCloses;
+        agg.parityPartialCloses += m.parityPartialCloses;
+        agg.parityRmwReads += m.parityRmwReads;
+        agg.reconstructedReads += m.reconstructedReads;
+        agg.reconstructionReads += m.reconstructionReads;
+        agg.rebuildPagesTotal += m.rebuildPagesTotal;
+        agg.rebuildPagesRebuilt += m.rebuildPagesRebuilt;
+        agg.softDecodeInvocations += m.softDecodeInvocations;
+        agg.softDecodeFailures += m.softDecodeFailures;
+        agg.softDecodeBusyTime += m.softDecodeBusyTime;
+        agg.softDecodeStallTime += m.softDecodeStallTime;
+        agg.gcReadFailures += m.gcReadFailures;
         agg.maxLatencyNs = std::max(agg.maxLatencyNs, m.maxLatencyNs);
 
         const auto ios = static_cast<double>(m.iosCompleted);

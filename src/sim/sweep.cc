@@ -251,7 +251,13 @@ SweepRunner::writeCsv(std::ostream &os) const
           "gc_batches,pages_migrated,read_retries,uncorrectable_reads,"
           "program_failures,program_remaps,erase_failures,"
           "blocks_retired_wear,blocks_retired_program,"
-          "blocks_retired_erase,failed_ios,degraded_dies\n";
+          "blocks_retired_erase,failed_ios,degraded_dies,"
+          "parity_updates,parity_full_closes,parity_partial_closes,"
+          "parity_rmw_reads,reconstructed_reads,reconstruction_reads,"
+          "rebuild_pages_total,rebuild_pages_rebuilt,"
+          "soft_decode_invocations,soft_decode_failures,"
+          "soft_decode_busy_ns,soft_decode_stall_ns,"
+          "gc_read_failures\n";
     // max_digits10: doubles must round-trip so a CSV diff catches
     // the same drift the golden bit-pattern digests do.
     const auto old_precision =
@@ -284,7 +290,16 @@ SweepRunner::writeCsv(std::ostream &os) const
            << m.programRemaps << ',' << m.eraseFailures << ','
            << m.blocksRetiredWear << ',' << m.blocksRetiredProgram
            << ',' << m.blocksRetiredErase << ',' << m.failedIos << ','
-           << m.degradedDies << '\n';
+           << m.degradedDies << ',' << m.parityUpdates << ','
+           << m.parityFullStripeCloses << ','
+           << m.parityPartialCloses << ',' << m.parityRmwReads << ','
+           << m.reconstructedReads << ',' << m.reconstructionReads
+           << ',' << m.rebuildPagesTotal << ','
+           << m.rebuildPagesRebuilt << ','
+           << m.softDecodeInvocations << ','
+           << m.softDecodeFailures << ',' << m.softDecodeBusyTime
+           << ',' << m.softDecodeStallTime << ','
+           << m.gcReadFailures << '\n';
     }
     os.precision(old_precision);
 }

@@ -24,10 +24,22 @@ SsdConfig::withChips(std::uint32_t num_chips)
 }
 
 void
+ParityConfig::validate(const FlashGeometry &geo) const
+{
+    if (!enabled)
+        return;
+    if (geo.diesPerChip < 2)
+        fatal("ParityConfig: die-level parity needs diesPerChip >= 2");
+    if (flushWindow == 0)
+        fatal("ParityConfig: flushWindow must be non-zero");
+}
+
+void
 SsdConfig::validate() const
 {
     geometry.validate();
     fault.validate();
+    parity.validate(geometry);
     if (faroWindow == 0)
         fatal("SsdConfig: faroWindow must be non-zero");
     if (gcMaxLiveBatchesPerPlane == 0)

@@ -25,6 +25,38 @@
 namespace spk
 {
 
+/**
+ * Die-level RAID parity knobs. Off by default: with enabled = false
+ * the device is bit-identical to the parity-less goldens (no stripe
+ * map is even allocated).
+ */
+struct ParityConfig
+{
+    /** Stripe writes across the dies of each chip with one rotating
+     *  parity page per stripe. */
+    bool enabled = false;
+
+    /**
+     * An open (partially written) stripe's parity is flushed this long
+     * after the stripe opens, even if it never fills. Bounds the
+     * window in which a die failure can strand unprotected data.
+     */
+    Tick flushWindow = 200 * kMicrosecond;
+
+    /**
+     * Online rebuild pacing: one page of the failed die is
+     * reconstructed onto spare capacity every this many ticks
+     * (scheduled after the previous page completes). 0 = rebuild
+     * pages back-to-back as fast as the device allows.
+     */
+    Tick rebuildPageInterval = 20 * kMicrosecond;
+
+    /** Abort via fatal() on inconsistent settings. */
+    void validate(const FlashGeometry &geo) const;
+
+    bool operator==(const ParityConfig &) const = default;
+};
+
 /** Full device configuration. */
 struct SsdConfig
 {
@@ -36,6 +68,9 @@ struct SsdConfig
     /** NAND fault injection; all rates default to 0 (inert), which
      *  keeps the device bit-identical to the fault-free goldens. */
     FaultConfig fault;
+
+    /** Die-level RAID parity; disabled by default. */
+    ParityConfig parity;
 
     /** Scheduling strategy under test. */
     SchedulerKind scheduler = SchedulerKind::SPK3;

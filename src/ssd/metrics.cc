@@ -58,6 +58,23 @@ operator<<(std::ostream &os, const MetricsSnapshot &m)
            << "failed I/Os          " << m.failedIos << '\n'
            << "degraded dies        " << m.degradedDies << '\n';
     }
+    if (m.parityUpdates || m.reconstructedReads ||
+        m.rebuildPagesTotal) {
+        os << "parity updates       " << m.parityUpdates
+           << " (full " << m.parityFullStripeCloses << ", partial "
+           << m.parityPartialCloses << ", rmw reads "
+           << m.parityRmwReads << ")\n"
+           << "reconstructed reads  " << m.reconstructedReads
+           << " (survivor reads " << m.reconstructionReads << ")\n"
+           << "rebuild pages        " << m.rebuildPagesRebuilt << '/'
+           << m.rebuildPagesTotal << '\n';
+    }
+    if (m.softDecodeInvocations) {
+        os << "soft decodes         " << m.softDecodeInvocations
+           << " (failures " << m.softDecodeFailures << ", busy "
+           << m.softDecodeBusyTime / 1000000.0 << "ms, stall "
+           << m.softDecodeStallTime / 1000000.0 << "ms)\n";
+    }
     for (const auto &s : m.streams) {
         os << "stream " << s.name << ": ios=" << s.iosCompleted
            << " bw=" << static_cast<std::uint64_t>(s.bandwidthKBps)

@@ -136,6 +136,51 @@ struct MetricsSnapshot
     /** Dies taken offline by the configured die failure. */
     std::uint64_t degradedDies = 0;
 
+    // --- Die-level parity, rebuild and soft-decode counters (all
+    // --- zero when parity and soft decode are off).
+
+    /** Parity-page programs (stripe closes and RMW updates). */
+    std::uint64_t parityUpdates = 0;
+
+    /** Stripes closed with every data member written. */
+    std::uint64_t parityFullStripeCloses = 0;
+
+    /** Stripes closed by flush-window expiry or a die failure. */
+    std::uint64_t parityPartialCloses = 0;
+
+    /** Parity read-modify-write read legs (late stripe members). */
+    std::uint64_t parityRmwReads = 0;
+
+    /** Failed host reads served via stripe reconstruction. */
+    std::uint64_t reconstructedReads = 0;
+
+    /** Survivor reads issued by degraded-read reconstruction. */
+    std::uint64_t reconstructionReads = 0;
+
+    /** Valid dead-die pages found when the rebuild started. An upper
+     *  bound on rebuildPagesRebuilt: host overwrites and re-homed
+     *  in-flight programs can evacuate pages before the cursor
+     *  arrives. */
+    std::uint64_t rebuildPagesTotal = 0;
+
+    /** Pages the rebuild re-materialized onto spare capacity. */
+    std::uint64_t rebuildPagesRebuilt = 0;
+
+    /** Soft-decode (LDPC) invocations after ladder exhaustion. */
+    std::uint64_t softDecodeInvocations = 0;
+
+    /** Soft decodes that still could not correct the page. */
+    std::uint64_t softDecodeFailures = 0;
+
+    /** Time the shared soft decoder spent decoding. */
+    Tick softDecodeBusyTime = 0;
+
+    /** Time reads waited for the busy soft decoder. */
+    Tick softDecodeStallTime = 0;
+
+    /** GC migration reads that came back uncorrectable. */
+    std::uint64_t gcReadFailures = 0;
+
     /** Per-stream slices (multi-queue runs; empty otherwise). */
     std::vector<StreamMetrics> streams;
 

@@ -31,10 +31,11 @@ Ssd::Ssd(const SsdConfig &cfg)
             events_, *channels_[c], std::move(channel_chips),
             cfg_.timing, geo.pageSizeBytes, cfg_.decisionWindow,
             [this](MemoryRequest *req) { onRequestFinished(req); },
-            &faults_));
+            &faults_, &decoder_));
     }
 
-    ftl_ = std::make_unique<Ftl>(geo, cfg_.ftl, &faults_);
+    ftl_ = std::make_unique<Ftl>(geo, cfg_.ftl, &faults_,
+                                 cfg_.parity.enabled);
 
     std::vector<FlashController *> raw_controllers;
     raw_controllers.reserve(controllers_.size());
@@ -98,6 +99,30 @@ Ssd::Ssd(const SsdConfig &cfg)
     gc_->setProgramFailHook(
         [this](Ppn failed) { return ftl_->onProgramFail(failed); });
 
+    // Die-level parity: the engine keeps stripe parity consistent,
+    // serves degraded reads by reconstruction and rebuilds a failed
+    // die onto spare capacity in the background.
+    if (cfg_.parity.enabled) {
+        parity_ = std::make_unique<ParityEngine>(
+            events_, geo, *ftl_, raw_controllers, requestArena_,
+            cfg_.parity, [this] { nvmhc_->kick(); });
+        parity_->setFinishReconstructHook(
+            [this](MemoryRequest *req, bool ok) {
+                nvmhc_->finishReconstructed(req, ok);
+            });
+        parity_->setProgramFailHook(
+            [this](Ppn failed) { return ftl_->onProgramFail(failed); });
+        parity_->setRebuildCompleteHook([this] {
+            ftl_->reviveDie(cfg_.fault.dieFailChip,
+                            cfg_.fault.dieFailDie);
+            faults_.reviveDie(events_.now());
+            nvmhc_->kick();
+        });
+        nvmhc_->setReconstructHook([this](MemoryRequest *req) {
+            return parity_->tryReconstruct(req);
+        });
+    }
+
     // Whole-die failure: at the configured tick, steer allocation and
     // GC away from the die's planes. In-flight and later reads on the
     // die fail via FaultModel::dieDead() at the controller.
@@ -105,6 +130,9 @@ Ssd::Ssd(const SsdConfig &cfg)
         events_.schedule(cfg_.fault.dieFailTick, [this] {
             ftl_->markDieDead(cfg_.fault.dieFailChip,
                               cfg_.fault.dieFailDie);
+            if (parity_)
+                parity_->onDieFailure(cfg_.fault.dieFailChip,
+                                      cfg_.fault.dieFailDie);
         });
     }
 }
@@ -112,10 +140,23 @@ Ssd::Ssd(const SsdConfig &cfg)
 void
 Ssd::onRequestFinished(MemoryRequest *req)
 {
-    if (req->isGc)
+    // The owner's dispatch can release the request to the arena;
+    // capture what the parity engine needs first.
+    const FlashOp op = req->op;
+    const Ppn ppn = req->ppn;
+    const bool failed = req->faultFailed;
+    if (req->isParity)
+        parity_->onRequestFinished(req);
+    else if (req->isGc)
         gc_->onRequestFinished(req);
     else
         nvmhc_->onRequestFinished(req);
+    // Every successful data-page program (host, GC migration, rebuild
+    // relocation) is a stripe member the parity engine must track;
+    // parity-slot programs are the engine's own closes.
+    if (parity_ && op == FlashOp::Program && !failed &&
+        !ftl_->parityMap()->isParityPage(ppn))
+        parity_->onDataProgram(ppn);
 }
 
 void
@@ -299,6 +340,8 @@ Ssd::run()
         panic("Ssd::run finished with host I/O still outstanding");
     if (!gc_->idle())
         panic("Ssd::run finished with GC still outstanding");
+    if (parity_ && !parity_->idle())
+        panic("Ssd::run finished with parity work still outstanding");
     for (std::size_t sid = 0; sid < streamRt_.size(); ++sid) {
         const HostStreamRuntime &rt = streamRt_[sid];
         if (rt.issueCursor != streamCfgs_[sid].trace.size() ||
@@ -473,6 +516,24 @@ Ssd::metrics() const
     m.failedIos = ns.failedIos;
     m.degradedDies =
         ftl_->blocks().deadPlanes() / cfg_.geometry.planesPerDie;
+
+    // Parity / rebuild / soft-decode counters.
+    m.reconstructedReads = ns.reconstructedReads;
+    m.gcReadFailures = gc_->stats().migrationReadFailures;
+    m.softDecodeInvocations = decoder_.stats.invocations;
+    m.softDecodeFailures = decoder_.stats.failures;
+    m.softDecodeBusyTime = decoder_.stats.busyTime;
+    m.softDecodeStallTime = decoder_.stats.stallTime;
+    if (parity_) {
+        const ParityEngineStats &ps = parity_->stats();
+        m.parityUpdates = ps.parityUpdates;
+        m.parityFullStripeCloses = ps.fullStripeCloses;
+        m.parityPartialCloses = ps.partialCloses + ps.forcedCloses;
+        m.parityRmwReads = ps.rmwReads;
+        m.reconstructionReads = ps.reconstructionReads;
+        m.rebuildPagesTotal = ps.rebuildPagesTotal;
+        m.rebuildPagesRebuilt = ps.rebuildPagesRebuilt;
+    }
 
     // Per-stream slices (multi-queue runs only): counters come from
     // the NVMHC's per-stream stats, latency shape from the completion

@@ -19,6 +19,7 @@
 
 #include "controller/channel.hh"
 #include "controller/flash_controller.hh"
+#include "controller/soft_decoder.hh"
 #include "flash/chip.hh"
 #include "flash/fault_model.hh"
 #include "flash/mem_request.hh"
@@ -31,6 +32,7 @@
 #include "ssd/config.hh"
 #include "ssd/gc_manager.hh"
 #include "ssd/metrics.hh"
+#include "ssd/parity_engine.hh"
 #include "workload/host_stream.hh"
 #include "workload/trace.hh"
 
@@ -116,6 +118,9 @@ class Ssd
     Nvmhc &nvmhc() { return *nvmhc_; }
     Ftl &ftl() { return *ftl_; }
     const GcManager &gc() const { return *gc_; }
+
+    /** Die-parity engine; nullptr when SsdConfig::parity is off. */
+    const ParityEngine *parity() const { return parity_.get(); }
     const SsdConfig &config() const { return cfg_; }
     const FaultModel &faults() const { return faults_; }
     const std::vector<std::unique_ptr<FlashChip>> &chips() const
@@ -170,6 +175,10 @@ class Ssd
      *  declared before the controllers and FTL that hold pointers. */
     FaultModel faults_;
 
+    /** Device-shared (serialized) LDPC soft decoder; declared before
+     *  the controllers that hold a pointer to it. */
+    SoftDecoder decoder_;
+
     /**
      * Device-wide MemoryRequest arena: host-composed requests and GC
      * migration requests share one recycled pool (declared before its
@@ -183,6 +192,7 @@ class Ssd
     std::unique_ptr<Ftl> ftl_;
     std::unique_ptr<GcManager> gc_;
     std::unique_ptr<Nvmhc> nvmhc_;
+    std::unique_ptr<ParityEngine> parity_;
 
     std::vector<IoResult> results_;
     Tick lastArrival_ = 0;

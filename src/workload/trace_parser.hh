@@ -27,6 +27,19 @@
  * I/O at later pipeline stages, and discards/flushes have no
  * replayable payload; all such lines count as skipped. An 'F' in the
  * rwbs field after the R/W marks force-unit-access.
+ *
+ * blktrace native binary format (the per-CPU blktrace.out.<cpu>
+ * files, struct blk_io_trace from blktrace_api.h) — little-endian
+ * 48-byte records followed by a pdu_len payload:
+ *   u32 magic (0x65617400 | version 0x07), u32 sequence,
+ *   u64 time (ns), u64 sector (512 B units), u32 bytes, u32 action,
+ *   u32 pid, u32 device, u32 cpu, u16 error, u16 pdu_len
+ * The action word is (category << 16) | act; only queue acts
+ * (__BLK_TA_QUEUE) in the read or write categories are replayed,
+ * discards and flush-only barriers are skipped, and the FUA category
+ * bit maps to force-unit-access. Records are sorted by (time,
+ * sequence) before rebasing — per-CPU files are only ordered within
+ * one CPU, so a merged or interleaved stream may be out of order.
  */
 
 #ifndef SPK_WORKLOAD_TRACE_PARSER_HH
@@ -91,6 +104,19 @@ ParseResult parseBlktraceTraceFile(const std::string &path);
  * read/write queue (Q) event.
  */
 bool parseBlktraceLine(const std::string &line, TraceRecord &out);
+
+/**
+ * Parse a native binary blktrace stream (blktrace.out.<cpu> record
+ * format). Records are sorted by (time, sequence) and rebased so the
+ * first replayable record arrives at tick 0. Non-queue records,
+ * discards, flush-only barriers and notify messages are skipped and
+ * counted; a record with a bad magic aborts the parse (a binary
+ * stream cannot be re-synced) with the remainder counted as one skip.
+ */
+ParseResult parseBlktraceBinary(std::istream &in);
+
+/** Parse from a file path; fatal() if the file cannot be opened. */
+ParseResult parseBlktraceBinaryFile(const std::string &path);
 
 } // namespace spk
 
