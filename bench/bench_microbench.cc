@@ -40,10 +40,14 @@ struct Result
     std::uint64_t items = 0;
     double seconds = 0.0;
     std::uint64_t allocs = 0; //!< heap allocations in the window
-    /** Events that transited the calendar queue's overflow heap in
-     *  the window (the ROADMAP measurement for second-wheel work). */
-    std::uint64_t overflowTransits = 0;
-    std::uint64_t overflowPeak = 0; //!< heap population high-water
+    /** Per-level calendar-queue traffic in the window: events that
+     *  entered the coarse second wheel and events that entered the
+     *  far-future overflow heap (third level). An event can count in
+     *  both when it drains heap -> wheel as the window advances. */
+    std::uint64_t wheel2Transits = 0;
+    std::uint64_t heapTransits = 0;
+    std::uint64_t wheel2Peak = 0; //!< wheel population high-water
+    std::uint64_t heapPeak = 0;   //!< heap population high-water
 };
 
 using Clock = std::chrono::steady_clock;
@@ -53,6 +57,32 @@ secondsSince(Clock::time_point t0)
 {
     return std::chrono::duration<double>(Clock::now() - t0).count();
 }
+
+/** Snapshot of the per-level counters at a window boundary. */
+struct LevelWindow
+{
+    std::uint64_t wheel2Transits0 = 0;
+    std::uint64_t heapTransits0 = 0;
+
+    explicit LevelWindow(EventQueue &q)
+        : wheel2Transits0(q.wheel2Transits()),
+          heapTransits0(q.heapTransits())
+    {
+        // Measured-window start: peak trackers restart from the
+        // current populations so warmup (or replay-time arrival
+        // parking) is excluded.
+        q.resetLevelPeaks();
+    }
+
+    void
+    finish(const EventQueue &q, Result &r) const
+    {
+        r.wheel2Transits = q.wheel2Transits() - wheel2Transits0;
+        r.heapTransits = q.heapTransits() - heapTransits0;
+        r.wheel2Peak = q.wheel2Peak();
+        r.heapPeak = q.heapPeak();
+    }
+};
 
 /**
  * Event-loop microbenchmark, fill/drain shape: schedule a batch of
@@ -78,8 +108,7 @@ benchEventLoopBatch()
     run_once(q);
 
     bench::AllocWindow window;
-    const std::uint64_t transits0 = q.overflowTransits();
-    q.resetOverflowPeak();
+    const LevelWindow levels(q);
     const auto t0 = Clock::now();
     for (int rep = 0; rep < kReps; ++rep)
         run_once(q);
@@ -93,8 +122,7 @@ benchEventLoopBatch()
     r.seconds = sec;
     r.rate = static_cast<double>(r.items) / sec;
     r.allocs = allocs;
-    r.overflowTransits = q.overflowTransits() - transits0;
-    r.overflowPeak = q.overflowPeak();
+    levels.finish(q, r);
     return r;
 }
 
@@ -127,8 +155,7 @@ benchEventLoopSteadyState()
     q.run(20'000); // warm up pool + heap storage
 
     bench::AllocWindow window;
-    const std::uint64_t transits0 = q.overflowTransits();
-    q.resetOverflowPeak();
+    const LevelWindow levels(q);
     const auto t0 = Clock::now();
     q.run();
     const double sec = secondsSince(t0);
@@ -141,8 +168,58 @@ benchEventLoopSteadyState()
     r.seconds = sec;
     r.rate = static_cast<double>(count) / sec;
     r.allocs = allocs;
-    r.overflowTransits = q.overflowTransits() - transits0;
-    r.overflowPeak = q.overflowPeak();
+    levels.finish(q, r);
+    return r;
+}
+
+/**
+ * Paced-drain shape: the same self-rescheduling chains driven through
+ * runUntil() in fixed time slices, the way the host front-end paces a
+ * device between arrival deadlines. Guards the fused peek+dispatch
+ * path in runUntil (one occupancy scan per event, not two).
+ */
+Result
+benchEventLoopRunUntil()
+{
+    constexpr std::uint64_t kTotal = 2'000'000;
+    constexpr Tick kSlice = 64;
+    EventQueue q;
+    std::uint64_t count = 0;
+
+    struct Chain
+    {
+        EventQueue *q;
+        std::uint64_t *count;
+        int i;
+        void
+        operator()() const
+        {
+            if (++*count < kTotal)
+                q->scheduleAfter(1 + (i % 7), *this);
+        }
+    };
+    for (int i = 0; i < 256; ++i)
+        q.schedule(i % 13, Chain{&q, &count, i});
+    while (!q.empty() && count < 20'000) // warm up pool storage
+        q.runUntil(q.now() + kSlice);
+    const std::uint64_t count0 = count;
+
+    bench::AllocWindow window;
+    const LevelWindow levels(q);
+    const auto t0 = Clock::now();
+    while (!q.empty())
+        q.runUntil(q.now() + kSlice);
+    const double sec = secondsSince(t0);
+    const std::uint64_t allocs = window.count();
+
+    Result r;
+    r.name = "event_loop_run_until";
+    r.unit = "events/sec";
+    r.items = count - count0;
+    r.seconds = sec;
+    r.rate = static_cast<double>(r.items) / sec;
+    r.allocs = allocs;
+    levels.finish(q, r);
     return r;
 }
 
@@ -192,8 +269,10 @@ benchFullDeviceRun(SchedulerKind kind)
 
     constexpr int kReps = 5;
     std::uint64_t events = 0;
-    std::uint64_t transits = 0;
-    std::size_t peak = 0;
+    std::uint64_t wheel2Transits = 0;
+    std::uint64_t heapTransits = 0;
+    std::size_t wheel2Peak = 0;
+    std::size_t heapPeak = 0;
     bench::AllocWindow window;
     const auto t0 = Clock::now();
     for (int rep = 0; rep < kReps; ++rep) {
@@ -205,10 +284,18 @@ benchFullDeviceRun(SchedulerKind kind)
         cfg.scheduler = kind;
         Ssd ssd(cfg);
         ssd.replay(trace);
+        // replay() parks the whole arrival backlog in the calendar
+        // queue upfront — identical for every scheduler (it was the
+        // smoking-gun identical peak across the old per-variant
+        // rows). Restart the peak trackers here so the peaks measure
+        // this variant's in-flight population during the run.
+        ssd.events().resetLevelPeaks();
         ssd.run();
         events += ssd.events().dispatched();
-        transits += ssd.events().overflowTransits();
-        peak = std::max(peak, ssd.events().overflowPeak());
+        wheel2Transits += ssd.events().wheel2Transits();
+        heapTransits += ssd.events().heapTransits();
+        wheel2Peak = std::max(wheel2Peak, ssd.events().wheel2Peak());
+        heapPeak = std::max(heapPeak, ssd.events().heapPeak());
     }
     const double sec = secondsSince(t0);
     const std::uint64_t allocs = window.count();
@@ -220,8 +307,10 @@ benchFullDeviceRun(SchedulerKind kind)
     r.seconds = sec;
     r.rate = static_cast<double>(events) / sec;
     r.allocs = allocs;
-    r.overflowTransits = transits;
-    r.overflowPeak = peak;
+    r.wheel2Transits = wheel2Transits;
+    r.heapTransits = heapTransits;
+    r.wheel2Peak = wheel2Peak;
+    r.heapPeak = heapPeak;
     return r;
 }
 
@@ -230,9 +319,10 @@ benchFullDeviceRun(SchedulerKind kind)
  * device, write-dominated random stream) measured after a warmup run
  * has established every high-water mark. Guards the request-arena GC
  * path: the measurement window must stay at exactly zero heap
- * allocations (the perf gate hard-fails otherwise), and the overflow
- * counters quantify how much of the cell-latency event traffic
- * bypasses the calendar ring (ROADMAP "window tuning" measurement).
+ * allocations (the perf gate hard-fails otherwise), and the per-level
+ * counters quantify how much of the cell-latency event traffic each
+ * calendar-queue level absorbs (the ROADMAP second-wheel measurement:
+ * with the wheel in place, heap transits should be arrivals only).
  */
 Result
 benchGcHeavySteadyState()
@@ -273,8 +363,7 @@ benchGcHeavySteadyState()
     ssd.replay(probe);
 
     const std::uint64_t events0 = ssd.events().dispatched();
-    const std::uint64_t transits0 = ssd.events().overflowTransits();
-    ssd.events().resetOverflowPeak(); // exclude warmup from the peak
+    const LevelWindow levels(ssd.events()); // exclude warmup peaks
     bench::AllocWindow window;
     const auto t0 = Clock::now();
     ssd.run();
@@ -289,8 +378,7 @@ benchGcHeavySteadyState()
     r.seconds = sec;
     r.rate = static_cast<double>(r.items) / sec;
     r.allocs = allocs;
-    r.overflowTransits = ssd.events().overflowTransits() - transits0;
-    r.overflowPeak = ssd.events().overflowPeak();
+    levels.finish(ssd.events(), r);
     return r;
 }
 
@@ -309,13 +397,17 @@ writeJson(const std::vector<Result> &results, const char *path)
                      "    {\"name\": \"%s\", \"unit\": \"%s\", "
                      "\"rate\": %.6g, \"items\": %llu, "
                      "\"seconds\": %.6g, \"allocs\": %llu, "
-                     "\"overflow_transits\": %llu, "
-                     "\"overflow_peak\": %llu}%s\n",
+                     "\"wheel2_transits\": %llu, "
+                     "\"heap_transits\": %llu, "
+                     "\"wheel2_peak\": %llu, "
+                     "\"heap_peak\": %llu}%s\n",
                      r.name.c_str(), r.unit.c_str(), r.rate,
                      static_cast<unsigned long long>(r.items), r.seconds,
                      static_cast<unsigned long long>(r.allocs),
-                     static_cast<unsigned long long>(r.overflowTransits),
-                     static_cast<unsigned long long>(r.overflowPeak),
+                     static_cast<unsigned long long>(r.wheel2Transits),
+                     static_cast<unsigned long long>(r.heapTransits),
+                     static_cast<unsigned long long>(r.wheel2Peak),
+                     static_cast<unsigned long long>(r.heapPeak),
                      i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
@@ -330,23 +422,24 @@ main()
     std::vector<Result> results;
     results.push_back(benchEventLoopBatch());
     results.push_back(benchEventLoopSteadyState());
+    results.push_back(benchEventLoopRunUntil());
     results.push_back(benchGeometryDecompose());
     results.push_back(benchFullDeviceRun(SchedulerKind::VAS));
     results.push_back(benchFullDeviceRun(SchedulerKind::PAS));
     results.push_back(benchFullDeviceRun(SchedulerKind::SPK3));
     results.push_back(benchGcHeavySteadyState());
 
-    std::printf("%-28s %14s %18s %12s %9s %8s\n", "benchmark", "rate",
-                "unit", "allocs", "ovf-trans", "(share)");
+    std::printf("%-28s %14s %18s %10s %9s %9s %8s %8s\n", "benchmark",
+                "rate", "unit", "allocs", "w2-trans", "heap-trans",
+                "w2-peak", "heap-pk");
     for (const auto &r : results) {
-        std::printf("%-28s %14.4g %18s %12llu %9llu (%5.1f%%)\n",
+        std::printf("%-28s %14.4g %18s %10llu %9llu %9llu %8llu %8llu\n",
                     r.name.c_str(), r.rate, r.unit.c_str(),
                     static_cast<unsigned long long>(r.allocs),
-                    static_cast<unsigned long long>(r.overflowTransits),
-                    r.items > 0
-                        ? 100.0 * static_cast<double>(r.overflowTransits) /
-                              static_cast<double>(r.items)
-                        : 0.0);
+                    static_cast<unsigned long long>(r.wheel2Transits),
+                    static_cast<unsigned long long>(r.heapTransits),
+                    static_cast<unsigned long long>(r.wheel2Peak),
+                    static_cast<unsigned long long>(r.heapPeak));
     }
 
     writeJson(results, "BENCH_microbench.json");

@@ -45,6 +45,7 @@ import sys
 ZERO_ALLOC = (
     "event_loop_batch",
     "event_loop_steady_state",
+    "event_loop_run_until",
     "gc_heavy_steady_state",
 )
 

@@ -10,27 +10,73 @@ namespace spk
 {
 
 /*
- * OrderInvariant — why bucket FIFO + overflow (tick, seq) preserves
- * the global (tick, insertion-order) dispatch order:
+ * OrderInvariant — why per-tick ring FIFO + second-wheel bucket FIFO
+ * + overflow (tick, seq) preserves the global (tick, insertion-order)
+ * dispatch order across the three levels:
  *
- * The window [base_, base_ + kBuckets) only moves forward, and the
- * overflow heap only ever holds events at or beyond its end. Two
- * same-tick events therefore either (a) both enter the ring, in
- * insertion order, landing in the same bucket FIFO; (b) both enter
- * the overflow heap, where the explicit seq breaks the tie; or
- * (c) the overflow one is inserted first: a ring insertion at tick T
- * requires T < base_ + kBuckets, which becomes true only inside
- * advanceTo(), and advanceTo() drains every due overflow entry into
- * the ring before returning — so the overflow event is already
- * appended when the direct insertion arrives. The fourth case (ring
- * first, then overflow at the same tick) cannot occur because the
- * window end never decreases.
+ * Define frontier() = coarseOf(base_) + kRingCoarse, the first coarse
+ * bucket not eligible for the ring. base_ never decreases (advanceTo
+ * targets are always <= the minimum pending tick and >= the previous
+ * base_), so the frontier is monotone. Placement is a pure function
+ * of (when, frontier-at-insertion):
+ *
+ *   ring    coarseOf(when) <  frontier
+ *   wheel   coarseOf(when) in [frontier, frontier + kW2Buckets)
+ *   heap    beyond both
+ *
+ * Dispatch always drains the ring, which holds one tick per bucket,
+ * so the global order is correct iff every per-tick ring bucket is
+ * appended in schedule order. Two same-tick events a then b (a
+ * scheduled first) reach that bucket through these paths:
+ *
+ *  1. Both inserted directly into the ring: appended in schedule
+ *     order to the same FIFO.
+ *  2. Both in the same second-wheel bucket: appended to the wheel
+ *     FIFO in arrival order, and a spill walks that FIFO head-to-tail
+ *     distributing into per-tick ring buckets — a stable radix step,
+ *     so same-tick relative order is preserved. Arrival order at the
+ *     wheel bucket matches schedule order: a direct insertion at
+ *     coarse c requires c - frontier < kW2Buckets, and the heap drain
+ *     (advanceTo) restores "every heap entry has coarse - frontier >=
+ *     kW2Buckets" before returning, so a same-coarse heap entry
+ *     scheduled earlier is already in the wheel bucket when the later
+ *     direct insertion arrives; the reverse interleaving (earlier
+ *     direct, later heap) is impossible because the frontier is
+ *     monotone.
+ *  3. Both in the heap: the explicit seq breaks the tie; entries pop
+ *     in (when, seq) order and append (to the ring or the same wheel
+ *     bucket) in that order.
+ *  4. a in the wheel, b inserted directly into the ring: a ring
+ *     insertion at tick T requires coarseOf(T) < frontier, which
+ *     becomes true only inside advanceTo(), and advanceTo() spills
+ *     every wheel bucket below the new frontier before returning —
+ *     so a was already appended to T's ring bucket when b arrives.
+ *     The reverse (a in the ring, b later entering the wheel) cannot
+ *     occur: b entering the wheel needs coarseOf(T) >= frontier, a
+ *     entering the ring needed coarseOf(T) < frontier, and the
+ *     frontier never decreases.
+ *  5. a in the heap, b directly in the ring or wheel: by the drain
+ *     invariant (case 2), a left the heap before b's insertion became
+ *     possible. The reverse is again excluded by monotonicity.
+ *
+ * Within one advanceTo, wheel spills run before the heap drain; a
+ * heap entry can never share a coarse bucket with a wheel-resident
+ * event at that moment (their coarse ranges are disjoint by the drain
+ * invariant), so the internal order of the two phases cannot mix
+ * same-tick events.
+ *
+ * The second wheel's slot array is a bijection over the coarse range
+ * [frontier, frontier + kW2Buckets), so a slot never mixes events of
+ * two different coarse epochs: the older epoch's bucket is spilled
+ * (it lies below the new frontier) before any insertion from the
+ * newer epoch can target the slot.
  */
 
 EventQueue::EventQueue()
 {
-    // The far-future heap typically stays small (cell-latency events
-    // in flight); pre-sizing it keeps early runs allocation-quiet.
+    // The far-future heap typically stays small (arrivals beyond the
+    // ~4.2 ms second-wheel horizon); pre-sizing it keeps early runs
+    // allocation-quiet.
     overflow_.reserve(kPoolChunk);
 }
 
@@ -59,6 +105,31 @@ struct HeapLater
 
 } // namespace
 
+std::size_t
+EventQueue::Occupancy::firstFrom(std::size_t cur) const
+{
+    // Circular scan from the cursor slot. The wrapped tail of the
+    // cursor word (bits below the cursor) maps to the highest slots
+    // of the window, so it is correct to revisit the full word last.
+    const std::size_t w = cur >> 6;
+    const std::uint64_t head = words[w] >> (cur & 63);
+    if (head != 0) [[likely]]
+        return cur + static_cast<std::size_t>(std::countr_zero(head));
+
+    // One rotate puts the summary words into circular scan order:
+    // bit i of rot is summary word (w + 1 + i) & 63, i.e. the words
+    // strictly after the cursor's, wrapping, with word w itself
+    // last — a single countr_zero replaces the two masked scans.
+    const std::uint64_t rot =
+        std::rotr(summary, static_cast<int>((w + 1) & 63));
+    if (rot == 0)
+        panic("EventQueue occupancy scan on an empty wheel");
+    const std::size_t wi =
+        (w + 1 + static_cast<std::size_t>(std::countr_zero(rot))) & 63;
+    return (wi << 6) +
+           static_cast<std::size_t>(std::countr_zero(words[wi]));
+}
+
 void
 EventQueue::pushRing(Event *ev)
 {
@@ -69,49 +140,109 @@ EventQueue::pushRing(Event *ev)
         b.tail->next = ev;
     } else {
         b.head = ev;
-        words_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
-        summary_ |= std::uint64_t{1} << (idx >> 6);
+        ringOcc_.set(idx);
     }
     b.tail = ev;
     ++ringCount_;
 }
 
+void
+EventQueue::pushWheel2(Event *ev)
+{
+    const Tick c = coarseOf(ev->when);
+    const std::size_t idx = static_cast<std::size_t>(c) & kW2Mask;
+    ev->next = nullptr;
+    Bucket &b = wheel2_[idx];
+    if (b.tail != nullptr) {
+        b.tail->next = ev;
+    } else {
+        b.head = ev;
+        w2Occ_.set(idx);
+    }
+    b.tail = ev;
+    ++wheel2Count_;
+    if (c < w2NextCoarse_)
+        w2NextCoarse_ = c;
+    ++wheel2Transits_;
+    if (wheel2Count_ > wheel2Peak_)
+        wheel2Peak_ = wheel2Count_;
+}
+
 std::size_t
 EventQueue::firstBucket() const
 {
-    // Circular scan from the cursor bucket. The wrapped tail of the
-    // cursor word (bits below the cursor) maps to the highest ticks
-    // of the window, so it is correct to revisit the full word last.
-    const std::size_t cur = base_ & kBucketMask;
-    const std::size_t w = cur >> 6;
-    const std::uint64_t head = words_[w] >> (cur & 63);
-    if (head != 0)
-        return cur + static_cast<std::size_t>(std::countr_zero(head));
-
-    const std::uint64_t wbit = std::uint64_t{1} << w;
-    // Words strictly after the cursor word, then wrap to 0..w. The
-    // summary bit for w itself is only considered on the wrap.
-    std::uint64_t s = summary_ & ~(wbit | (wbit - 1));
-    if (s == 0)
-        s = summary_ & (wbit | (wbit - 1));
-    if (s == 0)
-        panic("EventQueue::firstBucket on an empty ring");
-    const auto wi = static_cast<std::size_t>(std::countr_zero(s));
-    const std::uint64_t word = words_[wi];
-    return (wi << 6) + static_cast<std::size_t>(std::countr_zero(word));
+    return ringOcc_.firstFrom(base_ & kBucketMask);
 }
 
 void
 EventQueue::advanceTo(Tick tick)
 {
     base_ = tick;
-    // Subtraction form avoids overflow for ticks near kTickMax.
-    while (!overflow_.empty() && overflow_.front().when - tick < kBuckets) {
-        std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
-        Event *ev = overflow_.back().ev;
-        overflow_.pop_back();
-        pushRing(ev);
+    const Tick newFrontier = frontier();
+
+    // Spill due second-wheel buckets into the ring, in coarse order.
+    // w2NextCoarse_ is the exact wheel minimum, so the common case
+    // ("nothing due") is a single compare. Every spilled event is
+    // ring-eligible: its coarse bucket is below the new frontier and
+    // its tick is >= tick (advanceTo targets never pass a pending
+    // event).
+    while (w2NextCoarse_ < newFrontier) {
+        const std::size_t slot =
+            static_cast<std::size_t>(w2NextCoarse_) & kW2Mask;
+        Bucket &b = wheel2_[slot];
+        Event *ev = b.head;
+        b.head = nullptr;
+        b.tail = nullptr;
+        w2Occ_.clear(slot);
+        while (ev != nullptr) {
+            Event *const next = ev->next;
+            pushRing(ev);
+            --wheel2Count_;
+            ev = next;
+        }
+        if (wheel2Count_ == 0) {
+            w2NextCoarse_ = kTickMax;
+            break;
+        }
+        // Remaining wheel events all lie within kW2Buckets coarse
+        // buckets above the one just spilled, so a circular scan from
+        // the next slot visits them in increasing coarse order.
+        const std::size_t from =
+            static_cast<std::size_t>(w2NextCoarse_ + 1) & kW2Mask;
+        const std::size_t nslot = w2Occ_.firstFrom(from);
+        w2NextCoarse_ += 1 + Tick((nslot - from) & kW2Mask);
     }
+
+    // Drain due heap entries into the ring or the second wheel, in
+    // (when, seq) order. Coarse-delta subtraction form: when >= tick
+    // for every pending event, so nothing underflows even at ticks
+    // near kTickMax (where tick + windowTicks() would overflow).
+    const Tick cb = coarseOf(tick);
+    while (!overflow_.empty()) {
+        const Tick dc = coarseOf(overflow_.front().when) - cb;
+        if (dc >= kRingCoarse + kW2Buckets)
+            break;
+        std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+        Event *const ev = overflow_.back().ev;
+        overflow_.pop_back();
+        if (dc < kRingCoarse)
+            pushRing(ev);
+        else
+            pushWheel2(ev);
+    }
+}
+
+void
+EventQueue::refillRing()
+{
+    // pre: ringCount_ == 0, size_ > 0. Jump the window straight to
+    // the next populated level; advanceTo refills at least one ring
+    // bucket. Level minimums are strictly ordered (every wheel event
+    // precedes every heap event), so the wheel wins when non-empty.
+    if (wheel2Count_ > 0)
+        advanceTo(w2NextCoarse_ << kW2Shift);
+    else
+        advanceTo(overflow_.front().when);
 }
 
 void
@@ -122,13 +253,19 @@ EventQueue::schedule(Tick when, Callback cb)
     Event *ev = pool_.acquire();
     ev->cb = std::move(cb);
     ev->when = when;
-    if (when - base_ < kBuckets) {
+    // Coarse-delta subtraction form (when >= now_ >= base_), safe up
+    // to kTickMax where "base_ + windowTicks()" would overflow.
+    const Tick dc = coarseOf(when) - coarseOf(base_);
+    if (dc < kRingCoarse) {
         pushRing(ev);
+    } else if (dc - kRingCoarse < kW2Buckets) {
+        pushWheel2(ev);
     } else {
         overflow_.push_back(HeapEntry{when, nextSeq_++, ev});
         std::push_heap(overflow_.begin(), overflow_.end(), HeapLater{});
-        ++overflowTransits_;
-        overflowPeak_ = std::max(overflowPeak_, overflow_.size());
+        ++heapTransits_;
+        if (overflow_.size() > heapPeak_)
+            heapPeak_ = overflow_.size();
     }
     ++size_;
 }
@@ -144,9 +281,46 @@ EventQueue::nextEventTick() const
 {
     if (ringCount_ > 0)
         return buckets_[firstBucket()].head->when;
+    if (wheel2Count_ > 0) {
+        // The lowest occupied coarse bucket holds the wheel minimum,
+        // but it spans wheel2BucketTicks() ticks: walk its FIFO for
+        // the exact min (rare path — only when the ring is dry).
+        const std::size_t slot =
+            static_cast<std::size_t>(w2NextCoarse_) & kW2Mask;
+        Tick best = kTickMax;
+        for (const Event *ev = wheel2_[slot].head; ev != nullptr;
+             ev = ev->next) {
+            best = std::min(best, ev->when);
+        }
+        return best;
+    }
     if (!overflow_.empty())
         return overflow_.front().when;
     return kTickMax;
+}
+
+void
+EventQueue::dispatchFrom(std::size_t idx)
+{
+    Bucket &b = buckets_[idx];
+    Event *const ev = b.head;
+    b.head = ev->next;
+    if (b.head == nullptr) {
+        b.tail = nullptr;
+        ringOcc_.clear(idx);
+    }
+    --ringCount_;
+    --size_;
+
+    const Tick when = ev->when;
+    if (when > base_)
+        advanceTo(when); // slide the window; pull due levels down
+    now_ = when;
+    ++dispatched_;
+    // Invoke from the node (it may schedule new events, growing the
+    // pool), then recycle it.
+    ev->cb();
+    releaseEvent(ev);
 }
 
 bool
@@ -154,34 +328,9 @@ EventQueue::step()
 {
     if (size_ == 0)
         return false;
-    if (ringCount_ == 0) {
-        // Ring drained: jump the window to the earliest far-future
-        // event. advanceTo refills at least that event.
-        advanceTo(overflow_.front().when);
-    }
-    const std::size_t idx = firstBucket();
-    Bucket &b = buckets_[idx];
-    Event *ev = b.head;
-    b.head = ev->next;
-    if (b.head == nullptr) {
-        b.tail = nullptr;
-        std::uint64_t &word = words_[idx >> 6];
-        word &= ~(std::uint64_t{1} << (idx & 63));
-        if (word == 0)
-            summary_ &= ~(std::uint64_t{1} << (idx >> 6));
-    }
-    --ringCount_;
-    --size_;
-
-    const Tick when = ev->when;
-    if (when > base_)
-        advanceTo(when); // slide the window; pull due overflow in
-    now_ = when;
-    ++dispatched_;
-    // Invoke from the node (it may schedule new events, growing the
-    // pool), then recycle it.
-    ev->cb();
-    releaseEvent(ev);
+    if (ringCount_ == 0)
+        refillRing();
+    dispatchFrom(firstBucket());
     return true;
 }
 
@@ -197,9 +346,19 @@ EventQueue::run(std::uint64_t limit)
 std::uint64_t
 EventQueue::runUntil(Tick until)
 {
+    // One occupancy scan per dispatch: locate the due bucket, peek
+    // its head, and dispatch from that bucket directly — instead of
+    // the old nextEventTick()-then-step() shape, which re-ran the
+    // full bitmap scan a second time for the event step() had just
+    // located.
     std::uint64_t n = 0;
-    while (size_ != 0 && nextEventTick() <= until) {
-        step();
+    while (size_ != 0) {
+        if (ringCount_ == 0)
+            refillRing();
+        const std::size_t idx = firstBucket();
+        if (buckets_[idx].head->when > until)
+            break;
+        dispatchFrom(idx);
         ++n;
     }
     if (now_ < until)

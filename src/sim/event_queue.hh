@@ -7,17 +7,27 @@
  * (tick, insertion-order) order so simulation results are fully
  * deterministic.
  *
- * Dispatch core is a two-level calendar queue: a power-of-two ring of
- * near-future buckets (one tick per bucket, intrusive FIFO lists of
- * pooled event nodes, O(1) append) backed by an overflow binary heap
- * for events beyond the ring window. As the cursor advances the
- * window follows it and due overflow entries refill the ring, so the
- * short-delay reschedule chains that dominate chip/channel timing
- * traffic never touch the heap at all.
+ * Dispatch core is a three-level hierarchical calendar queue:
+ *
+ *   level 1  ring of kBuckets one-tick buckets (intrusive FIFO lists
+ *            of pooled event nodes, O(1) append, two-level occupancy
+ *            bitmap for O(1) next-bucket scan);
+ *   level 2  coarse wheel of kW2Buckets buckets spanning kW2Width =
+ *            2^kW2Shift ticks each (~4.2 ms total with 1 ns ticks),
+ *            sized so the whole observed cell-latency horizon
+ *            (20 us - 2.2 ms) parks here instead of in the heap;
+ *   level 3  an overflow binary heap, keyed (tick, seq), for the few
+ *            events beyond both wheels (far-future arrivals).
+ *
+ * As the cursor advances the window follows it: due second-wheel
+ * buckets spill into the one-tick ring, and due heap entries drain
+ * into the ring or the second wheel. Short-delay reschedule chains
+ * never leave the ring, and cell-latency events cost two O(1) bucket
+ * hops instead of an O(log n) heap sift each way.
  *
  * The kernel is allocation-free in steady state: callbacks live in
  * pooled event nodes (inline storage, see EventCallback) recycled
- * through a free list, the ring is a fixed array, and the overflow
+ * through a free list, both wheels are fixed arrays, and the overflow
  * heap's backing vector stops growing once the far-future high-water
  * mark is reached.
  */
@@ -41,10 +51,13 @@ namespace spk
  *
  * Events at the same tick fire in the order they were scheduled
  * (FIFO tie-break). Ring buckets hold exactly one tick each, so
- * per-bucket append order is FIFO order; overflow entries carry an
- * explicit sequence number and refill the ring in (tick, seq) order
- * before any same-tick ring insertion can occur, which preserves the
- * global tie-break exactly (see OrderInvariant note in the .cc).
+ * per-bucket append order is FIFO order; second-wheel buckets hold a
+ * tick *range*, but spilling one distributes its FIFO list into
+ * per-tick ring buckets, which is a stable radix step; overflow
+ * entries carry an explicit sequence number and drain in (tick, seq)
+ * order before any same-tick insertion below them can occur. The
+ * combination preserves the global tie-break exactly (see the
+ * OrderInvariant note in the .cc).
  */
 class EventQueue
 {
@@ -103,27 +116,58 @@ class EventQueue
     /** Events currently parked in the near-future ring. */
     std::size_t ringSize() const { return ringCount_; }
 
+    /** Events currently parked in the coarse second wheel. */
+    std::size_t wheel2Size() const { return wheel2Count_; }
+
     /** Events currently parked in the far-future overflow heap. */
-    std::size_t overflowSize() const { return overflow_.size(); }
+    std::size_t heapSize() const { return overflow_.size(); }
 
     /**
-     * Events that transited the overflow heap: scheduled beyond the
-     * ring window, parked in the heap, refilled into the ring later.
-     * Together with dispatched() this measures how much traffic a
-     * second (coarser) wheel could take off the heap — the ROADMAP
-     * measurement gating any hierarchical-wheel work.
+     * Events that entered the second wheel: scheduled beyond the
+     * one-tick ring (directly or drained out of the heap as the
+     * window advanced), parked in a coarse bucket, spilled into the
+     * ring later. An event that visits both the heap and the wheel
+     * counts once in each level's transit counter.
      */
-    std::uint64_t overflowTransits() const { return overflowTransits_; }
+    std::uint64_t wheel2Transits() const { return wheel2Transits_; }
+
+    /**
+     * Events that entered the overflow heap: scheduled beyond both
+     * wheels. Together with dispatched() the per-level transit
+     * counters measure how much traffic each level takes off the
+     * level below it.
+     */
+    std::uint64_t heapTransits() const { return heapTransits_; }
+
+    /** High-water mark of the second wheel's population. */
+    std::size_t wheel2Peak() const { return wheel2Peak_; }
 
     /** High-water mark of the overflow heap's population. */
-    std::size_t overflowPeak() const { return overflowPeak_; }
+    std::size_t heapPeak() const { return heapPeak_; }
 
-    /** Restart the peak tracking from the current population, so a
-     *  measurement window can exclude warmup traffic. */
-    void resetOverflowPeak() { overflowPeak_ = overflow_.size(); }
+    /** Restart both per-level peak trackers from the current
+     *  populations, so a measurement window can exclude warmup (or
+     *  replay-time arrival-parking) traffic. */
+    void resetLevelPeaks()
+    {
+        wheel2Peak_ = wheel2Count_;
+        heapPeak_ = overflow_.size();
+    }
 
     /** Ring window width in ticks (one bucket per tick). */
     static constexpr Tick windowTicks() { return kBuckets; }
+
+    /** Width of one second-wheel bucket in ticks. */
+    static constexpr Tick wheel2BucketTicks()
+    {
+        return Tick{1} << kW2Shift;
+    }
+
+    /** Total span of the second wheel in ticks. */
+    static constexpr Tick wheel2SpanTicks()
+    {
+        return Tick{kW2Buckets} << kW2Shift;
+    }
 
     /**
      * Pooled event node; recycled via the intrusive free list. The
@@ -150,6 +194,25 @@ class EventQueue
     static constexpr std::size_t kBucketMask = kBuckets - 1;
     static constexpr std::size_t kWords = kBuckets / 64;
 
+    /**
+     * Second wheel: kW2Buckets buckets of 2^kW2Shift ticks. With
+     * 1 ns ticks the wheel spans ~4.19 ms, chosen to cover the
+     * longest cell latency the timing model emits (~2.2 ms for an
+     * MLC erase) with 2x headroom, so steady-state device traffic
+     * never reaches the heap.
+     */
+    static constexpr unsigned kW2Shift = 10;
+    static constexpr std::size_t kW2Buckets = 4096;
+    static constexpr std::size_t kW2Mask = kW2Buckets - 1;
+
+    /** Ring window width in coarse (second-wheel) buckets. */
+    static constexpr Tick kRingCoarse = kBuckets >> kW2Shift;
+
+    static_assert(kBuckets >= (std::size_t{1} << kW2Shift),
+                  "ring must span at least one coarse bucket");
+    static_assert(kW2Buckets / 64 == kWords,
+                  "both wheels share the bitmap geometry");
+
     /** Nodes carved per pool growth step. */
     static constexpr std::size_t kPoolChunk = 256;
 
@@ -160,35 +223,96 @@ class EventQueue
         Event *tail = nullptr;
     };
 
+    /**
+     * Two-level occupancy bitmap over 4096 buckets: one bit per
+     * bucket, one summary bit per 64-bucket word. firstFrom() finds
+     * the first occupied slot at or (circularly) after a cursor with
+     * at most one rotate + two countr_zero — no word loop.
+     */
+    struct Occupancy
+    {
+        std::array<std::uint64_t, kWords> words{};
+        std::uint64_t summary = 0;
+
+        void
+        set(std::size_t idx)
+        {
+            words[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+            summary |= std::uint64_t{1} << (idx >> 6);
+        }
+
+        void
+        clear(std::size_t idx)
+        {
+            std::uint64_t &w = words[idx >> 6];
+            w &= ~(std::uint64_t{1} << (idx & 63));
+            if (w == 0)
+                summary &= ~(std::uint64_t{1} << (idx >> 6));
+        }
+
+        std::size_t firstFrom(std::size_t cur) const;
+    };
+
+    /** Coarse (second-wheel) bucket number of @p t. */
+    static constexpr Tick coarseOf(Tick t) { return t >> kW2Shift; }
+
+    /**
+     * First coarse bucket NOT eligible for the ring. Events with
+     * coarseOf(when) < frontier() live in the ring; the frontier only
+     * moves forward (base_ is monotone), which the ordering proof
+     * leans on.
+     */
+    Tick frontier() const { return coarseOf(base_) + kRingCoarse; }
+
     void releaseEvent(Event *ev);
 
     /** Append @p ev to its ring bucket (when within the window). */
     void pushRing(Event *ev);
 
-    /** Index of the first occupied bucket at or after the cursor. */
+    /** Append @p ev to its second-wheel bucket. */
+    void pushWheel2(Event *ev);
+
+    /** Index of the first occupied ring bucket at/after the cursor. */
     std::size_t firstBucket() const;
 
-    /** Advance the window start to @p tick and refill due overflow. */
+    /** Advance the window start to @p tick: spill due second-wheel
+     *  buckets into the ring, then drain due heap entries. */
     void advanceTo(Tick tick);
 
+    /** Ring is empty but events remain: jump the window to the next
+     *  populated level so the ring holds the global minimum again. */
+    void refillRing();
+
+    /** Pop and dispatch the head of ring bucket @p idx. */
+    void dispatchFrom(std::size_t idx);
+
     std::array<Bucket, kBuckets> buckets_;
-    std::array<std::uint64_t, kWords> words_{}; //!< bucket occupancy
-    std::uint64_t summary_ = 0; //!< one bit per occupancy word
+    Occupancy ringOcc_;
+
+    std::array<Bucket, kW2Buckets> wheel2_;
+    Occupancy w2Occ_;
+    /** Exact minimum coarse bucket present in the second wheel
+     *  (kTickMax when empty): lets the hot advanceTo path decide
+     *  "nothing due" with one compare instead of a bitmap scan. */
+    Tick w2NextCoarse_ = kTickMax;
 
     std::vector<HeapEntry> overflow_; //!< min-heap by (when, seq)
     /** Node arena; the Event's bucket link doubles as the free-list
      *  link (a node is never queued and recycled at the same time). */
     Slab<Event, &Event::next> pool_{kPoolChunk};
 
-    Tick base_ = 0; //!< window start; ring holds [base_, base_+kBuckets)
+    Tick base_ = 0; //!< window start; ring holds [base_, frontier()*2^k)
     std::size_t ringCount_ = 0;
+    std::size_t wheel2Count_ = 0;
     std::size_t size_ = 0;
 
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t dispatched_ = 0;
-    std::uint64_t overflowTransits_ = 0;
-    std::size_t overflowPeak_ = 0;
+    std::uint64_t wheel2Transits_ = 0;
+    std::uint64_t heapTransits_ = 0;
+    std::size_t wheel2Peak_ = 0;
+    std::size_t heapPeak_ = 0;
 };
 
 } // namespace spk

@@ -6,9 +6,11 @@
  * The reference replays the same schedule through a stable sort on
  * (tick, insertion-sequence) — the contract the old binary-heap
  * kernel implemented directly. Streams are randomized to hit
- * same-tick FIFO ties, far-future (overflow-heap) insertions, and
- * overflow->ring refill boundaries, including events scheduled from
- * inside callbacks on both sides of the window edge.
+ * same-tick FIFO ties, second-wheel (coarse-bucket) insertions and
+ * spills, far-future (overflow-heap) insertions, heap -> wheel ->
+ * ring cascades, and the boundaries between all three levels,
+ * including events scheduled from inside callbacks on either side of
+ * each window edge.
  */
 
 #include <gtest/gtest.h>
@@ -86,14 +88,18 @@ class RefQueue
 
 /**
  * Deterministic delay generator shared by both queues: mixes ties
- * (delay 0), near-future ring hits, window-edge values and deep
- * overflow-heap insertions several windows out.
+ * (delay 0), near-future ring hits, ring-window-edge values,
+ * second-wheel insertions (including exact coarse-bucket-boundary
+ * ticks), wheel-horizon-edge values, and deep overflow-heap
+ * insertions beyond the second wheel.
  */
 Tick
 delayFor(Rng &rng)
 {
     const Tick window = EventQueue::windowTicks();
-    switch (rng.nextBelow(8)) {
+    const Tick bucket = EventQueue::wheel2BucketTicks();
+    const Tick span = EventQueue::wheel2SpanTicks();
+    switch (rng.nextBelow(12)) {
       case 0:
         return 0; // same-tick tie
       case 1:
@@ -101,11 +107,21 @@ delayFor(Rng &rng)
       case 3:
         return rng.nextBelow(16); // short reschedule chain
       case 4:
-        return rng.nextInRange(window - 8, window + 8); // window edge
+        return rng.nextInRange(window - 8, window + 8); // ring edge
       case 5:
         return rng.nextBelow(window); // anywhere in the ring
+      case 6:
+      case 7:
+        return rng.nextInRange(window, span); // second wheel
+      case 8:
+        // Exact coarse-bucket boundary (+/- 1): events landing on the
+        // first/last tick of a second-wheel bucket.
+        return rng.nextInRange(8, span / bucket - 2) * bucket +
+               rng.nextBelow(3) - 1;
+      case 9:
+        return rng.nextInRange(span - 8, span + 8); // wheel horizon
       default:
-        return rng.nextInRange(window, 40 * window); // deep overflow
+        return rng.nextInRange(span, 3 * span); // overflow heap
     }
 }
 
@@ -185,16 +201,17 @@ TEST(CalendarQueue, MatchesReferenceOrderAcrossRandomStreams)
     }
 }
 
-TEST(CalendarQueue, OverflowRefillPreservesSameTickFifo)
+TEST(CalendarQueue, HeapRefillPreservesSameTickFifo)
 {
-    // An overflow event and a later ring event at the same tick: the
-    // overflow one was scheduled first and must fire first. The ring
+    // An overflow-heap event and a later ring event at the same tick:
+    // the heap one was scheduled first and must fire first. The ring
     // insertion only becomes possible after the window has advanced
-    // (and thus refilled), so FIFO must hold across the boundary.
+    // (and thus drained the heap entry), so FIFO must hold across the
+    // boundary.
     EventQueue q;
-    const Tick far = 3 * EventQueue::windowTicks() + 17;
+    const Tick far = 3 * EventQueue::wheel2SpanTicks() + 17;
     std::vector<int> order;
-    q.schedule(far, [&order] { order.push_back(1); }); // overflow
+    q.schedule(far, [&order] { order.push_back(1); }); // heap
     q.schedule(far - 5, [&order, &q, far] {
         order.push_back(0);
         q.schedule(far, [&order] { order.push_back(2); }); // ring now
@@ -204,30 +221,131 @@ TEST(CalendarQueue, OverflowRefillPreservesSameTickFifo)
     EXPECT_EQ(q.now(), far);
 }
 
-TEST(CalendarQueue, RingAndOverflowCountsTrackTheWindow)
+TEST(CalendarQueue, SameTickFifoAcrossAllThreeLevels)
+{
+    // Three events at one tick T, scheduled while T sat beyond both
+    // wheels (heap), within the second wheel, and within the ring
+    // respectively. Dispatch must report them in schedule order: the
+    // heap entry cascades heap -> wheel -> ring ahead of each later
+    // insertion.
+    EventQueue q;
+    const Tick span = EventQueue::wheel2SpanTicks();
+    const Tick t = 2 * span + 12345;
+    std::vector<int> order;
+    q.schedule(t, [&order] { order.push_back(0); }); // heap (t > span)
+    q.schedule(t - span, [&order, &q, t] {
+        order.push_back(-1);
+        // t is now span ticks ahead: second-wheel range.
+        q.schedule(t, [&order] { order.push_back(1); });
+    });
+    q.schedule(t - 100, [&order, &q, t] {
+        order.push_back(-2);
+        // t is now 100 ticks ahead: ring range.
+        q.schedule(t, [&order] { order.push_back(2); });
+    });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{-1, -2, 0, 1, 2}));
+    EXPECT_EQ(q.now(), t);
+}
+
+TEST(CalendarQueue, RingWheelAndHeapCountsTrackTheWindow)
 {
     EventQueue q;
     const Tick window = EventQueue::windowTicks();
+    const Tick span = EventQueue::wheel2SpanTicks();
     for (Tick t = 0; t < 10; ++t)
         q.schedule(t, [] {});
     for (Tick t = 0; t < 4; ++t)
-        q.schedule(window + 100 + t, [] {});
+        q.schedule(window + 100 + t, [] {}); // second wheel
+    for (Tick t = 0; t < 3; ++t)
+        q.schedule(span + window + 100 + t, [] {}); // heap
     EXPECT_EQ(q.ringSize(), 10u);
-    EXPECT_EQ(q.overflowSize(), 4u);
-    EXPECT_EQ(q.size(), 14u);
+    EXPECT_EQ(q.wheel2Size(), 4u);
+    EXPECT_EQ(q.heapSize(), 3u);
+    EXPECT_EQ(q.size(), 17u);
 
     q.run(10); // draining the ring pulls the window forward
     EXPECT_EQ(q.ringSize(), 0u);
-    EXPECT_EQ(q.overflowSize(), 4u);
+    EXPECT_EQ(q.wheel2Size(), 4u);
+    EXPECT_EQ(q.heapSize(), 3u);
+    // Draining the wheel bucket advances the window, which also pulls
+    // the heap entries (now inside the wheel horizon) down a level.
+    q.run(4);
+    EXPECT_EQ(q.wheel2Size(), 3u);
+    EXPECT_EQ(q.heapSize(), 0u);
     q.run();
     EXPECT_TRUE(q.empty());
-    EXPECT_EQ(q.dispatched(), 14u);
+    EXPECT_EQ(q.dispatched(), 17u);
+}
+
+TEST(CalendarQueue, PerLevelTransitCountersSplitTraffic)
+{
+    EventQueue q;
+    const Tick window = EventQueue::windowTicks();
+    const Tick span = EventQueue::wheel2SpanTicks();
+
+    q.schedule(5, [] {}); // ring only: no transit anywhere
+    EXPECT_EQ(q.wheel2Transits(), 0u);
+    EXPECT_EQ(q.heapTransits(), 0u);
+
+    q.schedule(window + 500, [] {}); // second wheel only
+    EXPECT_EQ(q.wheel2Transits(), 1u);
+    EXPECT_EQ(q.heapTransits(), 0u);
+
+    // Beyond both wheels: one heap transit at schedule time, and one
+    // wheel transit later when the window advance drains it heap ->
+    // wheel (an event counts once per level it visits).
+    q.schedule(span + window + 500, [] {});
+    EXPECT_EQ(q.heapTransits(), 1u);
+    EXPECT_EQ(q.wheel2Transits(), 1u);
+    q.run();
+    EXPECT_EQ(q.heapTransits(), 1u);
+    EXPECT_EQ(q.wheel2Transits(), 2u);
+}
+
+TEST(CalendarQueue, LevelPeaksResetAtWindowStart)
+{
+    // Pin the measurement-window reset discipline: resetLevelPeaks()
+    // restarts both trackers from the *current* populations, so a
+    // bench window excludes warmup/replay parking but still sees its
+    // own high-water marks.
+    EventQueue q;
+    const Tick window = EventQueue::windowTicks();
+    const Tick span = EventQueue::wheel2SpanTicks();
+    for (Tick t = 0; t < 5; ++t)
+        q.schedule(span + window + 100 + t * 3, [] {}); // heap x5
+    for (Tick t = 0; t < 3; ++t)
+        q.schedule(window + 100 + t, [] {}); // wheel x3
+    EXPECT_EQ(q.heapPeak(), 5u);
+    EXPECT_EQ(q.wheel2Peak(), 3u);
+
+    q.run(); // drain everything; peaks keep their high-water
+    EXPECT_EQ(q.heapPeak(), 5u);
+    EXPECT_GE(q.wheel2Peak(), 3u);
+
+    q.resetLevelPeaks(); // window start on an empty queue
+    EXPECT_EQ(q.heapPeak(), 0u);
+    EXPECT_EQ(q.wheel2Peak(), 0u);
+
+    const Tick base = q.now();
+    q.schedule(base + window + 100, [] {});
+    q.schedule(base + window + 101, [] {});
+    EXPECT_EQ(q.wheel2Peak(), 2u); // new window tracks its own peak
+    EXPECT_EQ(q.heapPeak(), 0u);
+
+    // Resetting mid-population keeps the live count as the floor.
+    q.schedule(base + span + window + 100, [] {});
+    q.resetLevelPeaks();
+    EXPECT_EQ(q.wheel2Peak(), 2u);
+    EXPECT_EQ(q.heapPeak(), 1u);
+    q.run();
 }
 
 TEST(CalendarQueue, JumpAcrossManyEmptyWindows)
 {
-    // Successive events dozens of windows apart force the empty-ring
-    // jump path (advanceTo straight to the overflow head).
+    // Successive events dozens of ring windows apart force the
+    // empty-ring jump path (advanceTo straight to the first occupied
+    // second-wheel bucket).
     EventQueue q;
     const Tick window = EventQueue::windowTicks();
     std::vector<Tick> fired;
@@ -242,17 +360,135 @@ TEST(CalendarQueue, JumpAcrossManyEmptyWindows)
         EXPECT_EQ(fired[i - 1], static_cast<Tick>(i) * 37 * window + i);
 }
 
-TEST(CalendarQueue, NextEventTickSeesRingAndOverflow)
+TEST(CalendarQueue, JumpAcrossManyEmptyWheelSpans)
+{
+    // The same shape several wheel horizons apart: every event starts
+    // in the heap and the jump path must cascade heap -> wheel ->
+    // ring repeatedly.
+    EventQueue q;
+    const Tick span = EventQueue::wheel2SpanTicks();
+    std::vector<Tick> fired;
+    for (int i = 1; i <= 8; ++i) {
+        const Tick when = static_cast<Tick>(i) * 3 * span + i;
+        q.schedule(when, [&fired, &q] { fired.push_back(q.now()); });
+    }
+    q.run();
+    ASSERT_EQ(fired.size(), 8u);
+    for (int i = 1; i <= 8; ++i)
+        EXPECT_EQ(fired[i - 1], static_cast<Tick>(i) * 3 * span + i);
+}
+
+TEST(CalendarQueue, WheelBucketBoundarySpills)
+{
+    // Events on the exact first and last tick of coarse buckets, plus
+    // one straddling pair scheduled out of order: the spill is a
+    // stable radix distribution, so (tick, schedule-order) must hold.
+    EventQueue q;
+    const Tick bucket = EventQueue::wheel2BucketTicks();
+    const Tick window = EventQueue::windowTicks();
+    const Tick b0 = ((window / bucket) + 10) * bucket; // bucket start
+    Log log;
+    auto rec = [&log, &q](int id) {
+        return [&log, &q, id] { log.emplace_back(q.now(), id); };
+    };
+    q.schedule(b0 + bucket, rec(0));     // next bucket's first tick
+    q.schedule(b0 + bucket - 1, rec(1)); // this bucket's last tick
+    q.schedule(b0, rec(2));              // this bucket's first tick
+    q.schedule(b0, rec(3));              // same-tick tie on the edge
+    q.schedule(b0 + bucket, rec(4));     // tie on the next edge
+    q.run();
+    const Log expect = {{b0, 2},
+                        {b0, 3},
+                        {b0 + bucket - 1, 1},
+                        {b0 + bucket, 0},
+                        {b0 + bucket, 4}};
+    EXPECT_EQ(log, expect);
+}
+
+TEST(CalendarQueue, FirstBucketWrapsAcrossTheWindowEdge)
+{
+    // Park the cursor near the top of the ring (slot 4090, summary
+    // word 63) and exercise the scan wrap paths: a hit in the head
+    // word above the cursor and a summary rotate into word 0. (The
+    // tail of the cursor's own word is structurally unreachable in
+    // the ring: the window end is coarse-aligned, so the live span
+    // from a mid-bucket cursor is always shorter than a full lap.)
+    EventQueue q;
+    const Tick window = EventQueue::windowTicks();
+    q.schedule(window - 6, [] {});
+    q.run(); // now_ == base_ == 4090
+    ASSERT_EQ(q.now(), window - 6);
+
+    std::vector<Tick> fired;
+    auto rec = [&fired, &q] { fired.push_back(q.now()); };
+    q.schedule(2 * window - 7, rec); // past the frontier: second wheel
+    q.schedule(window + 4, rec);     // slot 4: wraps into word 0
+    q.schedule(window - 3, rec);     // slot 4093: head-word hit
+    EXPECT_EQ(q.ringSize(), 2u);
+    EXPECT_EQ(q.wheel2Size(), 1u); // spills back into a high slot later
+    EXPECT_EQ(q.nextEventTick(), window - 3);
+    q.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{window - 3, window + 4,
+                                        2 * window - 7}));
+}
+
+TEST(CalendarQueue, NextEventTickSeesAllThreeLevels)
 {
     EventQueue q;
     EXPECT_EQ(q.nextEventTick(), kTickMax);
-    const Tick far = 5 * EventQueue::windowTicks();
+    const Tick span = EventQueue::wheel2SpanTicks();
+    const Tick far = 2 * span + 9;
     q.schedule(far, [] {});
-    EXPECT_EQ(q.nextEventTick(), far); // overflow only
+    EXPECT_EQ(q.nextEventTick(), far); // heap only
+    const Tick mid = EventQueue::windowTicks() + 2000;
+    q.schedule(mid + 7, [] {});
+    EXPECT_EQ(q.nextEventTick(), mid + 7); // wheel beats heap
+    // A later-scheduled event earlier in the same coarse bucket: the
+    // bucket FIFO is unordered, so nextEventTick must walk it.
+    q.schedule(mid, [] {});
+    EXPECT_EQ(q.nextEventTick(), mid);
     q.schedule(3, [] {});
     EXPECT_EQ(q.nextEventTick(), 3u); // ring wins
     q.run();
     EXPECT_EQ(q.nextEventTick(), kTickMax);
+}
+
+TEST(CalendarQueue, RandomSchedulesNearTickMax)
+{
+    // Ticks within a few wheel spans of kTickMax: every placement and
+    // window-advance computation must use the subtraction/coarse
+    // forms (base_ + windowTicks() would overflow here). Expected
+    // order is the stable (tick, schedule-order) sort.
+    const Tick span = EventQueue::wheel2SpanTicks();
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        EventQueue q;
+        Rng rng(seed * 77);
+        Log log;
+        std::vector<std::pair<Tick, int>> expect;
+        for (int i = 0; i < 200; ++i) {
+            const Tick when = kTickMax - rng.nextBelow(3 * span);
+            expect.emplace_back(when, i);
+            q.schedule(when,
+                       [&log, &q, i] { log.emplace_back(q.now(), i); });
+        }
+        // A deliberate batch exactly at the sentinel-adjacent top.
+        for (int i = 200; i < 204; ++i) {
+            expect.emplace_back(kTickMax, i);
+            q.schedule(kTickMax,
+                       [&log, &q, i] { log.emplace_back(q.now(), i); });
+        }
+        std::stable_sort(expect.begin(), expect.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+        q.run();
+        ASSERT_EQ(log.size(), expect.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < log.size(); ++i) {
+            ASSERT_EQ(log[i], expect[i])
+                << "seed " << seed << " divergence at event " << i;
+        }
+        EXPECT_EQ(q.now(), kTickMax);
+    }
 }
 
 } // namespace

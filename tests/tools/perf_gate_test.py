@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Behavioral checks for scripts/perf_gate.py.
+
+Runs the gate as a subprocess against synthetic current/baseline JSON
+pairs and asserts on its exit status:
+
+  * a rate regression beyond tolerance on a matching hardware
+    fingerprint must hard-fail (this is the check CI relies on);
+  * a drop inside the tolerance must pass;
+  * allocations appearing in a zero-alloc benchmark must hard-fail
+    even on an unknown fingerprint;
+  * WARN_ONLY_RATES names (event_loop_steady_state) and unmatched
+    fingerprints only warn.
+
+No third-party deps; stdlib unittest only.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+GATE = os.path.join(REPO, "scripts", "perf_gate.py")
+
+FINGERPRINT = "perf-gate-selftest-x1"
+
+BENCH_NAMES = (
+    "event_loop_batch",
+    "event_loop_steady_state",
+    "event_loop_run_until",
+    "gc_heavy_steady_state",
+    "full_device_run_VAS",
+)
+
+
+def bench_entry(name, rate, allocs=0):
+    return {
+        "name": name,
+        "rate": rate,
+        "unit": "events/sec",
+        "items": 1000,
+        "allocs": allocs,
+        "wheel2_transits": 0,
+        "heap_transits": 0,
+        "wheel2_peak": 0,
+        "heap_peak": 0,
+    }
+
+
+def make_run(rates, allocs=None):
+    allocs = allocs or {}
+    return {"benchmarks": [
+        bench_entry(n, rates.get(n, 1e6), allocs.get(n, 0))
+        for n in BENCH_NAMES]}
+
+
+class GateHarness(unittest.TestCase):
+    def run_gate(self, current, baseline, fingerprint=FINGERPRINT,
+                 extra_args=()):
+        with tempfile.TemporaryDirectory() as td:
+            cur = os.path.join(td, "current.json")
+            base = os.path.join(td, "baseline.json")
+            with open(cur, "w") as f:
+                json.dump(current, f)
+            with open(base, "w") as f:
+                json.dump(
+                    {"fingerprints":
+                     {FINGERPRINT: {"benchmarks":
+                                    baseline["benchmarks"]}}}, f)
+            env = dict(os.environ, SPK_PERF_FINGERPRINT=fingerprint)
+            return subprocess.run(
+                [sys.executable, GATE, cur, base, *extra_args],
+                env=env, capture_output=True, text=True)
+
+    def test_regressed_rate_hard_fails(self):
+        # 40% drop on a gated benchmark: must exit non-zero and name
+        # the offender.
+        base = make_run({})
+        cur = make_run({"gc_heavy_steady_state": 0.6e6})
+        r = self.run_gate(cur, base)
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("gc_heavy_steady_state", r.stdout)
+        self.assertIn("FAIL", r.stdout)
+
+    def test_within_tolerance_passes(self):
+        cur = make_run({"gc_heavy_steady_state": 0.95e6})
+        r = self.run_gate(cur, make_run({}))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_improvement_passes(self):
+        cur = make_run({"gc_heavy_steady_state": 2e6})
+        r = self.run_gate(cur, make_run({}))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_allocations_fail_even_unmatched(self):
+        # Zero-alloc enforcement is machine-independent: fails even
+        # when the fingerprint matches no pinned entry.
+        cur = make_run({}, allocs={"event_loop_run_until": 3})
+        r = self.run_gate(cur, make_run({}),
+                          fingerprint="some-other-machine-x8")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("event_loop_run_until", r.stdout)
+
+    def test_warn_only_name_does_not_fail(self):
+        cur = make_run({"event_loop_steady_state": 0.5e6})
+        r = self.run_gate(cur, make_run({}))
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("WARN", r.stdout)
+
+    def test_unmatched_fingerprint_rate_only_warns(self):
+        cur = make_run({"gc_heavy_steady_state": 0.1e6})
+        r = self.run_gate(cur, make_run({}),
+                          fingerprint="some-other-machine-x8")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("WARN", r.stdout)
+
+    def test_missing_gated_benchmark_fails(self):
+        cur = make_run({})
+        cur["benchmarks"] = [b for b in cur["benchmarks"]
+                             if b["name"] != "gc_heavy_steady_state"]
+        r = self.run_gate(cur, make_run({}))
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("missing", r.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
