@@ -53,6 +53,7 @@ faroWindowSweep(const bench::BenchCli &cli)
     SweepAxes axes;
     axes.schedulers = {SchedulerKind::SPK3};
     axes.seeds = {71};
+    axes.fidelities = {cli.fidelity};
     axes.variants = {"1", "2", "4", "8", "12", "16"};
 
     // The trace depends on the config only through the geometry,
@@ -89,6 +90,7 @@ decisionWindowSweep(const bench::BenchCli &cli)
     SweepAxes axes;
     axes.schedulers = {SchedulerKind::SPK3};
     axes.seeds = {72};
+    axes.fidelities = {cli.fidelity};
     axes.variants = {"0", "1", "3", "5", "10"}; // microseconds
 
     const Trace trace =
@@ -122,6 +124,7 @@ queueDepthSweep(const bench::BenchCli &cli)
     SweepAxes axes;
     axes.schedulers = {SchedulerKind::VAS, SchedulerKind::SPK3};
     axes.seeds = {73};
+    axes.fidelities = {cli.fidelity};
     axes.variants = {"8", "16", "32", "64", "128"};
 
     const Trace trace =
@@ -165,6 +168,7 @@ allocationSweep(const bench::BenchCli &cli)
     SweepAxes axes;
     axes.schedulers = bench::allSchedulers();
     axes.seeds = {74};
+    axes.fidelities = {cli.fidelity};
     axes.variants = {"channel-stripe", "plane-first"};
 
     const Trace trace =

@@ -8,6 +8,8 @@
  *   --filter S     keep only axis values whose label contains S
  *                  (case-insensitive; see spk::filterAxes).
  *   --csv PATH     also dump every sweep cell as CSV.
+ *   --fidelity F   exact (default) runs the event-accurate engine,
+ *                  fast the analytic estimator (sim/estimator.hh).
  *
  * Ctrl-C sets the sweep stop flag: in-flight cells finish, the bench
  * reports how far it got and exits 130 without printing tables built
@@ -40,6 +42,7 @@ struct BenchCli
     unsigned threads = 1;
     std::string filter;
     std::string csv;
+    Fidelity fidelity = Fidelity::Exact;
 };
 
 inline unsigned
@@ -55,11 +58,15 @@ usage(const char *prog, int exit_code)
     std::fprintf(
         stderr,
         "usage: %s [--threads N] [--filter SUBSTR] [--csv PATH]\n"
+        "          [--fidelity exact|fast]\n"
         "  --threads N   sweep worker threads (default: %u);\n"
         "                results are identical at any thread count\n"
         "  --filter S    keep axis values containing S "
         "(case-insensitive)\n"
-        "  --csv PATH    also write every sweep cell as CSV\n",
+        "  --csv PATH    also write every sweep cell as CSV\n"
+        "  --fidelity F  exact: event-accurate engine (default);\n"
+        "                fast: analytic estimator (calibrated, "
+        "approximate)\n",
         prog, defaultThreads());
     std::exit(exit_code);
 }
@@ -90,6 +97,15 @@ parseCli(int argc, char **argv)
             cli.filter = needsValue("--filter");
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             cli.csv = needsValue("--csv");
+        } else if (std::strcmp(argv[i], "--fidelity") == 0) {
+            const char *value = needsValue("--fidelity");
+            if (!parseFidelity(value, cli.fidelity)) {
+                std::fprintf(stderr,
+                             "%s: --fidelity must be exact or fast "
+                             "(got %s)\n",
+                             argv[0], value);
+                usage(argv[0], 2);
+            }
         } else if (std::strcmp(argv[i], "--help") == 0 ||
                    std::strcmp(argv[i], "-h") == 0) {
             usage(argv[0], 0);

@@ -53,6 +53,7 @@ main(int argc, char **argv)
     axes.schedulers = {SchedulerKind::VAS};
     axes.seeds = {17};
     axes.variants = {"1", "4", "16", "64", "256", "1024", "4096"};
+    axes.fidelities = {cli.fidelity};
 
     SweepRunner sweep(
         filterAxes(axes, cli.filter), [](const SweepPoint &p) {

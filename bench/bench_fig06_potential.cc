@@ -28,7 +28,7 @@ main(int argc, char **argv)
 
     const auto sweep = bench::paperTraceSweep(
         {SchedulerKind::VAS, SchedulerKind::PAS, SchedulerKind::SPK3},
-        29, cli.filter);
+        29, cli.filter, cli.fidelity);
     bench::runSweep(*sweep, cli);
 
     // Column labels follow the surviving scheduler axis, so --filter

@@ -24,7 +24,8 @@ main(int argc, char **argv)
     bench::printHeader("Figure 10", "bandwidth / IOPS / latency / stall");
 
     const auto sweep =
-        bench::paperTraceSweep(bench::allSchedulers(), 31, cli.filter);
+        bench::paperTraceSweep(bench::allSchedulers(), 31, cli.filter,
+                               cli.fidelity);
     bench::runSweep(*sweep, cli);
 
     const auto &names = sweep->axes().traces;

@@ -24,7 +24,8 @@ main(int argc, char **argv)
     bench::printHeader("Figure 11", "inter- and intra-chip idleness");
 
     const auto sweep =
-        bench::paperTraceSweep(bench::allSchedulers(), 37, cli.filter);
+        bench::paperTraceSweep(bench::allSchedulers(), 37, cli.filter,
+                               cli.fidelity);
     bench::runSweep(*sweep, cli);
 
     const auto &names = sweep->axes().traces;

@@ -49,7 +49,8 @@ main(int argc, char **argv)
     bench::printHeader("Figure 13", "execution time breakdown");
 
     const auto sweep = bench::paperTraceSweep(
-        {SchedulerKind::PAS, SchedulerKind::SPK3}, 43, cli.filter);
+        {SchedulerKind::PAS, SchedulerKind::SPK3}, 43, cli.filter,
+        cli.fidelity);
     bench::runSweep(*sweep, cli);
 
     for (const auto kind : sweep->axes().schedulers)

@@ -52,7 +52,7 @@ main(int argc, char **argv)
     const auto sweep = bench::paperTraceSweep(
         {SchedulerKind::PAS, SchedulerKind::SPK1, SchedulerKind::SPK2,
          SchedulerKind::SPK3},
-        47, cli.filter);
+        47, cli.filter, cli.fidelity);
     bench::runSweep(*sweep, cli);
 
     std::map<SchedulerKind, double> pal3;

@@ -45,6 +45,7 @@ main(int argc, char **argv)
                        SchedulerKind::SPK2, SchedulerKind::SPK3};
     axes.seeds = {59};
     axes.variants = {"64", "1024"}; // chips
+    axes.fidelities = {cli.fidelity};
 
     SweepRunner sweep(
         filterAxes(axes, cli.filter), [](const SweepPoint &p) {

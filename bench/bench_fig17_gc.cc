@@ -55,6 +55,7 @@ main(int argc, char **argv)
                        SchedulerKind::SPK3};
     axes.seeds = {61};
     axes.variants = {"64", "64-GC", "256", "256-GC"};
+    axes.fidelities = {cli.fidelity};
 
     SweepRunner sweep(
         filterAxes(axes, cli.filter), [](const SweepPoint &p) {

@@ -84,6 +84,7 @@ main(int argc, char **argv)
     axes.arbiters = {ArbiterKind::RoundRobin,
                      ArbiterKind::WeightedRoundRobin,
                      ArbiterKind::StrictPriority};
+    axes.fidelities = {cli.fidelity};
 
     SweepRunner sweep(filterAxes(axes, cli.filter),
                       [&streams](const SweepPoint &p) {

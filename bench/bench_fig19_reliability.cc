@@ -41,6 +41,7 @@ main(int argc, char **argv)
     axes.seeds = {71};
     axes.faults = {0.0, 1e-4, 1e-3, 1e-2, 5e-2};
     axes.variants = {"parity=off", "parity=on", "parity=rebuild"};
+    axes.fidelities = {cli.fidelity};
 
     // Size the shared workload span for the smallest logical capacity
     // in the grid (parity reserves 1/D of every chip), so every

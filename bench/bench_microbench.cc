@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/estimator.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "ssd/ssd.hh"
@@ -382,6 +383,49 @@ benchGcHeavySteadyState()
     return r;
 }
 
+/**
+ * Fast-fidelity estimator throughput: the analytic model evaluated
+ * on an evaluation-size device (64 chips) against a mixed synthetic
+ * trace. Rate counts estimated sweep cells per second -- the number
+ * that sets the scale of a fast-mode capacity-planning campaign
+ * (compare against the full_device_run rows for the exact engine's
+ * cost). Allocations are pinned by the perf-gate ratchet.
+ */
+Result
+benchFastModeCells()
+{
+    SyntheticConfig wl;
+    wl.numIos = 2000;
+    wl.spanBytes = 64ull << 20;
+    wl.seed = 7;
+    const Trace trace = generateSynthetic(wl);
+
+    DeviceJob job;
+    job.cfg = SsdConfig::withChips(64);
+    job.cfg.scheduler = SchedulerKind::SPK3;
+    job.trace = trace;
+
+    constexpr int kReps = 100;
+    double acc = 0.0;
+    bench::AllocWindow window;
+    const auto t0 = Clock::now();
+    for (int rep = 0; rep < kReps; ++rep)
+        acc += estimateDevice(job).bandwidthKBps;
+    const double sec = secondsSince(t0);
+    const std::uint64_t allocs = window.count();
+    if (acc < 0.0) // defeat dead-code elimination
+        std::printf("impossible\n");
+
+    Result r;
+    r.name = "fast_mode_cells_per_sec";
+    r.unit = "cells/sec";
+    r.items = kReps;
+    r.seconds = sec;
+    r.rate = static_cast<double>(kReps) / sec;
+    r.allocs = allocs;
+    return r;
+}
+
 void
 writeJson(const std::vector<Result> &results, const char *path)
 {
@@ -428,6 +472,7 @@ main()
     results.push_back(benchFullDeviceRun(SchedulerKind::PAS));
     results.push_back(benchFullDeviceRun(SchedulerKind::SPK3));
     results.push_back(benchGcHeavySteadyState());
+    results.push_back(benchFastModeCells());
 
     std::printf("%-28s %14s %18s %10s %9s %9s %8s %8s\n", "benchmark",
                 "rate", "unit", "allocs", "w2-trans", "heap-trans",

@@ -31,6 +31,7 @@ main(int argc, char **argv)
         axes.traces.push_back(info.name);
     axes.schedulers = {SchedulerKind::VAS}; // unused: no simulation
     axes.seeds = {7};
+    axes.fidelities = {cli.fidelity};
 
     SweepRunner sweep(filterAxes(axes, cli.filter),
                       [](const SweepPoint &p) {

@@ -80,7 +80,8 @@ spanFor(const SsdConfig &cfg, double fraction = 0.5)
  */
 inline std::unique_ptr<SweepRunner>
 paperTraceSweep(std::vector<SchedulerKind> schedulers,
-                std::uint64_t seed, const std::string &filter)
+                std::uint64_t seed, const std::string &filter,
+                Fidelity fidelity = Fidelity::Exact)
 {
     SweepAxes axes;
     axes.traces.clear();
@@ -88,6 +89,7 @@ paperTraceSweep(std::vector<SchedulerKind> schedulers,
         axes.traces.push_back(info.name);
     axes.schedulers = std::move(schedulers);
     axes.seeds = {seed};
+    axes.fidelities = {fidelity};
     const SweepAxes filtered = filterAxes(axes, filter);
 
     const std::uint64_t span =

@@ -8,10 +8,17 @@ Usage:
 Exit status is non-zero when a gated metric regresses by more than the
 tolerance, or when an allocation-free benchmark starts allocating.
 
-Two classes of checks:
+Three classes of checks:
   * allocation counts: the event-loop and GC-heavy steady-state
     benchmarks must stay at 0 allocations. This is machine-independent
     and always a hard failure.
+  * allocation ratchet: every benchmark with a pinned "allocs" value
+    must not allocate MORE than the baseline records. The simulator is
+    deterministic, so allocation counts are machine-independent too:
+    the ratchet hard-fails even when the hardware fingerprint does not
+    match and under --warn-only. Lowering a count is always fine (and
+    --update re-pins the improvement); raising one is a regression of
+    the steady-state-allocation work and needs a deliberate re-pin.
   * events/sec rates: wall-clock rates are machine-relative, so the
     baseline file stores one benchmark set per *hardware fingerprint*
     (cpu model + logical core count; override with
@@ -127,6 +134,21 @@ def main():
     baseline, matched, ref_name, blob = load_baseline(args.baseline, fp)
     failures = []
 
+    # A provisional entry was synthesized (e.g. derated numbers for a
+    # CI runner class nobody has measured yet): its rates gate real
+    # runs, so make sure nobody mistakes them for measurements.
+    note = None
+    if ref_name and "fingerprints" in blob:
+        note = blob["fingerprints"].get(ref_name, {}).get("note")
+    if note:
+        banner = "!" * 66
+        print(banner)
+        print(f"!!  PROVISIONAL BASELINE '{ref_name}'")
+        print(f"!!  {note}")
+        print("!!  re-pin with --update on the target machine to "
+              "clear this note")
+        print(banner)
+
     reported_missing = set()
     for name in ZERO_ALLOC:
         bench = current.get(name)
@@ -155,6 +177,14 @@ def main():
             if name not in reported_missing:
                 failures.append(f"{name}: missing from current run")
             continue
+        # Allocation ratchet: machine-independent, always enforced.
+        base_allocs = base.get("allocs")
+        if base_allocs is not None and bench["allocs"] > base_allocs:
+            failures.append(
+                f"{name}: {bench['allocs']} allocations vs pinned "
+                f"{base_allocs} (ratchet; allocation counts are "
+                "machine-independent -- re-pin with --update only if "
+                "the increase is intentional)")
         if base["rate"] <= 0:
             continue
         ratio = bench["rate"] / base["rate"]

@@ -31,6 +31,17 @@ FlashController::FlashController(EventQueue &events, Channel &channel,
 }
 
 void
+FlashController::reserveSteadyState(std::uint32_t queue_depth)
+{
+    for (auto &cs : state_) {
+        // Host tags 0..depth-1 land on slots 1..depth (slot 0 is GC).
+        cs.perTag.resize(std::size_t{queue_depth} + 1, 0);
+        cs.pending.reserve(queue_depth);
+        cs.executing.reserve(queue_depth);
+    }
+}
+
+void
 FlashController::commit(MemoryRequest *req, bool front)
 {
     if (!req->translated)

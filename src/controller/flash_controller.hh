@@ -91,6 +91,13 @@ class FlashController
      */
     void commit(MemoryRequest *req, bool front = false);
 
+    /**
+     * Pre-size every chip's queues for the NVMHC tag space so the
+     * steady state is reached without incremental container growth
+     * (repeated device construction in sweeps stays cheap).
+     */
+    void reserveSteadyState(std::uint32_t queue_depth);
+
     /** Committed-but-unfinished requests on a chip (by chip offset). */
     std::uint32_t outstanding(std::uint32_t chip_offset) const;
 

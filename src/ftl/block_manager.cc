@@ -29,11 +29,36 @@ BlockManager::BlockManager(const FlashGeometry &geo,
     const std::uint64_t n_planes = std::uint64_t{geo.numChips()} *
                                    geo.diesPerChip * geo.planesPerDie;
     planes_.resize(n_planes);
-    for (auto &plane : planes_) {
-        plane.blocks.resize(geo.blocksPerPlane);
+    blocks_.resize(n_planes * geo.blocksPerPlane);
+    freeSlots_.resize(n_planes * geo.blocksPerPlane);
+    for (std::uint64_t p = 0; p < n_planes; ++p) {
         for (std::uint32_t b = 0; b < geo.blocksPerPlane; ++b)
-            plane.freeList.push_back(b);
+            freeSlots_[p * geo.blocksPerPlane + b] = b;
+        planes_[p].freeCount = geo.blocksPerPlane;
     }
+}
+
+void
+BlockManager::freePushBack(std::uint64_t plane_idx, std::uint32_t blk)
+{
+    Plane &plane = planes_[plane_idx];
+    if (plane.freeCount >= geo_.blocksPerPlane)
+        panic("BlockManager free list overflow");
+    const std::uint32_t pos =
+        (plane.freeHead + plane.freeCount) % geo_.blocksPerPlane;
+    freeSlots_[plane_idx * geo_.blocksPerPlane + pos] = blk;
+    ++plane.freeCount;
+}
+
+std::uint32_t
+BlockManager::freePopFront(std::uint64_t plane_idx)
+{
+    Plane &plane = planes_[plane_idx];
+    const std::uint32_t blk =
+        freeSlots_[plane_idx * geo_.blocksPerPlane + plane.freeHead];
+    plane.freeHead = (plane.freeHead + 1) % geo_.blocksPerPlane;
+    --plane.freeCount;
+    return blk;
 }
 
 std::uint64_t
@@ -81,29 +106,30 @@ BlockManager::planeAddr(std::uint64_t plane_idx) const
 }
 
 bool
-BlockManager::ensureActive(Plane &plane, bool gc_reserve)
+BlockManager::ensureActive(std::uint64_t plane_idx, bool gc_reserve)
 {
+    Plane &plane = planes_[plane_idx];
+    BlockInfo *blocks = planeBlocks(plane_idx);
     if (plane.activeBlock >= 0) {
         const auto &info =
-            plane.blocks[static_cast<std::uint32_t>(plane.activeBlock)];
+            blocks[static_cast<std::uint32_t>(plane.activeBlock)];
         if (info.writtenPages < geo_.pagesPerBlock)
             return true;
         // Block is full: demote it.
-        plane.blocks[static_cast<std::uint32_t>(plane.activeBlock)].state =
+        blocks[static_cast<std::uint32_t>(plane.activeBlock)].state =
             BlockState::Full;
         plane.activeBlock = -1;
     }
-    while (!plane.freeList.empty()) {
+    while (plane.freeCount != 0) {
         // Host writes must not consume the last free block: garbage
         // collection needs a migration destination (GC reserve).
-        if (!gc_reserve && plane.freeList.size() <= 1)
+        if (!gc_reserve && plane.freeCount <= 1)
             return false;
-        const std::uint32_t b = plane.freeList.front();
-        plane.freeList.pop_front();
-        if (plane.blocks[b].state != BlockState::Free)
+        const std::uint32_t b = freePopFront(plane_idx);
+        if (blocks[b].state != BlockState::Free)
             continue;
-        plane.blocks[b].state = BlockState::Active;
-        plane.blocks[b].writtenPages = 0;
+        blocks[b].state = BlockState::Active;
+        blocks[b].writtenPages = 0;
         plane.activeBlock = static_cast<std::int32_t>(b);
         return true;
     }
@@ -120,10 +146,10 @@ BlockManager::allocatePage(std::uint64_t plane_idx, bool gc_reserve)
         return std::nullopt;
     PhysAddr addr = planeAddr(plane_idx);
     for (;;) {
-        if (!ensureActive(plane, gc_reserve))
+        if (!ensureActive(plane_idx, gc_reserve))
             return std::nullopt;
-        auto &info =
-            plane.blocks[static_cast<std::uint32_t>(plane.activeBlock)];
+        auto &info = planeBlocks(
+            plane_idx)[static_cast<std::uint32_t>(plane.activeBlock)];
         const std::uint32_t blk =
             static_cast<std::uint32_t>(plane.activeBlock);
         if (parityReserve_) {
@@ -151,9 +177,10 @@ std::uint32_t
 BlockManager::freeBlocks(std::uint64_t plane_idx) const
 {
     const Plane &plane = planes_.at(plane_idx);
+    const BlockInfo *blocks = planeBlocks(plane_idx);
     std::uint32_t n = 0;
-    for (const auto b : plane.freeList) {
-        if (plane.blocks[b].state == BlockState::Free)
+    for (std::uint32_t i = 0; i < plane.freeCount; ++i) {
+        if (blocks[freeSlotAt(plane_idx, i)].state == BlockState::Free)
             ++n;
     }
     return n;
@@ -162,14 +189,18 @@ BlockManager::freeBlocks(std::uint64_t plane_idx) const
 const BlockInfo &
 BlockManager::block(std::uint64_t plane_idx, std::uint32_t blk) const
 {
-    return planes_.at(plane_idx).blocks.at(blk);
+    if (plane_idx >= planes_.size() || blk >= geo_.blocksPerPlane)
+        panic("BlockManager::block bad address");
+    return planeBlocks(plane_idx)[blk];
 }
 
 void
 BlockManager::addValid(std::uint64_t plane_idx, std::uint32_t blk,
                        int delta)
 {
-    auto &info = planes_.at(plane_idx).blocks.at(blk);
+    if (plane_idx >= planes_.size() || blk >= geo_.blocksPerPlane)
+        panic("BlockManager::addValid bad address");
+    auto &info = planeBlocks(plane_idx)[blk];
     if (delta < 0 &&
         info.validPages < static_cast<std::uint32_t>(-delta)) {
         panic("BlockManager::addValid underflow");
@@ -183,7 +214,9 @@ bool
 BlockManager::eraseBlock(std::uint64_t plane_idx, std::uint32_t blk)
 {
     Plane &plane = planes_.at(plane_idx);
-    auto &info = plane.blocks.at(blk);
+    if (blk >= geo_.blocksPerPlane)
+        panic("BlockManager::eraseBlock bad block");
+    auto &info = planeBlocks(plane_idx)[blk];
     if (info.state == BlockState::Bad)
         panic("BlockManager::eraseBlock on a bad block");
     if (info.validPages != 0)
@@ -203,7 +236,7 @@ BlockManager::eraseBlock(std::uint64_t plane_idx, std::uint32_t blk)
         return false;
     }
     info.state = BlockState::Free;
-    plane.freeList.push_back(blk);
+    freePushBack(plane_idx, blk);
     return true;
 }
 
@@ -211,7 +244,9 @@ void
 BlockManager::retireBlock(std::uint64_t plane_idx, std::uint32_t blk)
 {
     Plane &plane = planes_.at(plane_idx);
-    auto &info = plane.blocks.at(blk);
+    if (blk >= geo_.blocksPerPlane)
+        panic("BlockManager::retireBlock bad block");
+    auto &info = planeBlocks(plane_idx)[blk];
     if (info.state == BlockState::Bad)
         return;
     if (static_cast<std::int32_t>(blk) == plane.activeBlock)
@@ -238,17 +273,18 @@ BlockManager::revivePlane(std::uint64_t plane_idx)
     Plane &plane = planes_.at(plane_idx);
     if (!plane.dead)
         panic("BlockManager::revivePlane on a live plane");
-    plane.freeList.clear();
+    plane.freeHead = 0;
+    plane.freeCount = 0;
     plane.activeBlock = -1;
-    for (std::uint32_t b = 0; b < plane.blocks.size(); ++b) {
-        auto &info = plane.blocks[b];
+    for (std::uint32_t b = 0; b < geo_.blocksPerPlane; ++b) {
+        auto &info = planeBlocks(plane_idx)[b];
         if (info.validPages != 0)
             panic("BlockManager::revivePlane with live pages");
         if (info.state == BlockState::Bad)
             continue;
         info.state = BlockState::Free;
         info.writtenPages = 0;
-        plane.freeList.push_back(b);
+        freePushBack(plane_idx, b);
     }
     plane.dead = false;
     --deadPlanes_;
@@ -262,8 +298,8 @@ BlockManager::pickGcVictim(std::uint64_t plane_idx) const
         return std::nullopt;
     std::optional<std::uint32_t> best;
     std::uint32_t best_valid = std::numeric_limits<std::uint32_t>::max();
-    for (std::uint32_t b = 0; b < plane.blocks.size(); ++b) {
-        const auto &info = plane.blocks[b];
+    for (std::uint32_t b = 0; b < geo_.blocksPerPlane; ++b) {
+        const auto &info = planeBlocks(plane_idx)[b];
         if (info.state != BlockState::Full)
             continue;
         if (info.validPages < best_valid) {
@@ -279,13 +315,11 @@ BlockManager::eraseSpread() const
 {
     std::uint32_t lo = std::numeric_limits<std::uint32_t>::max();
     std::uint32_t hi = 0;
-    for (const auto &plane : planes_) {
-        for (const auto &info : plane.blocks) {
-            if (info.state == BlockState::Bad)
-                continue;
-            lo = std::min(lo, info.eraseCount);
-            hi = std::max(hi, info.eraseCount);
-        }
+    for (const auto &info : blocks_) {
+        if (info.state == BlockState::Bad)
+            continue;
+        lo = std::min(lo, info.eraseCount);
+        hi = std::max(hi, info.eraseCount);
     }
     if (lo > hi)
         lo = hi;
@@ -302,8 +336,8 @@ BlockManager::pickColdestFull() const
         const auto &plane = planes_[p];
         if (plane.dead)
             continue;
-        for (std::uint32_t b = 0; b < plane.blocks.size(); ++b) {
-            const auto &info = plane.blocks[b];
+        for (std::uint32_t b = 0; b < geo_.blocksPerPlane; ++b) {
+            const auto &info = planeBlocks(p)[b];
             if (info.state != BlockState::Full)
                 continue;
             if (info.eraseCount < best_erase ||
@@ -322,14 +356,15 @@ std::uint64_t
 BlockManager::freePages(std::uint64_t plane_idx) const
 {
     const Plane &plane = planes_.at(plane_idx);
+    const BlockInfo *blocks = planeBlocks(plane_idx);
     std::uint64_t pages = 0;
-    for (const auto &info : plane.blocks) {
-        if (info.state == BlockState::Free)
+    for (std::uint32_t b = 0; b < geo_.blocksPerPlane; ++b) {
+        if (blocks[b].state == BlockState::Free)
             pages += geo_.pagesPerBlock;
     }
     if (plane.activeBlock >= 0) {
         const auto &info =
-            plane.blocks[static_cast<std::uint32_t>(plane.activeBlock)];
+            blocks[static_cast<std::uint32_t>(plane.activeBlock)];
         pages += geo_.pagesPerBlock - info.writtenPages;
     }
     return pages;

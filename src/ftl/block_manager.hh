@@ -18,7 +18,6 @@
 #include <vector>
 
 #include "flash/geometry.hh"
-#include "sim/ring_deque.hh"
 #include "sim/types.hh"
 
 namespace spk
@@ -181,28 +180,62 @@ class BlockManager
     std::uint64_t badBlocks() const { return badBlocks_; }
 
   private:
+    /**
+     * Per-plane header. Block metadata and the free-list slots live in
+     * the device-wide flat arrays below (blocks_, freeSlots_), indexed
+     * by plane * blocksPerPlane + offset: a 512-plane device costs
+     * three allocations instead of one-per-plane-per-container, which
+     * keeps repeated device construction (sweeps, benchmarks) cheap.
+     */
     struct Plane
     {
-        std::vector<BlockInfo> blocks;
         /**
          * FIFO free list: erased blocks go to the back and new active
          * blocks come from the front, so every block cycles through
          * the rotation (LIFO would re-erase the same few blocks and
-         * defeat wear leveling).
+         * defeat wear leveling). freeHead/freeCount address a ring
+         * inside the plane's fixed freeSlots_ segment -- a plane can
+         * never have more than blocksPerPlane free blocks.
          */
-        RingDeque<std::uint32_t> freeList;
+        std::uint32_t freeHead = 0;
+        std::uint32_t freeCount = 0;
         std::int32_t activeBlock = -1; //!< -1: none
         bool dead = false; //!< whole plane offline (die failure)
     };
 
+    /** Flat blocks_ segment of one plane. */
+    BlockInfo *planeBlocks(std::uint64_t plane_idx)
+    {
+        return blocks_.data() + plane_idx * geo_.blocksPerPlane;
+    }
+    const BlockInfo *planeBlocks(std::uint64_t plane_idx) const
+    {
+        return blocks_.data() + plane_idx * geo_.blocksPerPlane;
+    }
+
+    /** i-th oldest entry of a plane's free-list ring. */
+    std::uint32_t freeSlotAt(std::uint64_t plane_idx,
+                             std::uint32_t i) const
+    {
+        const Plane &plane = planes_[plane_idx];
+        const std::uint32_t pos =
+            (plane.freeHead + i) % geo_.blocksPerPlane;
+        return freeSlots_[plane_idx * geo_.blocksPerPlane + pos];
+    }
+
+    void freePushBack(std::uint64_t plane_idx, std::uint32_t blk);
+    std::uint32_t freePopFront(std::uint64_t plane_idx);
+
     /** Make sure a plane has an active block; may pop the free list. */
-    bool ensureActive(Plane &plane, bool gc_reserve);
+    bool ensureActive(std::uint64_t plane_idx, bool gc_reserve);
 
     FlashGeometry geo_;
     std::uint32_t endurance_;
     AllocationPolicy policy_;
     bool parityReserve_ = false;
     std::vector<Plane> planes_;
+    std::vector<BlockInfo> blocks_;        //!< planes x blocksPerPlane
+    std::vector<std::uint32_t> freeSlots_; //!< planes x blocksPerPlane
     std::uint32_t maxErase_ = 0;
     std::uint64_t badBlocks_ = 0;
     std::uint64_t deadPlanes_ = 0;

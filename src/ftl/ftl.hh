@@ -23,6 +23,7 @@
 #include "ftl/block_manager.hh"
 #include "ftl/mapping.hh"
 #include "ftl/parity_map.hh"
+#include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "sim/types.hh"
 
@@ -63,6 +64,43 @@ struct GcMigration
 };
 
 /**
+ * Fixed-capacity migration sequence of one GcBatch. The storage is a
+ * segment of the owning GcBatchList's shared arena (one allocation
+ * for the whole list instead of one vector per batch slot); capacity
+ * is pagesPerBlock -- a victim block physically cannot hold more live
+ * pages than that -- so push_back past it is a simulator bug.
+ */
+class MigrationList
+{
+  public:
+    void
+    push_back(const GcMigration &mig)
+    {
+        if (size_ >= cap_)
+            panic("MigrationList overflow");
+        data_[size_++] = mig;
+    }
+
+    void clear() { size_ = 0; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    GcMigration *begin() { return data_; }
+    GcMigration *end() { return data_ + size_; }
+    const GcMigration *begin() const { return data_; }
+    const GcMigration *end() const { return data_ + size_; }
+    const GcMigration &operator[](std::size_t i) const
+    {
+        return data_[i];
+    }
+
+  private:
+    friend class GcBatchList;
+    GcMigration *data_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t cap_ = 0;
+};
+
+/**
  * One garbage-collection unit of work: migrate the victim's live
  * pages, then erase the victim. The mapping changes are applied
  * eagerly by collectGc(); the caller charges the flash time by
@@ -73,7 +111,7 @@ struct GcBatch
     std::uint64_t planeIdx = 0;
     std::uint32_t victimBlock = 0;
     Ppn victimBasePpn = kInvalidPage; //!< any page in the victim block
-    std::vector<GcMigration> migrations;
+    MigrationList migrations;
 
     /**
      * Charge a flash erase once the migrations complete. False for
@@ -87,11 +125,11 @@ struct GcBatch
  * Recycled GcBatch sequence used for the FTL -> GC-engine handoff.
  *
  * Batches are reused in place across collection rounds: append()
- * resets an existing slot (keeping its migrations capacity) instead
- * of constructing a new one, so steady-state collection performs no
- * heap allocation once every slot has reached its migration
- * high-water mark. The list is only valid until the next collect
- * call on the owning FTL.
+ * resets an existing slot instead of constructing a new one, and
+ * every slot's migrations live in one shared arena (slot i owns the
+ * fixed segment [i * cap, (i + 1) * cap)), so the whole list costs
+ * two allocations and steady-state collection performs none. The
+ * list is only valid until the next collect call on the owning FTL.
  */
 class GcBatchList
 {
@@ -101,7 +139,8 @@ class GcBatchList
     append()
     {
         if (used_ == storage_.size())
-            storage_.emplace_back();
+            reserve(storage_.size() + 1,
+                    migCap_ != 0 ? migCap_ : kDefaultMigrations);
         GcBatch &batch = storage_[used_++];
         batch.planeIdx = 0;
         batch.victimBlock = 0;
@@ -122,13 +161,26 @@ class GcBatchList
     /** Forget all batches; storage and capacities are retained. */
     void reset() { used_ = 0; }
 
-    /** Pre-carve @p n slots of @p migrations capacity each. */
+    /**
+     * Pre-carve @p n slots of @p migrations capacity each. Call once
+     * before use: raising the per-slot capacity re-strides the arena,
+     * which would scramble any migrations already recorded.
+     */
     void
     reserve(std::size_t n, std::size_t migrations)
     {
-        storage_.resize(std::max(storage_.size(), n));
-        for (auto &batch : storage_)
-            batch.migrations.reserve(migrations);
+        if (migrations > migCap_ && used_ != 0)
+            panic("GcBatchList::reserve re-stride with live batches");
+        migCap_ = std::max(migCap_, migrations);
+        const std::size_t slots = std::max(storage_.size(), n);
+        storage_.resize(slots);
+        arena_.resize(slots * migCap_);
+        // Growing the arena moves it: re-wire every slot's segment
+        // (sizes survive in the slots; slot offsets are stable).
+        for (std::size_t i = 0; i < slots; ++i) {
+            storage_[i].migrations.data_ = arena_.data() + i * migCap_;
+            storage_[i].migrations.cap_ = migCap_;
+        }
     }
 
     std::size_t size() const { return used_; }
@@ -138,7 +190,14 @@ class GcBatchList
     const GcBatch *end() const { return storage_.data() + used_; }
 
   private:
+    /** Per-slot capacity when append() runs before any reserve()
+     *  (ad-hoc lists in tests); the FTL always reserves with the
+     *  device's real pagesPerBlock. */
+    static constexpr std::size_t kDefaultMigrations = 64;
+
     std::vector<GcBatch> storage_;
+    std::vector<GcMigration> arena_; //!< all slots' migration storage
+    std::size_t migCap_ = 0;         //!< per-slot arena stride
     std::size_t used_ = 0;
 };
 

@@ -45,6 +45,7 @@ Nvmhc::Nvmhc(EventQueue &events, const FlashGeometry &geo, Ftl &ftl,
     freeTags_.reserve(cfg_.queueDepth);
     for (TagId tag = cfg_.queueDepth; tag > 0; --tag)
         freeTags_.push_back(tag - 1);
+    queue_.reserve(cfg_.queueDepth);
 
     // Flat per-chip lookup tables so a scheduler poll is two loads.
     const std::uint32_t n_chips = geo_.numChips();

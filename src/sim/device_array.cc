@@ -1,14 +1,47 @@
 #include "sim/device_array.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "sim/estimator.hh"
 #include "sim/logging.hh"
 
 namespace spk
 {
+
+const char *
+fidelityName(Fidelity fidelity)
+{
+    switch (fidelity) {
+      case Fidelity::Exact:
+        return "exact";
+      case Fidelity::Fast:
+        return "fast";
+    }
+    return "?";
+}
+
+bool
+parseFidelity(const std::string &name, Fidelity &out)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    if (lower == "exact") {
+        out = Fidelity::Exact;
+        return true;
+    }
+    if (lower == "fast") {
+        out = Fidelity::Fast;
+        return true;
+    }
+    return false;
+}
 
 DeviceArray::DeviceArray(std::vector<DeviceJob> jobs)
     : jobs_(std::move(jobs)),
@@ -23,6 +56,13 @@ DeviceArray::runOne(std::size_t index)
     if (!job.streams.empty() && !job.trace.empty())
         fatal("DeviceArray: job has both a trace and streams — move "
               "the trace into a stream");
+    if (job.fidelity == Fidelity::Fast) {
+        // Analytic path: no event loop, no per-I/O series. Same
+        // release/acquire contract as the exact path below.
+        results_[index] = estimateDevice(job);
+        completed_[index].store(1, std::memory_order_release);
+        return;
+    }
     Ssd ssd(job.cfg);
     if (job.preconditionGc)
         ssd.preconditionForGc();

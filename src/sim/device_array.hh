@@ -28,6 +28,27 @@
 namespace spk
 {
 
+/**
+ * Simulation fidelity of one device job.
+ *
+ * Exact runs the event-accurate engine; Fast skips the event loop and
+ * evaluates the closed-form/fluid estimator (sim/estimator.hh) on the
+ * same inputs. Fast cells are ~100-1000x cheaper and calibrated
+ * against Exact (see bench_calibration), but approximate: headline
+ * throughput tracks within the documented tolerance, reliability
+ * counters stay zero and no per-I/O series is produced.
+ */
+enum class Fidelity : std::uint8_t
+{
+    Exact,
+    Fast,
+};
+
+const char *fidelityName(Fidelity fidelity);
+
+/** Parse "exact"/"fast" (case-insensitive); false on anything else. */
+bool parseFidelity(const std::string &name, Fidelity &out);
+
 /** One independent simulation: device config plus its workload. */
 struct DeviceJob
 {
@@ -46,8 +67,12 @@ struct DeviceJob
     bool preconditionGc = false; //!< fill + fragment before replay
     /** Keep the per-I/O completion series (time-series exhibits).
      *  Off by default: a long sweep does not need N full IoResult
-     *  vectors resident at once. */
+     *  vectors resident at once. Ignored by Fast cells (the
+     *  estimator has no per-I/O series). */
     bool captureIoResults = false;
+
+    /** Engine selection for this cell (see Fidelity). */
+    Fidelity fidelity = Fidelity::Exact;
 };
 
 /** Optional per-run observation and control hooks. */

@@ -57,15 +57,18 @@ expandPoints(const SweepAxes &axes)
                 for (const auto &variant : axes.variants) {
                     for (const auto arbiter : axes.arbiters) {
                         for (const auto fault : axes.faults) {
-                            SweepPoint p;
-                            p.trace = trace;
-                            p.scheduler = scheduler;
-                            p.seed = seed;
-                            p.variant = variant;
-                            p.arbiter = arbiter;
-                            p.fault = fault;
-                            p.index = points.size();
-                            points.push_back(std::move(p));
+                            for (const auto fid : axes.fidelities) {
+                                SweepPoint p;
+                                p.trace = trace;
+                                p.scheduler = scheduler;
+                                p.seed = seed;
+                                p.variant = variant;
+                                p.arbiter = arbiter;
+                                p.fault = fault;
+                                p.fidelity = fid;
+                                p.index = points.size();
+                                points.push_back(std::move(p));
+                            }
                         }
                     }
                 }
@@ -81,8 +84,13 @@ buildJobs(const std::vector<SweepPoint> &points,
 {
     std::vector<DeviceJob> jobs;
     jobs.reserve(points.size());
-    for (const auto &p : points)
-        jobs.push_back(build(p));
+    for (const auto &p : points) {
+        DeviceJob job = build(p);
+        // The fidelity axis owns engine selection: stamping it here
+        // keeps every existing job builder fidelity-agnostic.
+        job.fidelity = p.fidelity;
+        jobs.push_back(std::move(job));
+    }
     return jobs;
 }
 
@@ -102,6 +110,9 @@ filterAxes(SweepAxes axes, const std::string &needle)
                [](const std::string &s) { return s; });
     filterAxis(axes.arbiters, needle, [](ArbiterKind k) {
         return std::string(arbiterKindName(k));
+    });
+    filterAxis(axes.fidelities, needle, [](Fidelity f) {
+        return std::string(fidelityName(f));
     });
     return axes;
 }
@@ -134,7 +145,8 @@ SweepRunner::run(unsigned threads, const Progress &progress)
 std::size_t
 SweepRunner::indexOf(const std::string &trace, SchedulerKind scheduler,
                      std::uint64_t seed, const std::string &variant,
-                     ArbiterKind arbiter, double fault) const
+                     ArbiterKind arbiter, double fault,
+                     Fidelity fidelity) const
 {
     const auto axisIndex = [](const auto &values, const auto &value,
                               const char *axis) {
@@ -167,23 +179,32 @@ SweepRunner::indexOf(const std::string &trace, SchedulerKind scheduler,
         fault == 0.0 && axes_.faults.size() == 1
             ? 0
             : axisIndex(axes_.faults, fault, "fault");
-    return ((((t * axes_.schedulers.size() + s) * axes_.seeds.size() +
-              e) *
-                 axes_.variants.size() +
-             v) *
-                axes_.arbiters.size() +
-            a) *
-               axes_.faults.size() +
-           f;
+    const std::size_t fi =
+        fidelity == Fidelity::Exact && axes_.fidelities.size() == 1
+            ? 0
+            : axisIndex(axes_.fidelities, fidelity, "fidelity");
+    return (((((t * axes_.schedulers.size() + s) *
+                   axes_.seeds.size() +
+               e) *
+                  axes_.variants.size() +
+              v) *
+                 axes_.arbiters.size() +
+             a) *
+                axes_.faults.size() +
+            f) *
+               axes_.fidelities.size() +
+           fi;
 }
 
 const MetricsSnapshot &
 SweepRunner::at(const std::string &trace, SchedulerKind scheduler,
                 std::uint64_t seed, const std::string &variant,
-                ArbiterKind arbiter, double fault) const
+                ArbiterKind arbiter, double fault,
+                Fidelity fidelity) const
 {
-    const std::size_t index =
-        indexOf(trace, scheduler, seed, variant, arbiter, fault);
+    const std::size_t index = indexOf(trace, scheduler, seed,
+                                      variant, arbiter, fault,
+                                      fidelity);
     if (array_.results().size() != points_.size())
         fatal("SweepRunner: results accessed before run()");
     return array_.results()[index];
@@ -193,10 +214,12 @@ const std::vector<IoResult> &
 SweepRunner::ioResultsAt(const std::string &trace,
                          SchedulerKind scheduler, std::uint64_t seed,
                          const std::string &variant,
-                         ArbiterKind arbiter, double fault) const
+                         ArbiterKind arbiter, double fault,
+                         Fidelity fidelity) const
 {
-    const std::size_t index =
-        indexOf(trace, scheduler, seed, variant, arbiter, fault);
+    const std::size_t index = indexOf(trace, scheduler, seed,
+                                      variant, arbiter, fault,
+                                      fidelity);
     if (array_.results().size() != points_.size())
         fatal("SweepRunner: results accessed before run()");
     return array_.ioResults(index);
@@ -205,20 +228,22 @@ SweepRunner::ioResultsAt(const std::string &trace,
 const DeviceJob &
 SweepRunner::jobAt(const std::string &trace, SchedulerKind scheduler,
                    std::uint64_t seed, const std::string &variant,
-                   ArbiterKind arbiter, double fault) const
+                   ArbiterKind arbiter, double fault,
+                   Fidelity fidelity) const
 {
     return array_.jobs()[indexOf(trace, scheduler, seed, variant,
-                                 arbiter, fault)];
+                                 arbiter, fault, fidelity)];
 }
 
 bool
 SweepRunner::cellCompleted(const std::string &trace,
                            SchedulerKind scheduler, std::uint64_t seed,
                            const std::string &variant,
-                           ArbiterKind arbiter, double fault) const
+                           ArbiterKind arbiter, double fault,
+                           Fidelity fidelity) const
 {
-    return array_.completed(
-        indexOf(trace, scheduler, seed, variant, arbiter, fault));
+    return array_.completed(indexOf(trace, scheduler, seed, variant,
+                                    arbiter, fault, fidelity));
 }
 
 MetricsSnapshot
@@ -239,7 +264,8 @@ SweepRunner::writeCsv(std::ostream &os) const
     if (array_.results().size() != points_.size() &&
         !points_.empty())
         fatal("SweepRunner: CSV requested before run()");
-    os << "trace,scheduler,seed,variant,arbiter,fault,completed,ios,"
+    os << "trace,scheduler,seed,variant,arbiter,fault,fidelity,"
+          "completed,ios,"
           "bytes_read,"
           "bytes_written,bandwidth_kbps,iops,avg_latency_ns,p50_ns,"
           "p95_ns,p99_ns,max_ns,avg_read_ns,avg_write_ns,"
@@ -267,6 +293,7 @@ SweepRunner::writeCsv(std::ostream &os) const
         os << p.trace << ',' << schedulerKindName(p.scheduler) << ','
            << p.seed << ',' << p.variant << ','
            << arbiterKindName(p.arbiter) << ',' << p.fault << ','
+           << fidelityName(p.fidelity) << ','
            << (array_.completed(p.index) ? 1 : 0) << ','
            << m.iosCompleted << ',' << m.bytesRead << ','
            << m.bytesWritten << ',' << m.bandwidthKBps << ','
@@ -318,7 +345,8 @@ SweepRunner::writeStreamCsv(std::ostream &os) const
 {
     if (array_.results().size() != points_.size() && !points_.empty())
         fatal("SweepRunner: stream CSV requested before run()");
-    os << "trace,scheduler,seed,variant,arbiter,fault,stream,"
+    os << "trace,scheduler,seed,variant,arbiter,fault,fidelity,"
+          "stream,"
           "ios_submitted,ios,bytes_read,bytes_written,"
           "bandwidth_kbps,iops,avg_latency_ns,p99_ns,max_ns,"
           "queue_stall_ns\n";
@@ -330,7 +358,7 @@ SweepRunner::writeStreamCsv(std::ostream &os) const
             os << p.trace << ',' << schedulerKindName(p.scheduler)
                << ',' << p.seed << ',' << p.variant << ','
                << arbiterKindName(p.arbiter) << ',' << p.fault << ','
-               << s.name << ','
+               << fidelityName(p.fidelity) << ',' << s.name << ','
                << s.iosSubmitted << ',' << s.iosCompleted << ','
                << s.bytesRead << ',' << s.bytesWritten << ','
                << s.bandwidthKBps << ',' << s.iops << ','

@@ -31,7 +31,7 @@ namespace spk
  * The axes of a sweep. Labels are free-form strings; an axis left at
  * its one-element default contributes nothing to the cross product.
  * Cell expansion order is fixed: trace (outermost), scheduler, seed,
- * variant, arbiter, fault (innermost).
+ * variant, arbiter, fault, fidelity (innermost).
  */
 struct SweepAxes
 {
@@ -44,12 +44,17 @@ struct SweepAxes
     /** Injected fault intensity (reliability exhibits); how a value
      *  maps onto FaultConfig rates is the job builder's business. */
     std::vector<double> faults{0.0};
+    /** Engine fidelity per cell: event-accurate vs the analytic
+     *  estimator. Stamped onto the built DeviceJob after the job
+     *  builder runs, so builders stay fidelity-agnostic. */
+    std::vector<Fidelity> fidelities{Fidelity::Exact};
 
     std::size_t
     cellCount() const
     {
         return traces.size() * schedulers.size() * seeds.size() *
-               variants.size() * arbiters.size() * faults.size();
+               variants.size() * arbiters.size() * faults.size() *
+               fidelities.size();
     }
 };
 
@@ -75,6 +80,7 @@ struct SweepPoint
     std::string variant;
     ArbiterKind arbiter = ArbiterKind::RoundRobin;
     double fault = 0.0;
+    Fidelity fidelity = Fidelity::Exact;
     std::size_t index = 0; //!< flat cell index (expansion order)
 };
 
@@ -151,7 +157,8 @@ class SweepRunner
     at(const std::string &trace, SchedulerKind scheduler,
        std::uint64_t seed = 0, const std::string &variant = "",
        ArbiterKind arbiter = ArbiterKind::RoundRobin,
-       double fault = 0.0) const;
+       double fault = 0.0,
+       Fidelity fidelity = Fidelity::Exact) const;
 
     /** Per-I/O series for cells whose job set captureIoResults. */
     const std::vector<IoResult> &
@@ -159,14 +166,16 @@ class SweepRunner
                 std::uint64_t seed = 0,
                 const std::string &variant = "",
                 ArbiterKind arbiter = ArbiterKind::RoundRobin,
-                double fault = 0.0) const;
+                double fault = 0.0,
+                Fidelity fidelity = Fidelity::Exact) const;
 
     /** The expanded job of one cell (e.g. to summarize its trace). */
     const DeviceJob &
     jobAt(const std::string &trace, SchedulerKind scheduler,
           std::uint64_t seed = 0, const std::string &variant = "",
           ArbiterKind arbiter = ArbiterKind::RoundRobin,
-          double fault = 0.0) const;
+          double fault = 0.0,
+          Fidelity fidelity = Fidelity::Exact) const;
 
     /** True once the cell ran to completion in the last run(). */
     bool
@@ -174,7 +183,8 @@ class SweepRunner
                   std::uint64_t seed = 0,
                   const std::string &variant = "",
                   ArbiterKind arbiter = ArbiterKind::RoundRobin,
-                  double fault = 0.0) const;
+                  double fault = 0.0,
+                  Fidelity fidelity = Fidelity::Exact) const;
 
     /** Cells finished during the last run(). */
     std::size_t completedCount() const
@@ -188,7 +198,7 @@ class SweepRunner
     MetricsSnapshot aggregate() const;
 
     /**
-     * Emit one CSV row per cell: the six axis columns, a completed
+     * Emit one CSV row per cell: the seven axis columns, a completed
      * flag, then every MetricsSnapshot field. Cancelled (incomplete)
      * cells emit zeros with completed=0.
      */
@@ -211,7 +221,8 @@ class SweepRunner
     std::size_t indexOf(const std::string &trace,
                         SchedulerKind scheduler, std::uint64_t seed,
                         const std::string &variant,
-                        ArbiterKind arbiter, double fault) const;
+                        ArbiterKind arbiter, double fault,
+                        Fidelity fidelity) const;
 
     SweepAxes axes_;
     std::vector<SweepPoint> points_;

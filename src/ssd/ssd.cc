@@ -32,6 +32,7 @@ Ssd::Ssd(const SsdConfig &cfg)
             cfg_.timing, geo.pageSizeBytes, cfg_.decisionWindow,
             [this](MemoryRequest *req) { onRequestFinished(req); },
             &faults_, &decoder_));
+        controllers_.back()->reserveSteadyState(cfg_.nvmhc.queueDepth);
     }
 
     ftl_ = std::make_unique<Ftl>(geo, cfg_.ftl, &faults_,

@@ -61,6 +61,46 @@ struct TraceSummary
  */
 TraceSummary summarize(const Trace &trace);
 
+/**
+ * Page-level mix of a workload on a given page size: the aggregate
+ * inputs the analytic fast-mode estimator (sim/estimator.hh) consumes
+ * alongside the per-record walk. Page counts use the device's
+ * page-rounded accounting (a record spanning a page boundary costs
+ * every page it touches), so they match the NVMHC's byte counters.
+ */
+struct TraceMix
+{
+    std::uint64_t records = 0;
+    std::uint64_t readRecords = 0;
+    std::uint64_t writeRecords = 0;
+    std::uint64_t readPages = 0;
+    std::uint64_t writePages = 0;
+    Tick firstArrival = 0;
+    Tick lastArrival = 0;
+    std::uint64_t spanPages = 0; //!< highest page touched plus one
+
+    /** Fold another mix in (multi-stream jobs merge per-stream
+     *  mixes; arrival bounds widen, counters sum). */
+    void merge(const TraceMix &other);
+
+    double
+    writePageFraction() const
+    {
+        const auto total = readPages + writePages;
+        return total == 0 ? 0.0
+                          : static_cast<double>(writePages) /
+                                static_cast<double>(total);
+    }
+};
+
+/** Number of pages a record touches at @p page_size (page-rounded,
+ *  matching request decomposition). Zero-byte records cost one. */
+std::uint64_t recordPages(const TraceRecord &rec,
+                          std::uint32_t page_size);
+
+/** Summarize @p trace as the page-level mix at @p page_size. */
+TraceMix summarizeMix(const Trace &trace, std::uint32_t page_size);
+
 /** Total bytes moved by the trace. */
 std::uint64_t traceBytes(const Trace &trace);
 

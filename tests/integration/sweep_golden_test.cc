@@ -282,7 +282,8 @@ TEST(SweepGolden, CsvEmitsHeaderAndOneRowPerCell)
     ASSERT_TRUE(std::getline(is, line));
     EXPECT_EQ(
         line.rfind(
-            "trace,scheduler,seed,variant,arbiter,fault,completed,",
+            "trace,scheduler,seed,variant,arbiter,fault,fidelity,"
+            "completed,",
             0),
         0u);
     std::size_t rows = 0;

@@ -9,6 +9,11 @@ pairs and asserts on its exit status:
   * a drop inside the tolerance must pass;
   * allocations appearing in a zero-alloc benchmark must hard-fail
     even on an unknown fingerprint;
+  * the allocation ratchet: exceeding a pinned non-zero alloc count
+    hard-fails on any fingerprint, while matching or lowering it
+    passes;
+  * a provisional baseline entry (a "note" field) prints a prominent
+    banner;
   * WARN_ONLY_RATES names (event_loop_steady_state) and unmatched
     fingerprints only warn.
 
@@ -60,17 +65,17 @@ def make_run(rates, allocs=None):
 
 class GateHarness(unittest.TestCase):
     def run_gate(self, current, baseline, fingerprint=FINGERPRINT,
-                 extra_args=()):
+                 extra_args=(), note=None):
         with tempfile.TemporaryDirectory() as td:
             cur = os.path.join(td, "current.json")
             base = os.path.join(td, "baseline.json")
             with open(cur, "w") as f:
                 json.dump(current, f)
+            entry = {"benchmarks": baseline["benchmarks"]}
+            if note is not None:
+                entry["note"] = note
             with open(base, "w") as f:
-                json.dump(
-                    {"fingerprints":
-                     {FINGERPRINT: {"benchmarks":
-                                    baseline["benchmarks"]}}}, f)
+                json.dump({"fingerprints": {FINGERPRINT: entry}}, f)
             env = dict(os.environ, SPK_PERF_FINGERPRINT=fingerprint)
             return subprocess.run(
                 [sys.executable, GATE, cur, base, *extra_args],
@@ -117,6 +122,33 @@ class GateHarness(unittest.TestCase):
                           fingerprint="some-other-machine-x8")
         self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
         self.assertIn("WARN", r.stdout)
+
+    def test_alloc_ratchet_fails_on_increase_any_fingerprint(self):
+        # The ratchet is machine-independent: exceeding the pinned
+        # count fails even when the fingerprint matches no entry.
+        base = make_run({}, allocs={"full_device_run_VAS": 975})
+        cur = make_run({}, allocs={"full_device_run_VAS": 1000})
+        r = self.run_gate(cur, base,
+                          fingerprint="some-other-machine-x8")
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        self.assertIn("ratchet", r.stdout)
+        self.assertIn("full_device_run_VAS", r.stdout)
+
+    def test_alloc_ratchet_allows_equal_and_lower(self):
+        base = make_run({}, allocs={"full_device_run_VAS": 975})
+        same = make_run({}, allocs={"full_device_run_VAS": 975})
+        lower = make_run({}, allocs={"full_device_run_VAS": 100})
+        for cur in (same, lower):
+            r = self.run_gate(cur, base)
+            self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_provisional_note_prints_banner(self):
+        cur = make_run({})
+        r = self.run_gate(cur, make_run({}),
+                          note="provisional: derated for selftest")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("PROVISIONAL BASELINE", r.stdout)
+        self.assertIn("derated for selftest", r.stdout)
 
     def test_missing_gated_benchmark_fails(self):
         cur = make_run({})
