@@ -58,7 +58,7 @@ faroWindowSweep(const bench::BenchCli &cli)
 
     // The trace depends on the config only through the geometry,
     // which no variant overrides: build it once.
-    const Trace trace =
+    const TraceRef trace =
         workload(bench::evalConfig(SchedulerKind::SPK3), 71);
     SweepRunner sweep(filterAxes(axes, cli.filter),
                       [&trace](const SweepPoint &p) {
@@ -93,7 +93,7 @@ decisionWindowSweep(const bench::BenchCli &cli)
     axes.fidelities = {cli.fidelity};
     axes.variants = {"0", "1", "3", "5", "10"}; // microseconds
 
-    const Trace trace =
+    const TraceRef trace =
         workload(bench::evalConfig(SchedulerKind::SPK3), 72);
     SweepRunner sweep(
         filterAxes(axes, cli.filter), [&trace](const SweepPoint &p) {
@@ -127,7 +127,7 @@ queueDepthSweep(const bench::BenchCli &cli)
     axes.fidelities = {cli.fidelity};
     axes.variants = {"8", "16", "32", "64", "128"};
 
-    const Trace trace =
+    const TraceRef trace =
         workload(bench::evalConfig(SchedulerKind::VAS), 73);
     SweepRunner sweep(filterAxes(axes, cli.filter),
                       [&trace](const SweepPoint &p) {
@@ -171,7 +171,7 @@ allocationSweep(const bench::BenchCli &cli)
     axes.fidelities = {cli.fidelity};
     axes.variants = {"channel-stripe", "plane-first"};
 
-    const Trace trace =
+    const TraceRef trace =
         workload(bench::evalConfig(SchedulerKind::VAS), 74);
     SweepRunner sweep(
         filterAxes(axes, cli.filter), [&trace](const SweepPoint &p) {

@@ -127,15 +127,15 @@ reducedPaperSweep(std::vector<std::string> trace_names,
 
     const std::uint64_t span =
         bench::spanFor(bench::evalConfig(SchedulerKind::VAS));
-    std::map<std::string, Trace> traces;
+    auto store = std::make_shared<TraceStore>();
     for (const auto &name : axes.traces)
-        traces[name] = generatePaperTrace(name, n_ios, span, seed);
+        store->intern(name, generatePaperTrace(name, n_ios, span, seed));
 
     return std::make_unique<SweepRunner>(
-        axes, [traces = std::move(traces)](const SweepPoint &p) {
+        axes, [store = std::move(store)](const SweepPoint &p) {
             DeviceJob job;
             job.cfg = bench::evalConfig(p.scheduler);
-            job.trace = traces.at(p.trace);
+            job.trace = store->ref(p.trace);
             return job;
         });
 }
@@ -343,7 +343,7 @@ exhibits()
             bench::evalConfig(SchedulerKind::VAS);
         parity_base.parity.enabled = true;
         const std::uint64_t span = bench::spanFor(parity_base, 0.6);
-        const Trace trace = fixedSizeStream(1200, 8192, 0.5, span,
+        const TraceRef trace = fixedSizeStream(1200, 8192, 0.5, span,
                                             5 * kMicrosecond, 71);
         return std::make_unique<SweepRunner>(
             axes, [trace](const SweepPoint &p) {
@@ -364,7 +364,7 @@ exhibits()
         axes.fidelities = {Fidelity::Exact, Fidelity::Fast};
         SsdConfig probe = bench::evalConfig(SchedulerKind::VAS, 8);
         const std::uint64_t span = bench::spanFor(probe, 0.5);
-        const Trace trace = fixedSizeStream(200, 8192, 0.5, span,
+        const TraceRef trace = fixedSizeStream(200, 8192, 0.5, span,
                                             2 * kMicrosecond, 97);
         return std::make_unique<SweepRunner>(
             axes, [trace](const SweepPoint &p) {

@@ -10,6 +10,19 @@
  *   --csv PATH     also dump every sweep cell as CSV.
  *   --fidelity F   exact (default) runs the event-accurate engine,
  *                  fast the analytic estimator (sim/estimator.hh).
+ *   --cache DIR    persistent content-addressed cell cache
+ *                  (sim/cell_cache.hh): cells already simulated with
+ *                  identical config/trace/seed/fidelity are served
+ *                  from DIR instead of re-simulated, bit-identically.
+ *                  Hit-rate is reported in the stderr footer.
+ *   --order P      cell claim order: cost (default, longest-job-first
+ *                  by the analytic estimator) or expansion. Affects
+ *                  wall-clock only; results are indexed by cell.
+ *
+ * Every sweep also prints a parseable stderr footer with the run
+ * makespan, per-worker busy times and thread imbalance (and cache
+ * hits when --cache is active), so scheduling wins are measurable in
+ * any exhibit run.
  *
  * Ctrl-C sets the sweep stop flag: in-flight cells finish, the bench
  * reports how far it got and exits 130 without printing tables built
@@ -19,16 +32,19 @@
 #ifndef SPK_BENCH_BENCH_CLI_HH
 #define SPK_BENCH_BENCH_CLI_HH
 
+#include <algorithm>
 #include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unistd.h>
 
+#include "sim/cell_cache.hh"
 #include "sim/sweep.hh"
 
 namespace spk
@@ -43,6 +59,10 @@ struct BenchCli
     std::string filter;
     std::string csv;
     Fidelity fidelity = Fidelity::Exact;
+    /** Cell-cache directory; empty disables the cache. */
+    std::string cacheDir;
+    /** Cell claim order: "cost" (default) or "expansion". */
+    std::string order = "cost";
 };
 
 inline unsigned
@@ -58,7 +78,8 @@ usage(const char *prog, int exit_code)
     std::fprintf(
         stderr,
         "usage: %s [--threads N] [--filter SUBSTR] [--csv PATH]\n"
-        "          [--fidelity exact|fast]\n"
+        "          [--fidelity exact|fast] [--cache DIR]\n"
+        "          [--order cost|expansion]\n"
         "  --threads N   sweep worker threads (default: %u);\n"
         "                results are identical at any thread count\n"
         "  --filter S    keep axis values containing S "
@@ -66,7 +87,11 @@ usage(const char *prog, int exit_code)
         "  --csv PATH    also write every sweep cell as CSV\n"
         "  --fidelity F  exact: event-accurate engine (default);\n"
         "                fast: analytic estimator (calibrated, "
-        "approximate)\n",
+        "approximate)\n"
+        "  --cache DIR   persistent cell cache: serve already-\n"
+        "                simulated cells from DIR, bit-identically\n"
+        "  --order P     cell claim order: cost (longest-job-first,\n"
+        "                default) or expansion; wall-clock only\n",
         prog, defaultThreads());
     std::exit(exit_code);
 }
@@ -106,6 +131,17 @@ parseCli(int argc, char **argv)
                              argv[0], value);
                 usage(argv[0], 2);
             }
+        } else if (std::strcmp(argv[i], "--cache") == 0) {
+            cli.cacheDir = needsValue("--cache");
+        } else if (std::strcmp(argv[i], "--order") == 0) {
+            cli.order = needsValue("--order");
+            if (cli.order != "cost" && cli.order != "expansion") {
+                std::fprintf(stderr,
+                             "%s: --order must be cost or expansion "
+                             "(got %s)\n",
+                             argv[0], cli.order.c_str());
+                usage(argv[0], 2);
+            }
         } else if (std::strcmp(argv[i], "--help") == 0 ||
                    std::strcmp(argv[i], "-h") == 0) {
             usage(argv[0], 0);
@@ -124,6 +160,58 @@ stopFlag()
 {
     static std::atomic<bool> stop{false};
     return stop;
+}
+
+/**
+ * Process-wide cell cache for @p dir; benches with several sub-sweeps
+ * share one instance so the footer's hit/store counters accumulate
+ * over the whole run. Null when @p dir is empty (cache disabled).
+ */
+inline CellCache *
+processCache(const std::string &dir)
+{
+    static std::unique_ptr<CellCache> cache;
+    if (!dir.empty() && !cache)
+        cache = std::make_unique<CellCache>(dir);
+    return cache.get();
+}
+
+/**
+ * Parseable stderr footer: run makespan, per-worker busy seconds and
+ * thread imbalance, plus cache hit accounting when a cache is active.
+ * The CI cache smoke greps the "cache:" line for the hit percentage.
+ */
+inline void
+printSweepFooter(const SweepRunner &sweep, const CellCache *cache)
+{
+    const auto &busy = sweep.threadBusySeconds();
+    if (!busy.empty()) {
+        const double max_busy =
+            *std::max_element(busy.begin(), busy.end());
+        const double min_busy =
+            *std::min_element(busy.begin(), busy.end());
+        const double imbalance =
+            max_busy > 0.0 ? (max_busy - min_busy) / max_busy * 100.0
+                           : 0.0;
+        std::fprintf(stderr,
+                     "sweep: %zu cells in %.3fs wall, %zu workers, "
+                     "busy max/min %.3f/%.3fs, imbalance %.1f%%\n",
+                     sweep.completedCount(), sweep.runWallSeconds(),
+                     busy.size(), max_busy, min_busy, imbalance);
+    }
+    if (cache) {
+        const auto lookups = cache->lookups();
+        const double pct =
+            lookups > 0 ? static_cast<double>(cache->hits()) /
+                              static_cast<double>(lookups) * 100.0
+                        : 0.0;
+        std::fprintf(
+            stderr, "cache: %llu hits / %llu lookups (%.1f%%), "
+                    "%llu stored\n",
+            static_cast<unsigned long long>(cache->hits()),
+            static_cast<unsigned long long>(lookups), pct,
+            static_cast<unsigned long long>(cache->stores()));
+    }
 }
 
 inline void
@@ -157,6 +245,9 @@ runSweep(SweepRunner &sweep, const BenchCli &cli,
     installSigintStop();
     SweepRunner::Progress progress;
     progress.stop = &stopFlag();
+    progress.cache = processCache(cli.cacheDir);
+    if (cli.order == "expansion")
+        progress.order = expansionOrder();
     const bool show_progress = isatty(fileno(stderr)) != 0;
     if (show_progress) {
         progress.onCellDone = [](std::size_t done, std::size_t total,
@@ -168,6 +259,7 @@ runSweep(SweepRunner &sweep, const BenchCli &cli,
         };
     }
     sweep.run(cli.threads, progress);
+    printSweepFooter(sweep, progress.cache);
     if (stopFlag().load(std::memory_order_relaxed)) {
         if (show_progress)
             std::fprintf(stderr, "\n");

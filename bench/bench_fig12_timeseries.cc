@@ -47,7 +47,7 @@ main(int argc, char **argv)
     axes.fidelities = {cli.fidelity};
 
     const SsdConfig probe = bench::evalConfig(SchedulerKind::VAS);
-    const Trace trace = generatePaperTrace("msnfs1", 3000,
+    const TraceRef trace = generatePaperTrace("msnfs1", 3000,
                                            bench::spanFor(probe), 41);
 
     SweepRunner sweep(filterAxes(axes, cli.filter),

@@ -51,7 +51,7 @@ main(int argc, char **argv)
     const std::uint64_t span = bench::spanFor(parity_base, 0.6);
     // Mixed random stream: enough writes to fill blocks and drive GC
     // (program/erase faults need programs and erase pulses to fire).
-    const Trace trace =
+    const TraceRef trace =
         fixedSizeStream(3000, 8192, 0.5, span, 5 * kMicrosecond, 71);
 
     SweepRunner sweep(filterAxes(axes, cli.filter),

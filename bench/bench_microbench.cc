@@ -398,7 +398,7 @@ benchFastModeCells()
     wl.numIos = 2000;
     wl.spanBytes = 64ull << 20;
     wl.seed = 7;
-    const Trace trace = generateSynthetic(wl);
+    const TraceRef trace = generateSynthetic(wl);
 
     DeviceJob job;
     job.cfg = SsdConfig::withChips(64);

@@ -75,8 +75,9 @@ spanFor(const SsdConfig &cfg, double fraction = 0.5)
  * @p schedulers on the evaluation geometry. Traces are generated once
  * per surviving workload (evalConfig only varies in the scheduler
  * field, so the span — and hence the trace — is
- * scheduler-independent), with @p filter applied before expansion so
- * filtered-out cells cost nothing.
+ * scheduler-independent) and interned in a shared TraceStore, so
+ * every cell of a workload references the same parsed copy; @p filter
+ * is applied before expansion so filtered-out cells cost nothing.
  */
 inline std::unique_ptr<SweepRunner>
 paperTraceSweep(std::vector<SchedulerKind> schedulers,
@@ -94,16 +95,18 @@ paperTraceSweep(std::vector<SchedulerKind> schedulers,
 
     const std::uint64_t span =
         spanFor(evalConfig(SchedulerKind::VAS));
-    std::map<std::string, Trace> traces;
-    for (const auto &name : filtered.traces)
-        traces[name] = generatePaperTrace(name, 1200, span, seed);
+    auto store = std::make_shared<TraceStore>();
+    for (const auto &name : filtered.traces) {
+        store->intern(name, [&] {
+            return generatePaperTrace(name, 1200, span, seed);
+        });
+    }
 
     return std::make_unique<SweepRunner>(
-        filtered,
-        [traces = std::move(traces)](const SweepPoint &p) {
+        filtered, [store = std::move(store)](const SweepPoint &p) {
             DeviceJob job;
             job.cfg = evalConfig(p.scheduler);
-            job.trace = traces.at(p.trace);
+            job.trace = store->ref(p.trace);
             return job;
         });
 }

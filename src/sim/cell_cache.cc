@@ -1,0 +1,447 @@
+#include "sim/cell_cache.hh"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace spk
+{
+
+namespace
+{
+
+/** On-disk format tag. Bump when the key composition or the snapshot
+ *  payload layout changes: old entries then miss (magic mismatch)
+ *  instead of deserializing garbage. */
+constexpr char kMagic[8] = {'S', 'P', 'K', 'C', 'E', 'L', '2', '\n'};
+
+/**
+ * 128-bit content digest: two independent FNV-1a streams over the
+ * same bytes (the second with a perturbed offset basis). 64 bits is
+ * uncomfortably small for a store that silently trusts equal keys;
+ * the pair makes an accidental collision astronomically unlikely.
+ */
+struct Digest128
+{
+    std::uint64_t a = 1469598103934665603ull;
+    std::uint64_t b = 1469598103934665603ull ^
+                      0x9e3779b97f4a7c15ull;
+
+    void byte(std::uint8_t v)
+    {
+        a ^= v;
+        a *= 1099511628211ull;
+        b ^= v;
+        b *= 1099511628211ull;
+        b = (b << 1) | (b >> 63); // decorrelate from stream a
+    }
+    void u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    void u32(std::uint32_t v) { u64(v); }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+    void boolean(bool v) { byte(v ? 1 : 0); }
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        for (const char c : s)
+            byte(static_cast<std::uint8_t>(c));
+    }
+
+    std::string hex() const
+    {
+        char buf[33];
+        std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                      static_cast<unsigned long long>(a),
+                      static_cast<unsigned long long>(b));
+        return std::string(buf, 32);
+    }
+};
+
+/** Feed every field of the config that can influence a result. */
+void
+digestConfig(Digest128 &d, const SsdConfig &cfg)
+{
+    const FlashGeometry &g = cfg.geometry;
+    d.u32(g.numChannels);
+    d.u32(g.chipsPerChannel);
+    d.u32(g.diesPerChip);
+    d.u32(g.planesPerDie);
+    d.u32(g.blocksPerPlane);
+    d.u32(g.pagesPerBlock);
+    d.u32(g.pageSizeBytes);
+
+    const FlashTiming &t = cfg.timing;
+    d.u64(t.readLatency);
+    d.u64(t.programFast);
+    d.u64(t.programSlow);
+    d.u64(t.eraseLatency);
+    d.u64(t.busBytesPerSec);
+    d.u64(t.commandOverhead);
+
+    const FtlConfig &f = cfg.ftl;
+    d.f64(f.overprovision);
+    d.u32(f.gcFreeBlockThreshold);
+    d.u32(f.endurance);
+    d.byte(static_cast<std::uint8_t>(f.allocation));
+    d.u32(f.wearLevelThreshold);
+
+    const NvmhcConfig &n = cfg.nvmhc;
+    d.u32(n.queueDepth);
+    d.u64(n.composeOverhead);
+    d.u64(n.hostBwBytesPerSec);
+    d.byte(static_cast<std::uint8_t>(n.arbiter));
+
+    const FaultConfig &fa = cfg.fault;
+    d.f64(fa.readTransientRate);
+    d.f64(fa.retryStepFailRate);
+    d.f64(fa.readHardRate);
+    d.f64(fa.programFailRate);
+    d.f64(fa.eraseFailRate);
+    d.u32(fa.retryLadderSteps);
+    d.u32(fa.retryLatencyStepPct);
+    d.u64(fa.dieFailTick);
+    d.u32(fa.dieFailChip);
+    d.u32(fa.dieFailDie);
+    d.boolean(fa.softDecodeEnabled);
+    d.u64(fa.softDecodeLatency);
+    d.u32(fa.softDecodeStepPct);
+    d.f64(fa.softDecodeFailRate);
+
+    const ParityConfig &p = cfg.parity;
+    d.boolean(p.enabled);
+    d.u64(p.flushWindow);
+    d.u64(p.rebuildPageInterval);
+
+    d.byte(static_cast<std::uint8_t>(cfg.scheduler));
+    d.u32(cfg.faroWindow);
+    d.u64(cfg.decisionWindow);
+    d.u32(cfg.gcMaxLiveBatchesPerPlane);
+    d.u64(cfg.seed);
+}
+
+// ---- snapshot payload ------------------------------------------------
+
+struct Writer
+{
+    std::string out;
+
+    void u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(
+                static_cast<char>(static_cast<std::uint8_t>(v >> (8 * i))));
+    }
+    void u32(std::uint32_t v) { u64(v); }
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        out.append(s);
+    }
+};
+
+struct Reader
+{
+    const std::string &in;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    explicit Reader(const std::string &s) : in(s) {}
+
+    std::uint64_t u64()
+    {
+        if (pos + 8 > in.size()) {
+            ok = false;
+            return 0;
+        }
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(
+                     static_cast<std::uint8_t>(in[pos + i]))
+                 << (8 * i);
+        pos += 8;
+        return v;
+    }
+    double f64() { return std::bit_cast<double>(u64()); }
+    std::string str()
+    {
+        const std::uint64_t len = u64();
+        if (!ok || pos + len > in.size()) {
+            ok = false;
+            return {};
+        }
+        std::string s = in.substr(pos, len);
+        pos += len;
+        return s;
+    }
+};
+
+} // namespace
+
+std::string
+CellCache::keyOf(const DeviceJob &job)
+{
+    Digest128 d;
+    digestConfig(d, job.cfg);
+    d.boolean(job.preconditionGc);
+    d.byte(static_cast<std::uint8_t>(job.fidelity));
+    // Workload content: the digest + record count of each trace, plus
+    // every stream attribute that shapes replay. Intern-sharing is
+    // invisible here by design — equal content hashes equal.
+    d.u64(job.trace.size());
+    d.u64(job.trace.digest());
+    d.u64(job.streams.size());
+    for (const auto &s : job.streams) {
+        d.str(s.name);
+        d.u32(s.iodepth);
+        d.u32(s.weight);
+        d.u32(s.priority);
+        d.u64(s.trace.size());
+        d.u64(s.trace.digest());
+    }
+    return d.hex();
+}
+
+std::string
+CellCache::serialize(const MetricsSnapshot &m)
+{
+    Writer w;
+    w.str(m.scheduler);
+    w.u64(m.makespan);
+    w.u64(m.deviceActiveTime);
+    w.u64(m.iosCompleted);
+    w.u64(m.bytesRead);
+    w.u64(m.bytesWritten);
+    w.f64(m.bandwidthKBps);
+    w.f64(m.iops);
+    w.f64(m.avgLatencyNs);
+    w.u64(m.p50LatencyNs);
+    w.u64(m.p95LatencyNs);
+    w.u64(m.p99LatencyNs);
+    w.u64(m.maxLatencyNs);
+    w.f64(m.avgReadLatencyNs);
+    w.f64(m.avgWriteLatencyNs);
+    w.u64(m.queueStallTime);
+    w.f64(m.chipUtilizationPct);
+    w.f64(m.flashLevelUtilizationPct);
+    w.f64(m.interChipIdlenessPct);
+    w.f64(m.intraChipIdlenessPct);
+    for (const double pct : m.flpPct)
+        w.f64(pct);
+    w.u64(m.transactions);
+    w.u64(m.requestsServed);
+    w.f64(m.execBusPct);
+    w.f64(m.execContentionPct);
+    w.f64(m.execCellPct);
+    w.f64(m.execIdlePct);
+    w.u64(m.staleRetries);
+    w.u64(m.gcBatches);
+    w.u64(m.pagesMigrated);
+    w.u64(m.readRetries);
+    w.u64(m.readRetriesByStep.size());
+    for (const std::uint64_t v : m.readRetriesByStep)
+        w.u64(v);
+    w.u64(m.uncorrectableReads);
+    w.u64(m.programFailures);
+    w.u64(m.programRemaps);
+    w.u64(m.eraseFailures);
+    w.u64(m.blocksRetiredWear);
+    w.u64(m.blocksRetiredProgram);
+    w.u64(m.blocksRetiredErase);
+    w.u64(m.failedIos);
+    w.u64(m.degradedDies);
+    w.u64(m.parityUpdates);
+    w.u64(m.parityFullStripeCloses);
+    w.u64(m.parityPartialCloses);
+    w.u64(m.parityRmwReads);
+    w.u64(m.reconstructedReads);
+    w.u64(m.reconstructionReads);
+    w.u64(m.rebuildPagesTotal);
+    w.u64(m.rebuildPagesRebuilt);
+    w.u64(m.softDecodeInvocations);
+    w.u64(m.softDecodeFailures);
+    w.u64(m.softDecodeBusyTime);
+    w.u64(m.softDecodeStallTime);
+    w.u64(m.gcReadFailures);
+    w.u64(m.streams.size());
+    for (const StreamMetrics &s : m.streams) {
+        w.str(s.name);
+        w.u64(s.iosSubmitted);
+        w.u64(s.iosCompleted);
+        w.u64(s.bytesRead);
+        w.u64(s.bytesWritten);
+        w.u64(s.queueStallTime);
+        w.f64(s.bandwidthKBps);
+        w.f64(s.iops);
+        w.f64(s.avgLatencyNs);
+        w.u64(s.p99LatencyNs);
+        w.u64(s.maxLatencyNs);
+    }
+    return w.out;
+}
+
+bool
+CellCache::deserialize(const std::string &payload, MetricsSnapshot &out)
+{
+    Reader r(payload);
+    MetricsSnapshot m;
+    m.scheduler = r.str();
+    m.makespan = r.u64();
+    m.deviceActiveTime = r.u64();
+    m.iosCompleted = r.u64();
+    m.bytesRead = r.u64();
+    m.bytesWritten = r.u64();
+    m.bandwidthKBps = r.f64();
+    m.iops = r.f64();
+    m.avgLatencyNs = r.f64();
+    m.p50LatencyNs = r.u64();
+    m.p95LatencyNs = r.u64();
+    m.p99LatencyNs = r.u64();
+    m.maxLatencyNs = r.u64();
+    m.avgReadLatencyNs = r.f64();
+    m.avgWriteLatencyNs = r.f64();
+    m.queueStallTime = r.u64();
+    m.chipUtilizationPct = r.f64();
+    m.flashLevelUtilizationPct = r.f64();
+    m.interChipIdlenessPct = r.f64();
+    m.intraChipIdlenessPct = r.f64();
+    for (double &pct : m.flpPct)
+        pct = r.f64();
+    m.transactions = r.u64();
+    m.requestsServed = r.u64();
+    m.execBusPct = r.f64();
+    m.execContentionPct = r.f64();
+    m.execCellPct = r.f64();
+    m.execIdlePct = r.f64();
+    m.staleRetries = r.u64();
+    m.gcBatches = r.u64();
+    m.pagesMigrated = r.u64();
+    m.readRetries = r.u64();
+    if (r.u64() != m.readRetriesByStep.size())
+        return false;
+    for (std::uint64_t &v : m.readRetriesByStep)
+        v = r.u64();
+    m.uncorrectableReads = r.u64();
+    m.programFailures = r.u64();
+    m.programRemaps = r.u64();
+    m.eraseFailures = r.u64();
+    m.blocksRetiredWear = r.u64();
+    m.blocksRetiredProgram = r.u64();
+    m.blocksRetiredErase = r.u64();
+    m.failedIos = r.u64();
+    m.degradedDies = r.u64();
+    m.parityUpdates = r.u64();
+    m.parityFullStripeCloses = r.u64();
+    m.parityPartialCloses = r.u64();
+    m.parityRmwReads = r.u64();
+    m.reconstructedReads = r.u64();
+    m.reconstructionReads = r.u64();
+    m.rebuildPagesTotal = r.u64();
+    m.rebuildPagesRebuilt = r.u64();
+    m.softDecodeInvocations = r.u64();
+    m.softDecodeFailures = r.u64();
+    m.softDecodeBusyTime = r.u64();
+    m.softDecodeStallTime = r.u64();
+    m.gcReadFailures = r.u64();
+    const std::uint64_t n_streams = r.u64();
+    if (!r.ok || n_streams > payload.size())
+        return false;
+    m.streams.resize(static_cast<std::size_t>(n_streams));
+    for (StreamMetrics &s : m.streams) {
+        s.name = r.str();
+        s.iosSubmitted = r.u64();
+        s.iosCompleted = r.u64();
+        s.bytesRead = r.u64();
+        s.bytesWritten = r.u64();
+        s.queueStallTime = r.u64();
+        s.bandwidthKBps = r.f64();
+        s.iops = r.f64();
+        s.avgLatencyNs = r.f64();
+        s.p99LatencyNs = r.u64();
+        s.maxLatencyNs = r.u64();
+    }
+    if (!r.ok || r.pos != payload.size())
+        return false;
+    out = std::move(m);
+    return true;
+}
+
+CellCache::CellCache(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec || !std::filesystem::is_directory(dir_))
+        fatal("CellCache: cannot create cache directory " + dir_);
+}
+
+std::string
+CellCache::pathOf(const std::string &key) const
+{
+    return dir_ + "/" + key + ".cell";
+}
+
+bool
+CellCache::lookup(const DeviceJob &job, MetricsSnapshot &out)
+{
+    const std::string key = keyOf(job);
+    std::ifstream is(pathOf(key), std::ios::binary);
+    if (!is) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string blob = buf.str();
+    // Header: magic + the full key (guards against a hand-renamed or
+    // colliding file serving the wrong cell).
+    const std::size_t header = sizeof kMagic + key.size();
+    if (blob.size() < header ||
+        blob.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0 ||
+        blob.compare(sizeof kMagic, key.size(), key) != 0 ||
+        !deserialize(blob.substr(header), out)) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+CellCache::store(const DeviceJob &job, const MetricsSnapshot &m)
+{
+    const std::string key = keyOf(job);
+    const std::string path = pathOf(key);
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            return; // unwritable cache: accelerator only, not fatal
+        os.write(kMagic, sizeof kMagic);
+        os.write(key.data(),
+                 static_cast<std::streamsize>(key.size()));
+        const std::string payload = serialize(m);
+        os.write(payload.data(),
+                 static_cast<std::streamsize>(payload.size()));
+        if (!os)
+            return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return;
+    }
+    stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace spk

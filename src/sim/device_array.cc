@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <mutex>
+#include <numeric>
 #include <thread>
 #include <utility>
 
+#include "sim/cell_cache.hh"
 #include "sim/estimator.hh"
 #include "sim/logging.hh"
 
@@ -43,40 +46,117 @@ parseFidelity(const std::string &name, Fidelity &out)
     return false;
 }
 
+CellOrderPolicy
+expansionOrder()
+{
+    return [](const std::vector<DeviceJob> &jobs) {
+        std::vector<std::size_t> order(jobs.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        return order;
+    };
+}
+
+CellOrderPolicy
+costGuidedOrder()
+{
+    return [](const std::vector<DeviceJob> &jobs) {
+        std::vector<double> cost(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); ++i)
+            cost[i] = estimateJobCost(jobs[i]);
+        std::vector<std::size_t> order(jobs.size());
+        std::iota(order.begin(), order.end(), std::size_t{0});
+        // Longest job first; stable index tiebreak keeps the order a
+        // pure function of the job list.
+        std::sort(order.begin(), order.end(),
+                  [&cost](std::size_t a, std::size_t b) {
+                      if (cost[a] != cost[b])
+                          return cost[a] > cost[b];
+                      return a < b;
+                  });
+        return order;
+    };
+}
+
+namespace
+{
+
+/** Resolve the hook's policy and check it really permutes the jobs. */
+std::vector<std::size_t>
+resolveOrder(const DeviceArrayHooks &hooks,
+             const std::vector<DeviceJob> &jobs)
+{
+    const std::vector<std::size_t> order =
+        (hooks.order ? hooks.order : costGuidedOrder())(jobs);
+    if (order.size() != jobs.size())
+        fatal("DeviceArray: cell-order policy returned " +
+              std::to_string(order.size()) + " indices for " +
+              std::to_string(jobs.size()) + " jobs");
+    std::vector<bool> seen(jobs.size(), false);
+    for (const std::size_t i : order) {
+        if (i >= jobs.size() || seen[i])
+            fatal("DeviceArray: cell-order policy is not a "
+                  "permutation (index " + std::to_string(i) + ")");
+        seen[i] = true;
+    }
+    return order;
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
 DeviceArray::DeviceArray(std::vector<DeviceJob> jobs)
     : jobs_(std::move(jobs)),
       completed_(new std::atomic<std::uint8_t>[jobs_.size()]())
 {
 }
 
-void
-DeviceArray::runOne(std::size_t index)
+double
+DeviceArray::runOne(std::size_t index, CellCache *cache)
 {
+    const auto start = std::chrono::steady_clock::now();
     const DeviceJob &job = jobs_[index];
     if (!job.streams.empty() && !job.trace.empty())
         fatal("DeviceArray: job has both a trace and streams — move "
               "the trace into a stream");
+    // The cache stores snapshots only; a cell that wants its per-I/O
+    // series must really simulate.
+    const bool cacheable = cache && !job.captureIoResults;
+    if (cacheable && cache->lookup(job, results_[index])) {
+        cellSeconds_[index] = secondsSince(start);
+        completed_[index].store(1, std::memory_order_release);
+        return cellSeconds_[index];
+    }
     if (job.fidelity == Fidelity::Fast) {
         // Analytic path: no event loop, no per-I/O series. Same
         // release/acquire contract as the exact path below.
         results_[index] = estimateDevice(job);
-        completed_[index].store(1, std::memory_order_release);
-        return;
+    } else {
+        Ssd ssd(job.cfg);
+        if (job.preconditionGc)
+            ssd.preconditionForGc();
+        if (!job.streams.empty())
+            ssd.replayStreams(job.streams);
+        else
+            ssd.replay(job.trace);
+        ssd.run();
+        results_[index] = ssd.metrics();
+        if (job.captureIoResults)
+            ioResults_[index] = ssd.results();
     }
-    Ssd ssd(job.cfg);
-    if (job.preconditionGc)
-        ssd.preconditionForGc();
-    if (!job.streams.empty())
-        ssd.replayStreams(job.streams);
-    else
-        ssd.replay(job.trace);
-    ssd.run();
-    results_[index] = ssd.metrics();
-    if (job.captureIoResults)
-        ioResults_[index] = ssd.results();
+    if (cacheable)
+        cache->store(job, results_[index]);
+    cellSeconds_[index] = secondsSince(start);
     // Release pairs with the acquire in completed(): a concurrent
     // poller that sees the flag also sees the snapshot stores above.
     completed_[index].store(1, std::memory_order_release);
+    return cellSeconds_[index];
 }
 
 const std::vector<MetricsSnapshot> &
@@ -84,6 +164,7 @@ DeviceArray::run(unsigned threads, const DeviceArrayHooks &hooks)
 {
     results_.assign(jobs_.size(), MetricsSnapshot{});
     ioResults_.assign(jobs_.size(), {});
+    cellSeconds_.assign(jobs_.size(), 0.0);
     for (std::size_t i = 0; i < jobs_.size(); ++i)
         completed_[i].store(0, std::memory_order_relaxed);
 
@@ -94,35 +175,45 @@ DeviceArray::run(unsigned threads, const DeviceArrayHooks &hooks)
 
     const unsigned workers = std::max(
         1u, std::min(threads, static_cast<unsigned>(jobs_.size())));
+    threadBusySeconds_.assign(workers, 0.0);
+    const auto run_start = std::chrono::steady_clock::now();
+
+    // The policy decides which cell a free worker picks up next;
+    // results are indexed by cell, so this is wall-clock-only.
+    const std::vector<std::size_t> order =
+        jobs_.empty() ? std::vector<std::size_t>{}
+                      : resolveOrder(hooks, jobs_);
 
     if (workers <= 1) {
-        for (std::size_t i = 0; i < jobs_.size(); ++i) {
+        for (const std::size_t i : order) {
             if (stopped())
                 break;
-            runOne(i);
+            threadBusySeconds_[0] += runOne(i, hooks.cache);
             if (hooks.onDeviceDone)
                 hooks.onDeviceDone(i, results_[i]);
         }
+        runWallSeconds_ = secondsSince(run_start);
         return results_;
     }
 
     // Fixed pool; each worker claims the next unstarted device from
-    // an atomic cursor. Devices share nothing mutable, so the claim
-    // order cannot influence any result. The callback mutex only
-    // serializes observation.
+    // an atomic cursor over the policy's order. Devices share nothing
+    // mutable, so the claim order cannot influence any result. The
+    // callback mutex only serializes observation.
     std::atomic<std::size_t> cursor{0};
     std::mutex done_mutex;
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([this, &cursor, &hooks, &stopped,
+        pool.emplace_back([this, w, &order, &cursor, &hooks, &stopped,
                            &done_mutex] {
             while (!stopped()) {
-                const std::size_t i =
+                const std::size_t slot =
                     cursor.fetch_add(1, std::memory_order_relaxed);
-                if (i >= jobs_.size())
+                if (slot >= order.size())
                     return;
-                runOne(i);
+                const std::size_t i = order[slot];
+                threadBusySeconds_[w] += runOne(i, hooks.cache);
                 if (hooks.onDeviceDone) {
                     std::lock_guard<std::mutex> lock(done_mutex);
                     hooks.onDeviceDone(i, results_[i]);
@@ -132,6 +223,7 @@ DeviceArray::run(unsigned threads, const DeviceArrayHooks &hooks)
     }
     for (auto &t : pool)
         t.join();
+    runWallSeconds_ = secondsSince(run_start);
     return results_;
 }
 

@@ -24,9 +24,12 @@
 #include "ssd/metrics.hh"
 #include "ssd/ssd.hh"
 #include "workload/trace.hh"
+#include "workload/trace_store.hh"
 
 namespace spk
 {
+
+class CellCache;
 
 /**
  * Simulation fidelity of one device job.
@@ -53,7 +56,10 @@ bool parseFidelity(const std::string &name, Fidelity &out);
 struct DeviceJob
 {
     SsdConfig cfg;
-    Trace trace;
+
+    /** Shared immutable workload handle: sweeps hold one parsed copy
+     *  per unique trace, not per cell (see workload/trace_store.hh). */
+    TraceRef trace;
 
     /**
      * Multi-queue workload: when non-empty, the device replays these
@@ -75,6 +81,27 @@ struct DeviceJob
     Fidelity fidelity = Fidelity::Exact;
 };
 
+/**
+ * Cell-order policy: maps the job list to the order in which workers
+ * claim cells. Must return a permutation of [0, jobs.size()) — run()
+ * validates and fatal()s otherwise. Results are always indexed by
+ * cell, so the policy affects wall-clock time only, never results.
+ */
+using CellOrderPolicy = std::function<std::vector<std::size_t>(
+    const std::vector<DeviceJob> &)>;
+
+/** Claim cells in expansion (job-list) order — the legacy behavior. */
+CellOrderPolicy expansionOrder();
+
+/**
+ * Longest-job-first: predict each cell's cost with the analytic
+ * estimator (trace length, fidelity, preconditioning, fault rate —
+ * see estimateJobCost) and dispatch expensive cells first, so a
+ * heterogeneous grid does not strand one long exact cell on the tail
+ * of a multi-thread run. Deterministic: ties break on cell index.
+ */
+CellOrderPolicy costGuidedOrder();
+
 /** Optional per-run observation and control hooks. */
 struct DeviceArrayHooks
 {
@@ -94,6 +121,19 @@ struct DeviceArrayHooks
      * completed(i) is true is valid and final.
      */
     const std::atomic<bool> *stop = nullptr;
+
+    /** Cell claim order; null runs the default costGuidedOrder(). */
+    CellOrderPolicy order;
+
+    /**
+     * Persistent content-addressed result cache (sim/cell_cache.hh).
+     * When set, each cell is looked up before simulating and stored
+     * after; hits skip the simulation entirely and are bit-identical
+     * by the cache's round-trip contract. Cells that capture per-I/O
+     * series bypass the cache (it stores snapshots, not series).
+     * Not owned; must outlive run().
+     */
+    CellCache *cache = nullptr;
 };
 
 /**
@@ -161,6 +201,28 @@ class DeviceArray
     std::size_t deviceCount() const { return jobs_.size(); }
 
     /**
+     * Wall-clock seconds job @p index took in the last run() —
+     * simulation plus cache bookkeeping (a cache hit reads as the
+     * lookup time, near zero). Indexed like the jobs vector; 0.0 for
+     * cells a cancelled run never started.
+     */
+    const std::vector<double> &cellSeconds() const
+    {
+        return cellSeconds_;
+    }
+
+    /** Per-worker busy seconds (sum of its cells' wall time) from the
+     *  last run(); one entry per worker thread. The max/min spread is
+     *  the thread-imbalance the cost-guided order exists to shrink. */
+    const std::vector<double> &threadBusySeconds() const
+    {
+        return threadBusySeconds_;
+    }
+
+    /** Wall-clock seconds the last run() took end to end. */
+    double runWallSeconds() const { return runWallSeconds_; }
+
+    /**
      * Merge per-device snapshots into one fleet-level report.
      *
      * Counters (I/Os, bytes, transactions, GC work) are summed;
@@ -175,11 +237,15 @@ class DeviceArray
     aggregate(const std::vector<MetricsSnapshot> &devices);
 
   private:
-    void runOne(std::size_t index);
+    /** Run (or cache-serve) one cell; returns its wall seconds. */
+    double runOne(std::size_t index, CellCache *cache);
 
     std::vector<DeviceJob> jobs_;
     std::vector<MetricsSnapshot> results_;
     std::vector<std::vector<IoResult>> ioResults_;
+    std::vector<double> cellSeconds_;
+    std::vector<double> threadBusySeconds_;
+    double runWallSeconds_ = 0.0;
     /** Per-job done flags; atomic so completed()/completedCount()
      *  may be polled concurrently with a run (array form because
      *  std::atomic is not movable inside a vector). */

@@ -111,6 +111,47 @@ estimateDevice(const DeviceJob &job)
     return estimateDevice(job, EstimatorConstants::calibrated());
 }
 
+double
+estimateJobCost(const DeviceJob &job)
+{
+    std::uint64_t records = job.trace.size();
+    for (const auto &s : job.streams)
+        records += s.trace.size();
+
+    // Fast cells skip the event loop: cost is one closed-form pass
+    // over the records, roughly three orders of magnitude cheaper
+    // than event-accurate simulation of the same workload.
+    if (job.fidelity == Fidelity::Fast)
+        return 1.0 + static_cast<double>(records) * 1e-3;
+
+    double cost = 1.0 + static_cast<double>(records);
+
+    // Preconditioning writes every host-visible page and fragments
+    // the device before replay — price it as the page count it fills.
+    if (job.preconditionGc) {
+        const double fill_pages =
+            static_cast<double>(job.cfg.geometry.totalPages()) *
+            (1.0 - job.cfg.ftl.overprovision);
+        // A fill page is far cheaper than a traced I/O (no queueing,
+        // no scheduling) but there are millions of them.
+        cost += fill_pages * 0.05;
+    }
+
+    // Fault injection multiplies events per I/O: retry ladders
+    // re-occupy the channel and soft decodes serialize on the shared
+    // decoder. Scale by the expected extra sense count.
+    const FaultConfig &f = job.cfg.fault;
+    const double retry_rate = f.readTransientRate + f.readHardRate;
+    if (retry_rate > 0.0) {
+        cost *= 1.0 + retry_rate *
+                          static_cast<double>(f.retryLadderSteps);
+    }
+    if (f.programFailRate > 0.0 || f.eraseFailRate > 0.0)
+        cost *= 1.0 + 2.0 * (f.programFailRate + f.eraseFailRate);
+
+    return cost;
+}
+
 MetricsSnapshot
 estimateDevice(const DeviceJob &job, const EstimatorConstants &k)
 {

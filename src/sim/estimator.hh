@@ -119,6 +119,17 @@ struct EstimatorConstants
 /** Estimate @p job's metrics with the committed calibration. */
 MetricsSnapshot estimateDevice(const DeviceJob &job);
 
+/**
+ * Predicted relative wall-clock cost of simulating @p job — the
+ * sort key of DeviceArray's cost-guided cell order. Unitless: only
+ * the ordering matters. Scales with total trace records across the
+ * job's workload (trace or streams), is slashed for Fast cells (the
+ * estimator skips the event loop), surcharged for GC preconditioning
+ * (a full device fill before replay) and scaled up with the fault
+ * rates (retry ladders and soft decodes add events per I/O).
+ */
+double estimateJobCost(const DeviceJob &job);
+
 /** Same, with explicit constants (the calibration harness). */
 MetricsSnapshot estimateDevice(const DeviceJob &job,
                                const EstimatorConstants &constants);

@@ -128,6 +128,8 @@ SweepRunner::run(unsigned threads, const Progress &progress)
 {
     DeviceArrayHooks hooks;
     hooks.stop = progress.stop;
+    hooks.order = progress.order;
+    hooks.cache = progress.cache;
     std::size_t done = 0;
     if (progress.onCellDone) {
         // DeviceArray already serializes onDeviceDone, so the counter
@@ -283,7 +285,7 @@ SweepRunner::writeCsv(std::ostream &os) const
           "rebuild_pages_total,rebuild_pages_rebuilt,"
           "soft_decode_invocations,soft_decode_failures,"
           "soft_decode_busy_ns,soft_decode_stall_ns,"
-          "gc_read_failures\n";
+          "gc_read_failures,cell_seconds\n";
     // max_digits10: doubles must round-trip so a CSV diff catches
     // the same drift the golden bit-pattern digests do.
     const auto old_precision =
@@ -326,7 +328,14 @@ SweepRunner::writeCsv(std::ostream &os) const
            << m.softDecodeInvocations << ','
            << m.softDecodeFailures << ',' << m.softDecodeBusyTime
            << ',' << m.softDecodeStallTime << ','
-           << m.gcReadFailures << '\n';
+           << m.gcReadFailures << ','
+           // Last column on purpose: wall time is the one
+           // nondeterministic field; byte-exact CSV diffs drop it by
+           // stripping the final column.
+           << (p.index < array_.cellSeconds().size()
+                   ? array_.cellSeconds()[p.index]
+                   : 0.0)
+           << '\n';
     }
     os.precision(old_precision);
 }

@@ -122,6 +122,14 @@ class SweepRunner
         /** Cooperative stop; in-flight cells finish (their results
          *  stay valid), unclaimed cells are skipped. */
         const std::atomic<bool> *stop = nullptr;
+
+        /** Cell claim order (wall-clock only; results are indexed by
+         *  cell). Null runs DeviceArray's default costGuidedOrder(). */
+        CellOrderPolicy order;
+
+        /** Persistent cell cache consulted before each simulation
+         *  (sim/cell_cache.hh). Not owned; null disables caching. */
+        CellCache *cache = nullptr;
     };
 
     SweepRunner(SweepAxes axes, const JobBuilder &build);
@@ -192,6 +200,23 @@ class SweepRunner
         return array_.completedCount();
     }
 
+    /** Per-cell wall seconds of the last run(), expansion order
+     *  (simulation + cache bookkeeping; hits read as lookup time). */
+    const std::vector<double> &cellSeconds() const
+    {
+        return array_.cellSeconds();
+    }
+
+    /** Per-worker busy seconds of the last run(); the max/min spread
+     *  is the thread imbalance the bench footer reports. */
+    const std::vector<double> &threadBusySeconds() const
+    {
+        return array_.threadBusySeconds();
+    }
+
+    /** End-to-end wall seconds of the last run(). */
+    double runWallSeconds() const { return array_.runWallSeconds(); }
+
     /** Fleet-level merge of every completed cell snapshot
      *  (uncompleted cells of a cancelled run are excluded, so the
      *  merge never dilutes percentages with zero placeholders). */
@@ -199,8 +224,12 @@ class SweepRunner
 
     /**
      * Emit one CSV row per cell: the seven axis columns, a completed
-     * flag, then every MetricsSnapshot field. Cancelled (incomplete)
-     * cells emit zeros with completed=0.
+     * flag, then every MetricsSnapshot field, then `cell_seconds`
+     * (the cell's wall time). cell_seconds is deliberately the LAST
+     * column: it is the one nondeterministic field, so byte-exact
+     * CSV comparisons (the warm-cache CI smoke) strip it by dropping
+     * the final column instead of parsing the header. Cancelled
+     * (incomplete) cells emit zeros with completed=0.
      */
     void writeCsv(std::ostream &os) const;
 

@@ -263,11 +263,12 @@ emitJob(const std::string &name, const KeyValues &kv,
         stream.name = numjobs == 1
                           ? name
                           : name + "." + std::to_string(clone);
-        stream.trace = generateSynthetic(syn);
+        Trace trace = generateSynthetic(syn);
         if (offset != 0) {
-            for (auto &rec : stream.trace)
+            for (auto &rec : trace)
                 rec.offsetBytes += offset;
         }
+        stream.trace = std::move(trace);
         stream.iodepth = static_cast<std::uint32_t>(iodepth);
         stream.weight = static_cast<std::uint32_t>(weight);
         stream.priority = static_cast<std::uint32_t>(prio);

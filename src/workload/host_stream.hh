@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "workload/trace.hh"
+#include "workload/trace_store.hh"
 
 namespace spk
 {
@@ -30,12 +31,14 @@ struct HostStreamConfig
     /** Stream label; surfaces in per-stream metrics and CSV rows. */
     std::string name = "stream";
 
-    /** The stream's I/O sequence (trace or generated). Must be
-     *  sorted by arrival time: a submission queue issues records in
-     *  order, so replay pairs the i-th arrival event with the i-th
-     *  record (validateStreams rejects unsorted traces — stable-sort
-     *  e.g. a multi-CPU blkparse capture before attaching it). */
-    Trace trace;
+    /** The stream's I/O sequence (trace or generated), held as a
+     *  shared immutable TraceRef so a sweep's cells can reference one
+     *  parsed copy. Must be sorted by arrival time: a submission
+     *  queue issues records in order, so replay pairs the i-th
+     *  arrival event with the i-th record (validateStreams rejects
+     *  unsorted traces — stable-sort e.g. a multi-CPU blkparse
+     *  capture before attaching it). */
+    TraceRef trace;
 
     /**
      * Per-stream window: at most this many of the stream's I/Os are

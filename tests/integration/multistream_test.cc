@@ -93,7 +93,7 @@ TEST(MultiStream, SingleStreamMatchesImplicitReplayBitExactly)
               ArbiterKind::StrictPriority}) {
             HostStreamConfig stream;
             stream.name = "host";
-            stream.trace = trace;
+            stream.trace = TraceRef(trace); // deliberate deep copy
             stream.iodepth = 0; // open loop, like replay()
             Ssd ssd(config(kind, arbiter));
             ssd.replayStreams({stream});
@@ -158,11 +158,12 @@ TEST(MultiStream, PerStreamSlicesSumToDeviceTotals)
         HostStreamConfig stream;
         stream.name = "s" + std::to_string(s);
         stream.iodepth = 8;
-        stream.trace = fixedSizeStream(
+        Trace trace = fixedSizeStream(
             100, 8192, s == 1 ? 1.0 : 0.0, 4 << 20, kMicrosecond,
             50 + s);
-        for (auto &rec : stream.trace)
+        for (auto &rec : trace)
             rec.offsetBytes += static_cast<std::uint64_t>(s) << 22;
+        stream.trace = std::move(trace);
         streams.push_back(std::move(stream));
     }
     Ssd ssd(config(SchedulerKind::SPK3, ArbiterKind::RoundRobin));
@@ -258,8 +259,8 @@ TEST(MultiStream, UnsortedTraceDies)
     // the latency math), so it is rejected up front.
     HostStreamConfig stream;
     stream.name = "unsorted";
-    stream.trace = {{1000000, false, false, 0, 4096},
-                    {10, false, false, 8192, 4096}};
+    stream.trace = Trace{{1000000, false, false, 0, 4096},
+                         {10, false, false, 8192, 4096}};
     Ssd ssd(config(SchedulerKind::SPK3, ArbiterKind::RoundRobin));
     EXPECT_DEATH(ssd.replayStreams({stream}), "not sorted");
 }

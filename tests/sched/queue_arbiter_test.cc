@@ -169,9 +169,10 @@ closedLoopStream(const std::string &name, std::uint64_t ios,
 
     HostStreamConfig stream;
     stream.name = name;
-    stream.trace = generateSynthetic(syn);
-    for (auto &rec : stream.trace)
+    Trace trace = generateSynthetic(syn);
+    for (auto &rec : trace)
         rec.offsetBytes += offset_mb << 20;
+    stream.trace = std::move(trace);
     stream.iodepth = iodepth;
     stream.weight = weight;
     stream.priority = priority;

@@ -9,7 +9,11 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+#include <random>
+
 #include "sim/device_array.hh"
+#include "sim/estimator.hh"
 #include "workload/synthetic.hh"
 
 namespace spk
@@ -232,6 +236,108 @@ TEST(DeviceArray, CancellationBeforeStartRunsNothing)
     DeviceArray array(jobs);
     array.run(2, hooks);
     EXPECT_EQ(array.completedCount(), 0u);
+}
+
+TEST(DeviceArray, RandomShuffledOrdersAreBitIdentical)
+{
+    // The cell-order policy redirects which cell a worker claims
+    // next; results are indexed by cell, so ANY permutation must be
+    // bit-identical to expansion order. Exercise several seeded
+    // random shuffles at several thread counts.
+    auto jobs = makeJobs(6);
+    jobs[1].fidelity = Fidelity::Fast;
+    jobs[4].fidelity = Fidelity::Fast;
+
+    DeviceArrayHooks expansion;
+    expansion.order = expansionOrder();
+    DeviceArray reference(jobs);
+    reference.run(1, expansion);
+
+    std::mt19937_64 rng(1234);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        std::vector<std::size_t> perm(jobs.size());
+        std::iota(perm.begin(), perm.end(), std::size_t{0});
+        std::shuffle(perm.begin(), perm.end(), rng);
+
+        DeviceArrayHooks hooks;
+        hooks.order = [perm](const std::vector<DeviceJob> &) {
+            return perm;
+        };
+        DeviceArray shuffled(jobs);
+        shuffled.run(threads, hooks);
+        ASSERT_EQ(shuffled.results().size(), jobs.size());
+        for (std::size_t d = 0; d < jobs.size(); ++d) {
+            EXPECT_EQ(reference.results()[d], shuffled.results()[d])
+                << "cell " << d << " diverged under a shuffled "
+                << "claim order at " << threads << " threads";
+        }
+    }
+}
+
+TEST(DeviceArray, CostGuidedDefaultMatchesExpansionOrderResults)
+{
+    // The default policy (longest-job-first by the analytic
+    // estimator) must also be results-invariant, and its cost model
+    // must rank a Fast cell below an otherwise-identical Exact cell.
+    auto jobs = makeJobs(4);
+    jobs[2].fidelity = Fidelity::Fast;
+
+    DeviceArrayHooks expansion;
+    expansion.order = expansionOrder();
+    DeviceArray reference(jobs);
+    reference.run(1, expansion);
+
+    DeviceArray cost_guided(jobs);
+    cost_guided.run(2); // hooks default to costGuidedOrder()
+    for (std::size_t d = 0; d < jobs.size(); ++d)
+        EXPECT_EQ(reference.results()[d], cost_guided.results()[d]);
+
+    const auto order = costGuidedOrder()(jobs);
+    ASSERT_EQ(order.size(), jobs.size());
+    // The lone Fast cell is the cheapest, so it is claimed last.
+    EXPECT_EQ(order.back(), 2u);
+
+    DeviceJob heavy = jobs[0];
+    heavy.preconditionGc = true;
+    EXPECT_GT(estimateJobCost(heavy), estimateJobCost(jobs[0]));
+}
+
+TEST(DeviceArray, NonPermutationOrderPolicyDies)
+{
+    const auto jobs = makeJobs(2);
+    DeviceArrayHooks short_hooks;
+    short_hooks.order = [](const std::vector<DeviceJob> &) {
+        return std::vector<std::size_t>{0};
+    };
+    DeviceArray a(jobs);
+    EXPECT_DEATH(a.run(1, short_hooks), "cell-order policy");
+
+    DeviceArrayHooks dup_hooks;
+    dup_hooks.order = [](const std::vector<DeviceJob> &) {
+        return std::vector<std::size_t>{1, 1};
+    };
+    DeviceArray b(jobs);
+    EXPECT_DEATH(b.run(1, dup_hooks), "not a permutation");
+}
+
+TEST(DeviceArray, RunRecordsPerCellAndPerWorkerSeconds)
+{
+    const auto jobs = makeJobs(3);
+    DeviceArray array(jobs);
+    array.run(2);
+    ASSERT_EQ(array.cellSeconds().size(), jobs.size());
+    double total = 0.0;
+    for (std::size_t d = 0; d < jobs.size(); ++d) {
+        EXPECT_GT(array.cellSeconds()[d], 0.0) << "cell " << d;
+        total += array.cellSeconds()[d];
+    }
+    ASSERT_EQ(array.threadBusySeconds().size(), 2u);
+    double busy = 0.0;
+    for (const double b : array.threadBusySeconds())
+        busy += b;
+    // Worker busy time is exactly the sum of the cells it ran.
+    EXPECT_NEAR(busy, total, 1e-9);
+    EXPECT_GT(array.runWallSeconds(), 0.0);
 }
 
 TEST(DeviceArray, CapturesIoResultsOnRequest)
